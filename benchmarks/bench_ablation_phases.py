@@ -1,0 +1,52 @@
+"""A2 — ablation: phase-detection robustness vs threshold and coarsening.
+
+DESIGN.md §5(3): the kernel-clustering similarity threshold and the
+activity-coarsening block count are free parameters.  This ablation sweeps
+both on the tiny workload and checks the expected monotonicities: lower
+thresholds merge more (fewer phases), coarser blocks merge interleaved
+kernels, and the paper's 5-phase structure is reachable within the sweep.
+"""
+
+from conftest import PAPER_KERNELS, save_artifact
+from repro.apps.wfs import TINY, build_wfs_program, make_workspace
+from repro.core import TQuadOptions, cluster_kernel_phases, run_tquad
+
+THRESHOLDS = [0.1, 0.25, 0.35, 0.5, 0.75]
+BLOCKS = [8, 32, 10**9]   # coarse, medium, no coarsening
+
+
+def test_ablation_phase_parameters(benchmark, outdir):
+    program = build_wfs_program(TINY)
+    report = benchmark.pedantic(
+        lambda: run_tquad(program, fs=make_workspace(TINY),
+                          options=TQuadOptions(slice_interval=2000)),
+        rounds=1, iterations=1)
+
+    table = {}
+    for blocks in BLOCKS:
+        counts = []
+        for thr in THRESHOLDS:
+            pa = cluster_kernel_phases(report, kernels=PAPER_KERNELS,
+                                       similarity_threshold=thr,
+                                       coarsen_blocks=blocks)
+            counts.append(len(pa))
+        table[blocks] = counts
+
+    # --- assertions ---------------------------------------------------------
+    for blocks, counts in table.items():
+        # lower threshold => merges continue further => no more phases
+        assert counts == sorted(counts), (blocks, counts)
+    for i, thr in enumerate(THRESHOLDS):
+        # finer activity sets can only lower pairwise similarity => at least
+        # as many phases without coarsening as with heavy coarsening
+        assert table[10**9][i] >= table[8][i], thr
+    # the 5-phase regime is reachable somewhere in the sweep
+    reachable = {c for counts in table.values() for c in counts}
+    assert any(4 <= c <= 6 for c in reachable), reachable
+
+    lines = [f"{'blocks':>12} | " + "".join(f"thr={t:<6}" for t in THRESHOLDS)]
+    for blocks, counts in table.items():
+        label = "none" if blocks == 10**9 else str(blocks)
+        lines.append(f"{label:>12} | " + "".join(f"{c:<10}" for c in counts))
+    lines.append("(cell = number of detected phases)")
+    save_artifact(outdir, "ablation_phases.txt", "\n".join(lines))

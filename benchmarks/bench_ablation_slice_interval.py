@@ -1,0 +1,84 @@
+"""A1 — ablation: information loss as the slice interval grows.
+
+The paper: "Time slice interval is a key parameter which adjusts the
+detailing degree ... With large time slices, we lose some information and a
+coarser view ... is obtained" (§IV-C), and "small time slice intervals are
+preferable for more accurate estimations" (§V-B).
+
+We quantify that: per-kernel bandwidth curves at coarse intervals are
+compared against the finest run (resampled onto the same grid); the
+normalised RMS error grows monotonically-ish with the interval, and
+activity-span resolution degrades.
+"""
+
+import numpy as np
+
+from conftest import save_artifact
+from repro.apps.wfs import TINY, build_wfs_program, make_workspace
+from repro.core import TQuadOptions, run_tquad
+
+BASE_INTERVAL = 500
+COARSE_INTERVALS = [1000, 4000, 16000, 64000]
+
+
+def _bandwidth_grid(report, kernel, n_points):
+    """Kernel bandwidth (bytes/instr) resampled to a fixed grid by
+    averaging, preserving total bytes."""
+    s = report.series(kernel)
+    dense = s.dense(report.n_slices, write=False, include_stack=True)
+    edges = np.linspace(0, len(dense), n_points + 1).astype(int)
+    out = np.zeros(n_points)
+    for i, (a, b) in enumerate(zip(edges[:-1], edges[1:])):
+        span = max(b - a, 1)
+        out[i] = dense[a:b].sum() / (span * report.interval)
+    return out
+
+
+def test_ablation_slice_interval(benchmark, outdir):
+    program = build_wfs_program(TINY)
+
+    def profile(interval):
+        return run_tquad(program, fs=make_workspace(TINY),
+                         options=TQuadOptions(slice_interval=interval))
+
+    fine = benchmark.pedantic(lambda: profile(BASE_INTERVAL),
+                              rounds=1, iterations=1)
+    kernels = fine.top_kernels(6)
+    grid_points = 32
+    reference = {k: _bandwidth_grid(fine, k, grid_points) for k in kernels}
+
+    rows = []
+    errors = []
+    for interval in COARSE_INTERVALS:
+        coarse = profile(interval)
+        errs = []
+        for k in kernels:
+            approx = _bandwidth_grid(coarse, k, grid_points)
+            scale = max(reference[k].max(), 1e-12)
+            errs.append(np.sqrt(np.mean((approx - reference[k]) ** 2))
+                        / scale)
+        err = float(np.mean(errs))
+        errors.append(err)
+        spans = sum(coarse.series(k).activity_span()[2] for k in kernels)
+        rows.append((interval, err, coarse.n_slices, spans))
+
+    # --- assertions -----------------------------------------------------------
+    # information loss grows from finest to coarsest
+    assert errors[-1] > errors[0]
+    # and the coarsest view has lost most temporal detail
+    assert rows[-1][2] < rows[0][2]
+    # total bytes are conserved regardless of interval
+    totals = {fine.total_bytes(write=False, include_stack=True)}
+    for interval in COARSE_INTERVALS:
+        totals.add(profile(interval).total_bytes(write=False,
+                                                 include_stack=True))
+    assert len(totals) == 1
+
+    lines = [f"{'interval':>10}{'rms error':>12}{'slices':>9}"
+             f"{'Σ activity':>12}"]
+    lines.append(f"{BASE_INTERVAL:>10}{'(reference)':>12}"
+                 f"{fine.n_slices:>9}"
+                 f"{sum(fine.series(k).activity_span()[2] for k in kernels):>12}")
+    for interval, err, n, spans in rows:
+        lines.append(f"{interval:>10}{err:>12.4f}{n:>9}{spans:>12}")
+    save_artifact(outdir, "ablation_slice_interval.txt", "\n".join(lines))

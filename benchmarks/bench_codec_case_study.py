@@ -1,0 +1,58 @@
+"""A5 — extension: a second case study (DCT image codec).
+
+The paper: "tQUAD was tested on a set of real applications. Nevertheless,
+due to space limitations, the rest of this section presents the detailed
+results of only one of them" (§V).  This benchmark runs the full pipeline
+(gprof → QUAD → tQUAD → phases) on a second multimedia application to show
+the analyses aren't fitted to the WFS app.
+"""
+
+from conftest import save_artifact
+from repro.apps.codec import (SMALL_CODEC, build_codec_program,
+                              make_codec_workspace, reference_encode)
+from repro.core import TQuadOptions, cluster_kernel_phases, run_tquad
+from repro.gprofsim import run_gprof
+from repro.pin import PinEngine
+from repro.quad import QuadTool
+from repro.vm import Machine
+
+
+def test_codec_case_study(benchmark, outdir):
+    cfg = SMALL_CODEC
+    program = build_codec_program(cfg)
+
+    def pipeline():
+        flat = run_gprof(program, fs=make_codec_workspace(cfg))
+        engine = PinEngine(program, fs=make_codec_workspace(cfg))
+        quad_tool = QuadTool().attach(engine)
+        engine.run()
+        quad = quad_tool.report()
+        report = run_tquad(program, fs=make_codec_workspace(cfg),
+                           options=TQuadOptions(slice_interval=5000))
+        return flat, quad, report
+
+    flat, quad, report = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+
+    # output correctness first: the profiled binary still encodes correctly
+    fs = make_codec_workspace(cfg)
+    m = Machine(program, fs=fs)
+    assert m.run(max_instructions=100_000_000) == 0
+    assert fs.get("image.dct") == reference_encode(cfg)
+
+    # --- shape assertions -----------------------------------------------------
+    bw, bh = cfg.blocks
+    assert flat.top(1) == ["dct8_rows"]              # the transform dominates
+    assert flat.row("dct8_rows").calls == 2 * bw * bh
+    assert flat.row("img_load").calls == 1
+    # data flows load -> fetch -> dct -> quantize -> rle
+    assert quad.communication("img_load", "fetch_block") > 0
+    assert quad.communication("quantize_block", "rle_encode_block") > 0
+    # table-building kernels live at the very start; I/O spans the run
+    pa = cluster_kernel_phases(report, coarsen_blocks=64)
+    by_kernel = {k: p for p in pa for k in p.kernel_names()}
+    assert by_kernel["build_dct_matrix"].start_slice <= 1
+    assert by_kernel["dct8_rows"].span > 0.5 * report.n_slices
+
+    lines = ["=== flat profile (top 10) ===", flat.format_table(top=10),
+             "", "=== phases ===", pa.format_table()]
+    save_artifact(outdir, "codec_case_study.txt", "\n".join(lines))

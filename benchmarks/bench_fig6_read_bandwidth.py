@@ -1,0 +1,45 @@
+"""E5 — Figure 6: temporal read bandwidth (stack included) of the top ten
+kernels, coarse slices.
+
+Paper shape to reproduce: with the slice interval chosen so the run spans
+~64 slices, wav_store is silent through the first part of the run and is the
+only active kernel in the tail; fft1d & friends fill the front.
+"""
+
+import numpy as np
+
+from conftest import COARSE_INTERVAL, get_tquad, save_artifact
+from repro.analysis import bandwidth_strips
+
+
+def test_fig6_read_bandwidth(benchmark, small_program, results_cache,
+                             outdir):
+    report = get_tquad(results_cache, small_program, COARSE_INTERVAL)
+
+    def render():
+        kernels = report.top_kernels(10)
+        names, mat = report.bandwidth_matrix(kernels, write=False,
+                                             include_stack=True)
+        return names, mat, bandwidth_strips(
+            names, mat, interval=report.interval, width=100,
+            title="Figure 6 analogue: read bandwidth incl. stack, top 10")
+
+    names, mat, text = benchmark.pedantic(render, rounds=1, iterations=1)
+
+    # --- paper-shape assertions ---------------------------------------------
+    # ~64 slices, like the paper's 10^8-instruction slices over 6.4G instrs
+    assert 40 <= report.n_slices <= 100
+    ws = names.index("wav_store")
+    n = mat.shape[1]
+    first_active = int(np.argmax(mat[ws] > 0))
+    assert first_active > 0.5 * n          # silent first half
+    assert mat[ws, -2:].sum() > 0          # active at the very end
+    # wav_store alone in the tail: all other kernels quiet after it starts
+    others = np.delete(np.arange(len(names)), ws)
+    assert mat[np.ix_(others, range(first_active + 1, n))].sum() == 0
+    # fft1d active through the front
+    fft = names.index("fft1d")
+    front = mat[fft, :first_active]
+    assert (front > 0).mean() > 0.9
+
+    save_artifact(outdir, "fig6_read_bandwidth.txt", text)

@@ -1,0 +1,41 @@
+"""E1 — Table I: gprof flat profile of the hArtes-wfs application.
+
+Paper shape to reproduce: wav_store and fft1d are the top two kernels and
+together dominate; DelayLine_processChunk, bitrev, zeroRealVec and
+AudioIo_setFrames follow; wav_store is called exactly once while bitrev is
+called chunk·ffts times.
+"""
+
+from conftest import PAPER_KERNELS, save_artifact
+from repro.apps.wfs import SMALL, make_workspace
+from repro.gprofsim import run_gprof
+
+
+def test_table1_flat_profile(benchmark, small_program, results_cache,
+                             outdir):
+    flat = benchmark.pedantic(
+        lambda: run_gprof(small_program, fs=make_workspace(SMALL)),
+        rounds=1, iterations=1)
+    results_cache["flat"] = flat
+
+    # --- paper-shape assertions -------------------------------------------
+    top2 = set(flat.top(2))
+    assert top2 == {"wav_store", "fft1d"}, top2
+    assert flat.percent("wav_store") + flat.percent("fft1d") > 40
+    assert flat.row("wav_store").calls == 1
+    assert flat.row("wav_load").calls == 1
+    assert flat.row("ffw").calls == 2
+    assert flat.row("fft1d").calls == 2 * SMALL.n_chunks + 2
+    assert flat.row("bitrev").calls == \
+        flat.row("fft1d").calls * SMALL.chunk
+    # top-6 membership matches the paper's top six
+    paper_top6 = {"wav_store", "fft1d", "DelayLine_processChunk", "bitrev",
+                  "zeroRealVec", "AudioIo_setFrames"}
+    ours_top8 = set(flat.top(8))
+    assert len(paper_top6 & ours_top8) >= 5
+    # every paper kernel exists in the profile
+    for kernel in PAPER_KERNELS:
+        assert kernel in flat, kernel
+
+    save_artifact(outdir, "table1_flat_profile.txt",
+                  flat.format_table(top=21))

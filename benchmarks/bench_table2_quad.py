@@ -1,0 +1,53 @@
+"""E2/E8 — Table II: QUAD producer/consumer statistics, both stack views.
+
+Paper shape to reproduce (§V-B):
+
+* fft1d's stack-inclusion/exclusion byte ratio ≈ 10;
+* zeroRealVec / zeroCplxVec ratios are enormous (almost all reads local);
+* AudioIo_setFrames writes every output byte to a distinct address
+  (OUT ≈ OUT UnMA pattern), AudioIo_getFrames likewise on reads;
+* the QDU graph traces DelayLine_processChunk → AudioIo_setFrames →
+  wav_store;
+* bitrev's buffer footprint is tiny (~0.1 KB).
+"""
+
+from conftest import save_artifact
+from repro.apps.wfs import SMALL, make_workspace
+from repro.pin import PinEngine
+from repro.quad import QuadTool
+
+
+def _run_quad(program):
+    engine = PinEngine(program, fs=make_workspace(SMALL))
+    tool = QuadTool().attach(engine)
+    engine.run()
+    return tool.report()
+
+
+def test_table2_quad(benchmark, small_program, results_cache, outdir):
+    quad = benchmark.pedantic(lambda: _run_quad(small_program),
+                              rounds=1, iterations=1)
+    results_cache["quad"] = quad
+
+    # --- paper-shape assertions ---------------------------------------------
+    assert 4 < quad.row("fft1d").stack_in_ratio < 25
+    for zv in ("zeroRealVec", "zeroCplxVec"):
+        assert quad.row(zv).stack_in_ratio > 100
+    setf = quad.row("AudioIo_setFrames")
+    assert setf.out_unma_excl == SMALL.frames * SMALL.n_speakers * 8
+    getf = quad.row("AudioIo_getFrames")
+    assert getf.in_unma_excl > 0.9 * getf.in_excl
+    assert quad.row("bitrev").out_unma_excl + \
+        quad.row("bitrev").in_unma_excl < 256
+    assert quad.communication("DelayLine_processChunk",
+                              "AudioIo_setFrames") > 0
+    assert quad.communication("AudioIo_setFrames", "wav_store") > 0
+    # wav_store pulls the entire output buffer from distinct addresses
+    assert quad.row("wav_store").in_unma_excl >= \
+        SMALL.frames * SMALL.n_speakers
+
+    g = quad.qdu_graph(include_stack=False)
+    assert g.has_edge("DelayLine_processChunk", "AudioIo_setFrames")
+    assert g.has_edge("AudioIo_setFrames", "wav_store")
+
+    save_artifact(outdir, "table2_quad.txt", quad.format_table())

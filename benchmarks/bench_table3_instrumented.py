@@ -1,0 +1,44 @@
+"""E3 — Table III: flat profile of the QUAD-instrumented application.
+
+Paper shape to reproduce: instrumentation charges kernels in proportion to
+their *non-stack* accesses, so AudioIo_setFrames rises sharply (4% → 11%,
+rank 6 → 3 in the paper) while bitrev collapses (8.2% → 0.4%, rank 4 → 11)
+and wav_store/fft1d stay on top.
+"""
+
+from conftest import get_flat, get_quad, save_artifact
+from repro.quad import instrumented_profile, rank_shifts
+
+
+def test_table3_instrumented_profile(benchmark, small_program,
+                                     results_cache, outdir):
+    flat = get_flat(results_cache, small_program)
+    quad = get_quad(results_cache, small_program)
+    inst = benchmark.pedantic(lambda: instrumented_profile(flat, quad),
+                              rounds=1, iterations=1)
+
+    shifts = {s.kernel: s for s in rank_shifts(flat, inst)}
+
+    # --- paper-shape assertions ---------------------------------------------
+    assert inst.top(2) == flat.top(2)  # wav_store / fft1d stay on top
+    setf = shifts["AudioIo_setFrames"]
+    assert setf.instrumented_percent > setf.base_percent
+    assert setf.instrumented_rank <= setf.base_rank
+    bit = shifts["bitrev"]
+    assert bit.instrumented_percent < bit.base_percent
+    assert bit.instrumented_rank >= bit.base_rank
+    assert bit.trend in ("down", "downdown")
+    assert setf.trend in ("up", "upup")
+    # DelayLine loses some share (paper: 14.2 -> 10.9, trend down-ish)
+    dl = shifts["DelayLine_processChunk"]
+    assert dl.instrumented_percent < dl.base_percent + 1.0
+
+    lines = [f"{'kernel':<26}{'%time':>8}{'self s':>10}{'rank':>6}"
+             f"{'trend':>7}"]
+    for row in inst.rows[:12]:
+        s = shifts.get(row.name)
+        lines.append(f"{row.name:<26}{inst.percent(row.name):>8.2f}"
+                     f"{inst.self_seconds(row.name):>10.4f}"
+                     f"{inst.rank(row.name):>6}"
+                     f"{(s.trend if s else '?'):>7}")
+    save_artifact(outdir, "table3_instrumented.txt", "\n".join(lines))

@@ -1,0 +1,62 @@
+"""A3 — engineering baseline: VM and instrumentation throughput.
+
+Measures guest instructions/second for (a) the bare closure-compiling VM,
+(b) a Pin engine with no tools (code-cache overhead only), and (c) the full
+tQUAD tool, on a compute/memory-mixed kernel.  This grounds the scale
+argument of DESIGN.md §2 and the overhead experiment E7.
+"""
+
+from conftest import save_artifact
+from repro.apps.kernels import build_fir
+from repro.core import TQuadOptions, TQuadTool
+from repro.pin import PinEngine
+from repro.vm import Machine
+
+
+def _ips_bare(program):
+    m = Machine(program)
+    m.run()
+    return m.icount
+
+
+def _ips_engine(program, with_tool):
+    engine = PinEngine(program)
+    if with_tool:
+        TQuadTool(TQuadOptions(slice_interval=10_000)).attach(engine)
+    engine.run()
+    return engine.machine.icount
+
+
+def test_vm_throughput(benchmark, outdir):
+    program = build_fir(length=1024, n_taps=16)
+
+    stats = {}
+    import time
+
+    for label, fn in [
+        ("bare VM", lambda: _ips_bare(program)),
+        ("engine, no tools", lambda: _ips_engine(program, False)),
+        ("engine + tQUAD", lambda: _ips_engine(program, True)),
+    ]:
+        best = 0.0
+        for _ in range(3):
+            t0 = time.perf_counter()
+            icount = fn()
+            dt = time.perf_counter() - t0
+            best = max(best, icount / dt)
+        stats[label] = best
+
+    benchmark.pedantic(lambda: _ips_bare(program), rounds=1, iterations=1)
+
+    # --- assertions -----------------------------------------------------------
+    assert stats["bare VM"] > 100_000          # sanity floor
+    # instrumentation costs real throughput
+    assert stats["engine + tQUAD"] < stats["bare VM"]
+    # an engine with no tools compiles through the same code cache and must
+    # be in the same ballpark as the bare VM
+    assert stats["engine, no tools"] > 0.5 * stats["bare VM"]
+
+    lines = [f"{'configuration':<22}{'instr/s':>14}"]
+    for label, ips in stats.items():
+        lines.append(f"{label:<22}{ips:>14,.0f}")
+    save_artifact(outdir, "vm_throughput.txt", "\n".join(lines))

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Beyond bandwidth: cache locality and static timing for the same run.
+
+tQUAD reports platform-independent bytes/instruction.  Two companion
+analyses complete the picture the Delft WorkBench flow needs for HW/SW
+partitioning decisions:
+
+* the data-cache simulator (`repro.tools`) shows which kernels are
+  bandwidth-hungry but cache-friendly (cheap in software) vs genuinely
+  memory-bound (candidates for on-chip buffers — §V-B's discussion of
+  local buffer mapping);
+* the static WCET analyzer (`repro.static`) bounds kernel timing the way
+  the tools of §II do, demonstrating both its exactness on counted loops
+  and the over-pessimism the paper criticises.
+
+Run:  python examples/locality_and_timing.py
+"""
+
+from repro import build_program
+from repro.core import TQuadOptions, TQuadTool
+from repro.gprofsim import GprofTool
+from repro.pin import PinEngine
+from repro.static import WCETAnalyzer
+from repro.tools import CacheConfig, DCacheTool
+
+SOURCE = r"""
+int table[4096];
+float samples[4096];
+
+int scatter_fill() {
+    int i; int x = 7;
+    for (i = 0; i < 4096; i++) {
+        x = (x * 1103515245 + 12345) % 1048576;
+        table[x % 4096] = i;
+    }
+    return 0;
+}
+
+float stream_filter() {
+    int i;
+    float prev = 0.0;
+    for (i = 0; i < 4096; i++) {
+        float v = (float)(table[i] % 97) * 0.125;
+        samples[i] = 0.5 * v + 0.5 * prev;
+        prev = v;
+    }
+    return samples[4095];
+}
+
+float reduce() {
+    int i; float acc = 0.0;
+    for (i = 0; i < 4096; i++) { acc += samples[i]; }
+    return acc;
+}
+
+int main() {
+    scatter_fill();
+    stream_filter();
+    return (int)reduce() & 255;
+}
+"""
+
+LOOP_BOUNDS = {"scatter_fill": [4096], "stream_filter": [4096],
+               "reduce": [4096]}
+
+
+def main() -> None:
+    program = build_program(SOURCE)
+    engine = PinEngine(program)
+    tquad = TQuadTool(TQuadOptions(slice_interval=10_000)).attach(engine)
+    dcache = DCacheTool(CacheConfig(size_bytes=8 * 1024)).attach(engine)
+    gprof = GprofTool().attach(engine)
+    engine.run()
+
+    print("--- bandwidth (tQUAD) vs locality (dcache), same run ---")
+    report = tquad.report()
+    flat = gprof.report()
+    print(f"{'kernel':<16}{'B/instr (x)':>13}{'miss rate':>11}"
+          f"{'verdict':>34}")
+    for kernel in ("scatter_fill", "stream_filter", "reduce"):
+        s = report.series(kernel)
+        bw = (s.average_bandwidth(write=False, include_stack=False)
+              + s.average_bandwidth(write=True, include_stack=False))
+        mr = dcache.stats(kernel).miss_rate
+        verdict = ("memory-bound: wants on-chip buffer" if mr > 0.05
+                   else "streams well: fine in software")
+        print(f"{kernel:<16}{bw:>13.4f}{mr:>11.4f}{verdict:>34}")
+
+    print("\n--- static WCET vs dynamic measurement ---")
+    analyzer = WCETAnalyzer(program, loop_bounds=LOOP_BOUNDS)
+    print(f"{'kernel':<16}{'measured':>10}{'WCET':>10}{'ratio':>8}")
+    for kernel in LOOP_BOUNDS:
+        measured = flat.row(kernel).cumulative_instructions
+        bound = analyzer.analyze(kernel).bound
+        print(f"{kernel:<16}{measured:>10}{bound:>10.0f}"
+              f"{bound / measured:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

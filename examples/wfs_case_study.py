@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The paper's full case study (§V) on the hArtes-wfs reconstruction.
+
+Regenerates, in order, the analogues of:
+
+* Table I   — gprof flat profile;
+* Table II  — QUAD producer/consumer statistics (stack incl./excl.);
+* Table III — flat profile of the QUAD-instrumented run (rank + trend);
+* Figure 6  — read-bandwidth strips, stack included, top kernels;
+* Figure 7  — write-bandwidth strips, stack excluded, bottom kernels;
+* Table IV  — the five execution phases.
+
+Run:  python examples/wfs_case_study.py [tiny|small|demo]
+(tiny takes seconds; small is the benchmark-harness scale and takes a
+couple of minutes because QUAD's byte-granular shadow memory is expensive.)
+"""
+
+import sys
+
+from repro.analysis import bandwidth_strips
+from repro.apps.wfs import PRESETS, build_wfs_program, make_workspace
+from repro.core import TQuadOptions, cluster_kernel_phases, run_tquad
+from repro.gprofsim import run_gprof
+from repro.pin import PinEngine
+from repro.quad import QuadTool, instrumented_profile, rank_shifts
+
+PAPER_KERNELS = [
+    "wav_store", "fft1d", "DelayLine_processChunk", "bitrev", "zeroRealVec",
+    "AudioIo_setFrames", "perm", "cadd", "cmult", "Filter_process",
+    "wav_load", "Filter_process_pre_", "zeroCplxVec", "r2c", "c2r",
+    "AudioIo_getFrames", "ffw", "vsmult2d", "calculateGainPQ",
+    "PrimarySource_deriveTP", "ldint",
+]
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    cfg = PRESETS[preset]
+    print(f"=== hArtes-wfs case study, preset {cfg.name!r} "
+          f"(chunk={cfg.chunk}, chunks={cfg.n_chunks}, "
+          f"speakers={cfg.n_speakers}) ===\n")
+    program = build_wfs_program(cfg)
+
+    # ---- Table I: gprof flat profile --------------------------------------
+    flat = run_gprof(program, fs=make_workspace(cfg))
+    print("--- Table I analogue: flat profile ---")
+    print(flat.format_table(top=21))
+    print()
+
+    # ---- Table II: QUAD ----------------------------------------------------
+    engine = PinEngine(program, fs=make_workspace(cfg))
+    quad_tool = QuadTool().attach(engine)
+    engine.run()
+    quad = quad_tool.report()
+    print("--- Table II analogue: QUAD producer/consumer data ---")
+    print(quad.format_table())
+    print()
+
+    # ---- Table III: QUAD-instrumented profile ------------------------------
+    inst = instrumented_profile(flat, quad)
+    print("--- Table III analogue: QUAD-instrumented flat profile ---")
+    print(f"{'kernel':<26}{'%time':>8}{'rank':>6}{'trend':>7}")
+    for shift in rank_shifts(flat, inst)[:10]:
+        print(f"{shift.kernel:<26}{shift.instrumented_percent:>8.2f}"
+              f"{shift.instrumented_rank:>6}{shift.trend:>7}")
+    print()
+
+    # ---- tQUAD run ----------------------------------------------------------
+    interval = max(cfg.frames, 2000)
+    report = run_tquad(program, fs=make_workspace(cfg),
+                       options=TQuadOptions(slice_interval=interval))
+    top10 = report.top_kernels(10)
+    names, mat = report.bandwidth_matrix(top10, write=False,
+                                         include_stack=True)
+    print("--- Figure 6 analogue: read bandwidth incl. stack, top 10 ---")
+    print(bandwidth_strips(names, mat, interval=interval, width=90))
+    print()
+
+    bottom = [k for k in report.kernels() if k in PAPER_KERNELS
+              and k not in top10][:10]
+    names, mat = report.bandwidth_matrix(bottom, write=True,
+                                         include_stack=False)
+    # the paper cuts off the second half (only wav_store is active there)
+    mat = mat[:, :mat.shape[1] // 2]
+    print("--- Figure 7 analogue: write bandwidth excl. stack, last 10, "
+          "first half ---")
+    print(bandwidth_strips(names, mat, interval=interval, width=90))
+    print()
+
+    # ---- Table IV: phases ----------------------------------------------------
+    fine = run_tquad(program, fs=make_workspace(cfg),
+                     options=TQuadOptions(slice_interval=2000))
+    phases = cluster_kernel_phases(fine, kernels=PAPER_KERNELS, max_phases=5)
+    print("--- Table IV analogue: execution phases ---")
+    print(phases.format_table())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of *tQUAD: Memory Bandwidth Usage Analysis*
+(Ostadzadeh, Corina, Galuzzi, Bertels; ICPP 2010).
+
+The package layers, bottom to top:
+
+* :mod:`repro.isa`, :mod:`repro.asmkit`, :mod:`repro.minic`,
+  :mod:`repro.vm` — a complete guest toolchain: 64-bit RISC-style ISA,
+  assembler, C-like compiler, and a closure-compiling virtual machine;
+* :mod:`repro.pin` — a Pin-workalike dynamic binary instrumentation engine;
+* :mod:`repro.core` — **tQUAD**, the paper's contribution: temporal memory
+  bandwidth profiling with phase identification;
+* :mod:`repro.quad`, :mod:`repro.gprofsim` — the companion QUAD analyser and
+  a gprof-style flat profiler;
+* :mod:`repro.apps.wfs`, :mod:`repro.refwfs`, :mod:`repro.wavio` — the
+  hArtes-wfs case study and its validation oracle;
+* :mod:`repro.analysis` — figures and task clustering.
+
+Quickstart::
+
+    from repro.minic import build_program
+    from repro.core import run_tquad, TQuadOptions
+
+    program = build_program(open("app.mc").read())
+    report = run_tquad(program, options=TQuadOptions(slice_interval=5000))
+    print(report.format_table())
+"""
+
+from . import analysis, apps, asmkit, core, gprofsim, isa, minic, pin, quad
+from . import refwfs, vm, wavio
+from .core import (TQuadOptions, TQuadReport, TQuadTool, cluster_kernel_phases,
+                   detect_phases, run_tquad)
+from .gprofsim import run_gprof
+from .minic import build_program, compile_unit, run_minic
+from .pin import IARG, IPOINT, PinEngine
+from .quad import run_quad
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "run_tquad", "TQuadTool", "TQuadOptions", "TQuadReport",
+    "detect_phases", "cluster_kernel_phases",
+    "run_quad", "run_gprof",
+    "PinEngine", "IARG", "IPOINT",
+    "build_program", "compile_unit", "run_minic",
+    "isa", "asmkit", "minic", "vm", "pin", "core", "quad", "gprofsim",
+    "apps", "refwfs", "wavio", "analysis",
+    "__version__",
+]

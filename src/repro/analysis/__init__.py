@@ -1,0 +1,15 @@
+"""Post-profiling analysis: terminal figures and task clustering."""
+
+from .case_report import CaseStudyResult, case_study_report
+from .clustering import Cluster, ClusteringResult, cluster_kernels
+from .diffing import (KernelDelta, RankMove, ReportDiff, diff_flat_profiles,
+                      diff_reports)
+from .plots import (bandwidth_strips, downsample, matrix_to_csv, shade_row,
+                    sparkline)
+
+__all__ = ["bandwidth_strips", "sparkline", "shade_row", "downsample",
+           "matrix_to_csv",
+           "cluster_kernels", "Cluster", "ClusteringResult",
+           "diff_reports", "diff_flat_profiles", "ReportDiff",
+           "case_study_report", "CaseStudyResult",
+           "KernelDelta", "RankMove"]

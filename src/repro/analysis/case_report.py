@@ -1,0 +1,97 @@
+"""One-call case-study report: every paper artifact as a markdown document.
+
+``case_study_report`` runs the full analysis pipeline (gprof → QUAD →
+instrumented profile → tQUAD → figures → phases) over any program and
+renders a self-contained markdown report — the "detailed analysis of a case
+study" (§V) as a single artifact.  Used by ``tquad wfs --report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import TQuadOptions, cluster_kernel_phases, run_tquad
+from ..gprofsim import run_gprof
+from ..pin import PinEngine
+from ..quad import QuadTool, instrumented_profile, rank_shifts
+from ..vm import GuestFS
+from ..vm.program import Program
+from .plots import bandwidth_strips
+
+
+@dataclass
+class CaseStudyResult:
+    """All intermediate results plus the rendered report."""
+
+    markdown: str
+    flat: object
+    quad: object
+    tquad: object
+    phases: object
+
+
+def case_study_report(program: Program, *,
+                      fs_factory=None,
+                      title: str = "Case study",
+                      slice_interval: int = 5000,
+                      figure_interval: int | None = None,
+                      kernels: list[str] | None = None,
+                      max_phases: int | None = 5,
+                      max_instructions: int | None = None
+                      ) -> CaseStudyResult:
+    """Run the full pipeline and render a markdown report.
+
+    ``fs_factory`` must return a *fresh* GuestFS per call (each profiler
+    pass re-runs the program); defaults to empty filesystems.
+    """
+    make_fs = fs_factory or (lambda: GuestFS())
+
+    flat = run_gprof(program, fs=make_fs(),
+                     max_instructions=max_instructions)
+    engine = PinEngine(program, fs=make_fs())
+    quad_tool = QuadTool().attach(engine)
+    engine.run(max_instructions=max_instructions)
+    quad = quad_tool.report()
+    inst = instrumented_profile(flat, quad)
+    shifts = rank_shifts(flat, inst)
+
+    report = run_tquad(program, fs=make_fs(),
+                       options=TQuadOptions(slice_interval=slice_interval),
+                       max_instructions=max_instructions)
+    fig_interval = figure_interval or max(
+        slice_interval, report.total_instructions // 64 or 1)
+    fig_report = (report if fig_interval == slice_interval else
+                  run_tquad(program, fs=make_fs(),
+                            options=TQuadOptions(
+                                slice_interval=fig_interval),
+                            max_instructions=max_instructions))
+    phases = cluster_kernel_phases(report, kernels=kernels,
+                                   max_phases=max_phases)
+
+    top = fig_report.top_kernels(10)
+    names, mat = fig_report.bandwidth_matrix(top, write=False,
+                                             include_stack=True)
+    strips = bandwidth_strips(names, mat, interval=fig_report.interval,
+                              width=90)
+
+    md = []
+    md.append(f"# {title}\n")
+    md.append(f"{report.total_instructions:,} instructions, "
+              f"{report.n_slices} slices of {report.interval}; "
+              f"{len(report.kernels())} kernels.\n")
+    md.append("## Flat profile (Table I analogue)\n")
+    md.append("```\n" + flat.format_table(top=21) + "\n```\n")
+    md.append("## Data communication (Table II analogue)\n")
+    md.append("```\n" + quad.format_table() + "\n```\n")
+    md.append("## Instrumented profile (Table III analogue)\n")
+    lines = [f"{'kernel':<26}{'%time':>8}{'rank':>6}{'trend':>7}"]
+    for s in shifts[:12]:
+        lines.append(f"{s.kernel:<26}{s.instrumented_percent:>8.2f}"
+                     f"{s.instrumented_rank:>6}{s.trend:>7}")
+    md.append("```\n" + "\n".join(lines) + "\n```\n")
+    md.append("## Temporal read bandwidth (Figure 6 analogue)\n")
+    md.append("```\n" + strips + "\n```\n")
+    md.append("## Execution phases (Table IV analogue)\n")
+    md.append("```\n" + phases.format_table() + "\n```\n")
+    return CaseStudyResult(markdown="\n".join(md), flat=flat, quad=quad,
+                           tquad=report, phases=phases)

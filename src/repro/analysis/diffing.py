@@ -1,0 +1,138 @@
+"""Report diffing — the paper's "general application revision for
+performance improvement" use case (§I).
+
+A developer revises the code, reprofiles, and wants to know which kernels
+moved: bytes, bandwidth intensity, activity spans, ranking.  This module
+compares two tQUAD reports (or two flat profiles) of the *same application*
+at different revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import TQuadReport
+from ..gprofsim.report import FlatProfile
+
+
+@dataclass
+class KernelDelta:
+    """One kernel's change between two tQUAD runs."""
+
+    kernel: str
+    bytes_before: int
+    bytes_after: int
+    span_before: int
+    span_after: int
+
+    @property
+    def bytes_delta(self) -> int:
+        return self.bytes_after - self.bytes_before
+
+    @property
+    def bytes_ratio(self) -> float:
+        if self.bytes_before == 0:
+            return float("inf") if self.bytes_after else 1.0
+        return self.bytes_after / self.bytes_before
+
+    @property
+    def status(self) -> str:
+        if self.bytes_before == 0 and self.bytes_after > 0:
+            return "new"
+        if self.bytes_after == 0 and self.bytes_before > 0:
+            return "gone"
+        r = self.bytes_ratio
+        if r < 0.9:
+            return "improved"
+        if r > 1.1:
+            return "regressed"
+        return "unchanged"
+
+
+@dataclass
+class ReportDiff:
+    deltas: list[KernelDelta]
+    instructions_before: int
+    instructions_after: int
+
+    @property
+    def instructions_ratio(self) -> float:
+        if self.instructions_before == 0:
+            return 1.0
+        return self.instructions_after / self.instructions_before
+
+    def regressions(self) -> list[KernelDelta]:
+        return [d for d in self.deltas if d.status == "regressed"]
+
+    def improvements(self) -> list[KernelDelta]:
+        return [d for d in self.deltas if d.status == "improved"]
+
+    def delta(self, kernel: str) -> KernelDelta | None:
+        for d in self.deltas:
+            if d.kernel == kernel:
+                return d
+        return None
+
+    def format_table(self) -> str:
+        head = (f"{'kernel':<26}{'bytes before':>14}{'bytes after':>14}"
+                f"{'ratio':>8}{'span':>12}  status")
+        lines = [head, "-" * len(head)]
+        for d in sorted(self.deltas, key=lambda d: -abs(d.bytes_delta)):
+            ratio = ("inf" if d.bytes_ratio == float("inf")
+                     else f"{d.bytes_ratio:.2f}")
+            lines.append(
+                f"{d.kernel:<26}{d.bytes_before:>14}{d.bytes_after:>14}"
+                f"{ratio:>8}{d.span_before:>5} ->{d.span_after:>4}"
+                f"  {d.status}")
+        lines.append(f"total instructions: {self.instructions_before} -> "
+                     f"{self.instructions_after} "
+                     f"({self.instructions_ratio:.2f}x)")
+        return "\n".join(lines)
+
+
+def diff_reports(before: TQuadReport, after: TQuadReport, *,
+                 include_stack: bool = True) -> ReportDiff:
+    """Compare two tQUAD reports kernel by kernel."""
+    kernels = sorted(set(before.kernels()) | set(after.kernels()))
+    deltas = []
+    for k in kernels:
+        sb = before.series(k)
+        sa = after.series(k)
+        deltas.append(KernelDelta(
+            kernel=k,
+            bytes_before=(sb.total(write=False, include_stack=include_stack)
+                          + sb.total(write=True,
+                                     include_stack=include_stack)),
+            bytes_after=(sa.total(write=False, include_stack=include_stack)
+                         + sa.total(write=True,
+                                    include_stack=include_stack)),
+            span_before=sb.activity_span()[2],
+            span_after=sa.activity_span()[2]))
+    return ReportDiff(deltas=deltas,
+                      instructions_before=before.total_instructions,
+                      instructions_after=after.total_instructions)
+
+
+@dataclass
+class RankMove:
+    kernel: str
+    rank_before: int | None
+    rank_after: int | None
+    percent_before: float
+    percent_after: float
+
+
+def diff_flat_profiles(before: FlatProfile,
+                       after: FlatProfile) -> list[RankMove]:
+    """Ranking movement between two flat profiles, ordered by |Δ%|."""
+    names = {r.name for r in before.rows} | {r.name for r in after.rows}
+    moves = []
+    for name in names:
+        moves.append(RankMove(
+            kernel=name,
+            rank_before=(before.rank(name) if name in before else None),
+            rank_after=(after.rank(name) if name in after else None),
+            percent_before=before.percent(name),
+            percent_after=after.percent(name)))
+    moves.sort(key=lambda m: -abs(m.percent_after - m.percent_before))
+    return moves

@@ -1,0 +1,91 @@
+"""Terminal rendering of the temporal bandwidth graphs (Figures 6 and 7).
+
+The paper's figures are 3-D ribbon plots: x = time slice, y = memory access
+intensity, one ribbon per kernel along z.  The faithful terminal analogue is
+one intensity strip per kernel — a row of shaded cells over the slice axis —
+which preserves exactly the information the paper reads off the figures
+(activity spans, bursts, phase boundaries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def shade_row(values: np.ndarray, vmax: float) -> str:
+    """Map values to a string of intensity characters."""
+    if vmax <= 0:
+        return " " * len(values)
+    idx = np.clip((values / vmax) * (len(_SHADES) - 1), 0,
+                  len(_SHADES) - 1).astype(int)
+    return "".join(_SHADES[i] for i in idx)
+
+
+def downsample(values: np.ndarray, width: int) -> np.ndarray:
+    """Reduce a series to ``width`` columns by max-pooling (bursts must stay
+    visible, so max — not mean — pooling)."""
+    n = len(values)
+    if n <= width:
+        return values.astype(float)
+    edges = np.linspace(0, n, width + 1).astype(int)
+    return np.array([values[a:b].max() if b > a else 0.0
+                     for a, b in zip(edges[:-1], edges[1:])], dtype=float)
+
+
+def bandwidth_strips(kernels: list[str], matrix: np.ndarray, *,
+                     interval: int, width: int = 100,
+                     per_kernel_scale: bool = False,
+                     title: str = "") -> str:
+    """Render a kernel×slice byte matrix as intensity strips.
+
+    ``matrix[i, t]`` is bytes moved by kernel ``i`` in slice ``t`` (as
+    produced by :meth:`TQuadReport.bandwidth_matrix`).  Intensities are in
+    bytes/instruction; by default one global scale is used so strips are
+    comparable, like the shared y-axis of the paper's figures.
+    """
+    if matrix.size == 0:
+        return "(no data)"
+    bw = matrix / float(interval)
+    global_max = float(bw.max())
+    lines = []
+    if title:
+        lines.append(title)
+    n_slices = matrix.shape[1]
+    lines.append(f"{'':>26} slice 0 {'-' * max(width - 18, 1)} "
+                 f"{n_slices - 1}")
+    for i, name in enumerate(kernels):
+        row = downsample(bw[i], width)
+        vmax = float(row.max()) if per_kernel_scale else global_max
+        peak = float(bw[i].max())
+        lines.append(f"{name:>24} |{shade_row(row, vmax)}| "
+                     f"peak {peak:.3f} B/ins")
+    scale = "per-kernel" if per_kernel_scale else f"max {global_max:.3f} B/ins"
+    lines.append(f"{'':>24}  intensity scale: {scale}; "
+                 f"slice = {interval} instructions")
+    return "\n".join(lines)
+
+
+def matrix_to_csv(kernels: list[str], matrix: np.ndarray, *,
+                  interval: int, bytes_per_instruction: bool = True) -> str:
+    """Export a kernel×slice matrix as CSV (one row per slice) for external
+    plotting tools — the data behind the paper's 3-D figures."""
+    header = "slice," + ",".join(kernels)
+    lines = [header]
+    data = matrix.T / float(interval) if bytes_per_instruction else matrix.T
+    for t, row in enumerate(data):
+        cells = ",".join(f"{v:.6g}" for v in row)
+        lines.append(f"{t},{cells}")
+    return "\n".join(lines)
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """One-line sparkline of a series (unicode block elements)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    v = downsample(np.asarray(values, dtype=float), width)
+    vmax = v.max() if v.size else 0.0
+    if vmax <= 0:
+        return " " * len(v)
+    idx = np.clip((v / vmax) * (len(blocks) - 1), 0, len(blocks) - 1)
+    return "".join(blocks[int(i)] for i in idx)

@@ -1,0 +1,5 @@
+"""Guest applications: the hArtes-wfs case study and auxiliary kernels."""
+
+from . import kernels, wfs
+
+__all__ = ["wfs", "kernels"]

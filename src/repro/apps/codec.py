@@ -1,0 +1,692 @@
+"""A second case-study application: a DCT-based image codec in MiniC.
+
+The paper notes tQUAD "was tested on a set of real applications" (§V) but
+details only the WFS system.  This codec is a second multimedia workload
+with a different memory character: block-strided reads (8×8 tiles), a dense
+float transform (2-D DCT-II), integer quantisation, zigzag reordering and a
+run-length entropy stage writing a byte stream — load / transform / entropy
+/ store phases.
+
+As with WFS, a pure-Python reference (:func:`reference_encode`) mirrors the
+guest operation-for-operation, so the produced bitstream is byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..minic import build_program
+from ..vm import GuestFS
+from ..vm.program import Program
+
+_TEMPLATE = r"""
+char image[@PIX@];
+float block[64];
+float coef[64];
+float dct_mat[64];
+int   quant[64];
+int   zz[64];
+int   iq[64];
+char  stage[@STAGE@];
+int   stage_fill;
+int   out_fd;
+
+char in_name[12]  = "image.raw";
+char out_name[12] = "image.dct";
+
+// ------------------------------------------------------------ init tables
+void build_dct_matrix() {
+    int k;
+    int n;
+    for (k = 0; k < 8; k++) {
+        float scale = 0.5;
+        if (k == 0) { scale = 0.35355339059327373; }  // 1/(2*sqrt(2))
+        for (n = 0; n < 8; n++) {
+            dct_mat[k * 8 + n] = scale
+                * __cos(0.19634954084936207 * (2.0 * (float)n + 1.0)
+                        * (float)k);   // pi/16
+        }
+    }
+}
+
+void build_quant_table() {
+    int u;
+    int v;
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            quant[v * 8 + u] = 4 + (u + v) * 2;
+        }
+    }
+}
+
+void build_zigzag() {
+    // classic 8x8 zigzag scan order
+    int x = 0;
+    int y = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        zz[i] = y * 8 + x;
+        if ((x + y) % 2 == 0) {          // moving up-right
+            if (x == 7) { y++; }
+            else if (y == 0) { x++; }
+            else { x++; y--; }
+        } else {                         // moving down-left
+            if (y == 7) { x++; }
+            else if (x == 0) { y++; }
+            else { x--; y++; }
+        }
+    }
+}
+
+// --------------------------------------------------------------- image I/O
+int img_load(char* path) {
+    int fd = open(path, 0);
+    if (fd < 0) { return -1; }
+    int total = @PIX@;
+    int done = 0;
+    while (done < total) {
+        int want = total - done;
+        if (want > @STAGE@) { want = @STAGE@; }
+        int got = read(fd, stage, want);
+        if (got <= 0) { break; }
+        int k;
+        for (k = 0; k < got; k++) {
+            image[done + k] = stage[k];
+        }
+        done += got;
+    }
+    close(fd);
+    return done;
+}
+
+void flush_stage() {
+    if (stage_fill > 0) {
+        write(out_fd, stage, stage_fill);
+        stage_fill = 0;
+    }
+}
+
+void emit_byte(int v) {
+    stage[stage_fill] = (char)(v & 255);
+    stage_fill++;
+    if (stage_fill >= @STAGE@) { flush_stage(); }
+}
+
+void emit_i16(int v) {
+    emit_byte(v & 255);
+    emit_byte((v >> 8) & 255);
+}
+
+// --------------------------------------------------------- block pipeline
+void fetch_block(int bx, int by) {
+    // strided 8x8 gather, centred around zero
+    int y;
+    int x;
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            int pix = (int)image[(by * 8 + y) * @W@ + bx * 8 + x];
+            block[y * 8 + x] = (float)(pix - 128);
+        }
+    }
+}
+
+void dct8_rows(float* src, float* dst) {
+    // dst = src * dct_mat^T, row-wise 1-D DCT
+    int r;
+    for (r = 0; r < 8; r++) {
+        int k;
+        for (k = 0; k < 8; k++) {
+            float acc = 0.0;
+            int n;
+            for (n = 0; n < 8; n++) {
+                acc += src[r * 8 + n] * dct_mat[k * 8 + n];
+            }
+            dst[r * 8 + k] = acc;
+        }
+    }
+}
+
+void transpose8(float* m) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++) {
+        for (x = y + 1; x < 8; x++) {
+            float t = m[y * 8 + x];
+            m[y * 8 + x] = m[x * 8 + y];
+            m[x * 8 + y] = t;
+        }
+    }
+}
+
+void dct2d_block() {
+    dct8_rows(block, coef);
+    transpose8(coef);
+    dct8_rows(coef, block);
+    transpose8(block);
+    int i;
+    for (i = 0; i < 64; i++) { coef[i] = block[i]; }
+}
+
+void quantize_block() {
+    int i;
+    for (i = 0; i < 64; i++) {
+        iq[i] = (int)(coef[i] / (float)quant[i]);
+    }
+}
+
+int rle_encode_block() {
+    // zigzag scan; runs of zeros become (0, runlen); end marker (127, 0)
+    int emitted = 0;
+    int run = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        int v = iq[zz[i]];
+        if (v == 0) {
+            run++;
+        } else {
+            while (run > 0) {
+                int chunk = run;
+                if (chunk > 255) { chunk = 255; }
+                emit_byte(0);
+                emit_byte(chunk);
+                run -= chunk;
+                emitted += 2;
+            }
+            emit_byte(1);
+            emit_i16(v);
+            emitted += 3;
+        }
+    }
+    emit_byte(127);
+    emit_byte(0);
+    return emitted + 2;
+}
+
+// --------------------------------------------------------------------- main
+int main() {
+    build_dct_matrix();
+    build_quant_table();
+    build_zigzag();
+    if (img_load(in_name) != @PIX@) { return 1; }
+    out_fd = open(out_name, 1);
+    if (out_fd < 0) { return 2; }
+    stage_fill = 0;
+    // header: magic + dimensions
+    emit_byte('D'); emit_byte('C'); emit_byte('T'); emit_byte('1');
+    emit_i16(@W@);
+    emit_i16(@H@);
+    int total = 0;
+    int by;
+    for (by = 0; by < @BH@; by++) {
+        int bx;
+        for (bx = 0; bx < @BW@; bx++) {
+            fetch_block(bx, by);
+            dct2d_block();
+            quantize_block();
+            total += rle_encode_block();
+        }
+    }
+    flush_stage();
+    close(out_fd);
+    return 0;
+}
+"""
+
+
+_DECODER_TEMPLATE = r"""
+char recon[@PIX@];
+float coef[64];
+float pix[64];
+float dct_mat[64];
+int   quant[64];
+int   zz[64];
+char  rbuf[@STAGE@];
+int   rlen;
+int   rpos;
+int   in_fd;
+
+char in_name[12]  = "image.dct";
+char out_name[12] = "image.out";
+
+void build_dct_matrix() {
+    int k;
+    int n;
+    for (k = 0; k < 8; k++) {
+        float scale = 0.5;
+        if (k == 0) { scale = 0.35355339059327373; }
+        for (n = 0; n < 8; n++) {
+            dct_mat[k * 8 + n] = scale
+                * __cos(0.19634954084936207 * (2.0 * (float)n + 1.0)
+                        * (float)k);
+        }
+    }
+}
+
+void build_quant_table() {
+    int u;
+    int v;
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            quant[v * 8 + u] = 4 + (u + v) * 2;
+        }
+    }
+}
+
+void build_zigzag() {
+    int x = 0;
+    int y = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        zz[i] = y * 8 + x;
+        if ((x + y) % 2 == 0) {
+            if (x == 7) { y++; }
+            else if (y == 0) { x++; }
+            else { x++; y--; }
+        } else {
+            if (y == 7) { x++; }
+            else if (x == 0) { y++; }
+            else { x--; y++; }
+        }
+    }
+}
+
+int next_byte() {
+    if (rpos >= rlen) {
+        rlen = read(in_fd, rbuf, @STAGE@);
+        rpos = 0;
+        if (rlen <= 0) { return -1; }
+    }
+    int v = (int)rbuf[rpos];
+    rpos++;
+    return v;
+}
+
+int next_i16() {
+    int lo = next_byte();
+    int hi = next_byte();
+    int v = lo | (hi << 8);
+    if (v > 32767) { v = v - 65536; }
+    return v;
+}
+
+// parse one block's RLE stream into dequantised coefficients
+int read_block() {
+    int i;
+    for (i = 0; i < 64; i++) { coef[i] = 0.0; }
+    i = 0;
+    while (1) {
+        int tag = next_byte();
+        if (tag < 0) { return -1; }
+        if (tag == 127) {
+            next_byte();             // skip the pad byte
+            return 0;
+        }
+        if (tag == 0) {
+            i += next_byte();
+        } else {
+            int v = next_i16();
+            coef[zz[i]] = (float)(v * quant[zz[i]]);
+            i++;
+        }
+    }
+    return 0;
+}
+
+void idct8_rows(float* src, float* dst) {
+    // dst = src * dct_mat (inverse of the encoder's src * dct_mat^T)
+    int r;
+    for (r = 0; r < 8; r++) {
+        int n;
+        for (n = 0; n < 8; n++) {
+            float acc = 0.0;
+            int k;
+            for (k = 0; k < 8; k++) {
+                acc += src[r * 8 + k] * dct_mat[k * 8 + n];
+            }
+            dst[r * 8 + n] = acc;
+        }
+    }
+}
+
+void transpose8(float* m) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++) {
+        for (x = y + 1; x < 8; x++) {
+            float t = m[y * 8 + x];
+            m[y * 8 + x] = m[x * 8 + y];
+            m[x * 8 + y] = t;
+        }
+    }
+}
+
+void idct2d_block() {
+    // pixels = M^T C M: transpose, row-transform, transpose, row-transform
+    transpose8(coef);
+    idct8_rows(coef, pix);
+    transpose8(pix);
+    idct8_rows(pix, coef);
+    int i;
+    for (i = 0; i < 64; i++) { pix[i] = coef[i]; }
+}
+
+void store_block(int bx, int by) {
+    int y;
+    int x;
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            float v = pix[y * 8 + x] + 128.0;
+            int iv = (int)(v + 0.5);
+            if (iv < 0) { iv = 0; }
+            if (iv > 255) { iv = 255; }
+            recon[(by * 8 + y) * @W@ + bx * 8 + x] = (char)iv;
+        }
+    }
+}
+
+int main() {
+    build_dct_matrix();
+    build_quant_table();
+    build_zigzag();
+    in_fd = open(in_name, 0);
+    if (in_fd < 0) { return 1; }
+    rlen = 0;
+    rpos = 0;
+    // header
+    if (next_byte() != 'D') { return 2; }
+    if (next_byte() != 'C') { return 2; }
+    if (next_byte() != 'T') { return 2; }
+    if (next_byte() != '1') { return 2; }
+    int w = next_byte() | (next_byte() << 8);
+    int h = next_byte() | (next_byte() << 8);
+    if (w != @W@) { return 3; }
+    if (h != @H@) { return 3; }
+    int by;
+    for (by = 0; by < @BH@; by++) {
+        int bx;
+        for (bx = 0; bx < @BW@; bx++) {
+            if (read_block() < 0) { return 4; }
+            idct2d_block();
+            store_block(bx, by);
+        }
+    }
+    close(in_fd);
+    int fd = open(out_name, 1);
+    if (fd < 0) { return 5; }
+    int done = 0;
+    while (done < @PIX@) {
+        int n = @PIX@ - done;
+        if (n > @STAGE@) { n = @STAGE@; }
+        write(fd, recon + done, n);
+        done += n;
+    }
+    close(fd);
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class CodecConfig:
+    width: int = 64
+    height: int = 48
+
+    def __post_init__(self) -> None:
+        if self.width % 8 or self.height % 8:
+            raise ValueError("dimensions must be multiples of 8")
+        if self.width < 8 or self.height < 8:
+            raise ValueError("image too small")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def blocks(self) -> tuple[int, int]:
+        return self.width // 8, self.height // 8
+
+
+TINY_CODEC = CodecConfig(width=32, height=24)
+SMALL_CODEC = CodecConfig(width=64, height=48)
+
+
+def codec_source(cfg: CodecConfig = SMALL_CODEC) -> str:
+    bw, bh = cfg.blocks
+    subs = {"@PIX@": str(cfg.pixels), "@W@": str(cfg.width),
+            "@H@": str(cfg.height), "@BW@": str(bw), "@BH@": str(bh),
+            "@STAGE@": "256"}
+    text = _TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        raise ValueError("unsubstituted template token")
+    return text
+
+
+def build_codec_program(cfg: CodecConfig = SMALL_CODEC) -> Program:
+    return build_program(codec_source(cfg))
+
+
+def decoder_source(cfg: CodecConfig = SMALL_CODEC) -> str:
+    bw, bh = cfg.blocks
+    subs = {"@PIX@": str(cfg.pixels), "@W@": str(cfg.width),
+            "@H@": str(cfg.height), "@BW@": str(bw), "@BH@": str(bh),
+            "@STAGE@": "256"}
+    text = _DECODER_TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        raise ValueError("unsubstituted template token")
+    return text
+
+
+def build_decoder_program(cfg: CodecConfig = SMALL_CODEC) -> Program:
+    return build_program(decoder_source(cfg))
+
+
+def roundtrip_in_guest(cfg: CodecConfig,
+                       image: np.ndarray | None = None
+                       ) -> tuple[np.ndarray, bytes]:
+    """Encode then decode entirely inside the guest.
+
+    Returns (reconstructed image, bitstream).
+    """
+    from ..vm import Machine
+
+    fs = make_codec_workspace(cfg, image)
+    enc = Machine(build_codec_program(cfg), fs=fs)
+    if enc.run(max_instructions=200_000_000) != 0:
+        raise RuntimeError("guest encoder failed")
+    bitstream = fs.get("image.dct")
+    dec = Machine(build_decoder_program(cfg), fs=fs)
+    code = dec.run(max_instructions=200_000_000)
+    if code != 0:
+        raise RuntimeError(f"guest decoder failed with exit code {code}")
+    raw = fs.get("image.out")
+    recon = np.frombuffer(raw, dtype=np.uint8).reshape(cfg.height,
+                                                       cfg.width)
+    return recon, bitstream
+
+
+def synthetic_image(cfg: CodecConfig) -> np.ndarray:
+    """A deterministic grayscale test chart (uint8, row-major)."""
+    y, x = np.mgrid[0:cfg.height, 0:cfg.width]
+    img = (128 + 80 * np.sin(x * 0.3) * np.cos(y * 0.2)
+           + 20 * ((x // 8 + y // 8) % 2))
+    return np.clip(np.rint(img), 0, 255).astype(np.uint8)
+
+
+def make_codec_workspace(cfg: CodecConfig,
+                         image: np.ndarray | None = None) -> GuestFS:
+    """Guest FS with the input image (defaults to the synthetic chart)."""
+    if image is None:
+        image = synthetic_image(cfg)
+    if image.shape != (cfg.height, cfg.width) or image.dtype != np.uint8:
+        raise ValueError("image must be uint8 of shape (height, width)")
+    fs = GuestFS()
+    fs.put("image.raw", image.tobytes())
+    return fs
+
+
+def decode_stream(raw: bytes) -> np.ndarray:
+    """Host-side decoder: invert RLE, zigzag, quantisation and the DCT.
+
+    Returns the reconstructed grayscale image (uint8).  Used to validate
+    that the guest's bitstream is not merely self-consistent but actually
+    encodes the image (bounded reconstruction error).
+    """
+    if raw[:4] != b"DCT1":
+        raise ValueError("bad magic")
+    w, h = struct.unpack_from("<HH", raw, 4)
+    cfg = CodecConfig(width=w, height=h)
+    bw, bh = cfg.blocks
+    pos = 8
+    # tables
+    k = np.arange(8)
+    n = np.arange(8)
+    dct_mat = 0.5 * np.cos(0.19634954084936207
+                           * (2.0 * n[None, :] + 1.0) * k[:, None])
+    dct_mat[0, :] = 0.35355339059327373 * np.cos(np.zeros(8))
+    quant = np.array([[4 + (u + v) * 2 for u in range(8)]
+                      for v in range(8)], dtype=float)
+    zz = []
+    x = y = 0
+    for _ in range(64):
+        zz.append(y * 8 + x)
+        if (x + y) % 2 == 0:
+            if x == 7:
+                y += 1
+            elif y == 0:
+                x += 1
+            else:
+                x += 1
+                y -= 1
+        else:
+            if y == 7:
+                x += 1
+            elif x == 0:
+                y += 1
+            else:
+                x -= 1
+                y += 1
+    img = np.zeros((h, w), dtype=float)
+    for by in range(bh):
+        for bx in range(bw):
+            coeffs = np.zeros(64)
+            i = 0
+            while True:
+                tag = raw[pos]
+                pos += 1
+                if tag == 127:
+                    pos += 1  # skip the 0 pad
+                    break
+                if tag == 0:
+                    i += raw[pos]
+                    pos += 1
+                else:
+                    (v,) = struct.unpack_from("<h", raw, pos)
+                    pos += 2
+                    coeffs[zz[i]] = v
+                    i += 1
+            block = coeffs.reshape(8, 8) * quant
+            # inverse 2-D DCT: pixels = M^T @ C @ M for orthonormal-ish M
+            recon = dct_mat.T @ block @ dct_mat
+            img[by * 8:(by + 1) * 8, bx * 8:(bx + 1) * 8] = recon
+    return np.clip(np.rint(img + 128), 0, 255).astype(np.uint8)
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two uint8 images (dB)."""
+    mse = float(np.mean((a.astype(float) - b.astype(float)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * math.log10(255.0 ** 2 / mse)
+
+
+# ------------------------------------------------------------------ reference
+def reference_encode(cfg: CodecConfig,
+                     image: np.ndarray | None = None) -> bytes:
+    """Pure-Python mirror of the guest codec (same float operation order)."""
+    img = synthetic_image(cfg) if image is None else image
+    w, h = cfg.width, cfg.height
+    bw, bh = cfg.blocks
+    # tables, exactly as the guest builds them
+    dct_mat = [[0.0] * 8 for _ in range(8)]
+    for k in range(8):
+        scale = 0.35355339059327373 if k == 0 else 0.5
+        for n in range(8):
+            dct_mat[k][n] = scale * math.cos(
+                0.19634954084936207 * (2.0 * n + 1.0) * k)
+    quant = [[4 + (u + v) * 2 for u in range(8)] for v in range(8)]
+    zz = []
+    x = y = 0
+    for _ in range(64):
+        zz.append(y * 8 + x)
+        if (x + y) % 2 == 0:
+            if x == 7:
+                y += 1
+            elif y == 0:
+                x += 1
+            else:
+                x += 1
+                y -= 1
+        else:
+            if y == 7:
+                x += 1
+            elif x == 0:
+                y += 1
+            else:
+                x -= 1
+                y += 1
+
+    out = bytearray()
+    out += b"DCT1"
+    out += struct.pack("<HH", w, h)
+
+    def dct8_rows(src):
+        dst = [0.0] * 64
+        for r in range(8):
+            for k in range(8):
+                acc = 0.0
+                for n in range(8):
+                    acc += src[r * 8 + n] * dct_mat[k][n]
+                dst[r * 8 + k] = acc
+        return dst
+
+    def transpose(m):
+        for yy in range(8):
+            for xx in range(yy + 1, 8):
+                m[yy * 8 + xx], m[xx * 8 + yy] = (m[xx * 8 + yy],
+                                                  m[yy * 8 + xx])
+
+    for by in range(bh):
+        for bx in range(bw):
+            block = [0.0] * 64
+            for yy in range(8):
+                for xx in range(8):
+                    pix = int(img[by * 8 + yy, bx * 8 + xx])
+                    block[yy * 8 + xx] = float(pix - 128)
+            coef = dct8_rows(block)
+            transpose(coef)
+            block = dct8_rows(coef)
+            transpose(block)
+            coef = list(block)
+            iq = [int(coef[i] / quant[i // 8][i % 8]) for i in range(64)]
+            run = 0
+            for i in range(64):
+                v = iq[zz[i]]
+                if v == 0:
+                    run += 1
+                else:
+                    while run > 0:
+                        chunk = min(run, 255)
+                        out += bytes([0, chunk])
+                        run -= chunk
+                    out.append(1)
+                    out += struct.pack("<h", v)
+            out += bytes([127, 0])
+    return bytes(out)

@@ -1,0 +1,393 @@
+"""Auxiliary guest applications (MiniC sources).
+
+Small, self-contained programs used by the examples, the test suite and the
+engineering benchmarks: a blocked matrix multiply, a streaming FIR filter, a
+merge sort, and a three-stage producer/transform/consumer pipeline with a
+clean phase structure.
+"""
+
+from __future__ import annotations
+
+from ..minic import build_program
+from ..vm.program import Program
+
+MATMUL = r"""
+// Blocked dense matmul: C = A x B, checksum returned.
+float A[@SIZE2@];
+float B[@SIZE2@];
+float C[@SIZE2@];
+
+void init_matrices(int n) {
+    int i;
+    int j;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            A[i * n + j] = (float)((i + j) % 7) * 0.25;
+            B[i * n + j] = (float)((i * 3 + j) % 5) * 0.5;
+        }
+    }
+}
+
+void matmul(int n) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            float acc = 0.0;
+            for (k = 0; k < n; k = k + 1) {
+                acc = acc + A[i * n + k] * B[k * n + j];
+            }
+            C[i * n + j] = acc;
+        }
+    }
+}
+
+float checksum(int n) {
+    int i;
+    float s = 0.0;
+    for (i = 0; i < n * n; i = i + 1) {
+        s = s + C[i];
+    }
+    return s;
+}
+
+int main() {
+    init_matrices(@SIZE@);
+    matmul(@SIZE@);
+    float s = checksum(@SIZE@);
+    print_float(s);
+    print_str("\n");
+    return 0;
+}
+"""
+
+FIR = r"""
+// Streaming FIR filter over a synthetic signal.
+float signal[@LEN@];
+float filtered[@LEN@];
+float taps[@NTAPS@];
+float state[@NTAPS@];
+
+void make_signal(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        signal[i] = __sin(0.1 * (float)i) + 0.25 * __sin(0.31 * (float)i);
+    }
+}
+
+void make_taps(int n) {
+    int i;
+    float norm = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        taps[i] = 1.0 / (float)(i + 1);
+        norm = norm + taps[i];
+    }
+    for (i = 0; i < n; i = i + 1) {
+        taps[i] = taps[i] / norm;
+    }
+}
+
+void fir(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int t;
+        for (t = @NTAPS@ - 1; t > 0; t = t - 1) {
+            state[t] = state[t - 1];
+        }
+        state[0] = signal[i];
+        float acc = 0.0;
+        for (t = 0; t < @NTAPS@; t = t + 1) {
+            acc = acc + taps[t] * state[t];
+        }
+        filtered[i] = acc;
+    }
+}
+
+float energy(int n) {
+    int i;
+    float e = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+        e = e + filtered[i] * filtered[i];
+    }
+    return e;
+}
+
+int main() {
+    make_signal(@LEN@);
+    make_taps(@NTAPS@);
+    fir(@LEN@);
+    print_float(energy(@LEN@));
+    print_str("\n");
+    return 0;
+}
+"""
+
+MERGESORT = r"""
+// Bottom-up merge sort over a pseudo-random array.
+int data[@LEN@];
+int scratch[@LEN@];
+
+void fill(int n) {
+    int i;
+    int x = 12345;
+    for (i = 0; i < n; i = i + 1) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x < 0) { x = 0 - x; }
+        data[i] = x % 100000;
+    }
+}
+
+void merge(int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        if (data[i] <= data[j]) {
+            scratch[k] = data[i];
+            i = i + 1;
+        } else {
+            scratch[k] = data[j];
+            j = j + 1;
+        }
+        k = k + 1;
+    }
+    while (i < mid) { scratch[k] = data[i]; i = i + 1; k = k + 1; }
+    while (j < hi)  { scratch[k] = data[j]; j = j + 1; k = k + 1; }
+    for (i = lo; i < hi; i = i + 1) { data[i] = scratch[i]; }
+}
+
+void sort(int n) {
+    int width;
+    for (width = 1; width < n; width = width * 2) {
+        int lo;
+        for (lo = 0; lo < n; lo = lo + 2 * width) {
+            int mid = lo + width;
+            int hi = lo + 2 * width;
+            if (mid > n) { mid = n; }
+            if (hi > n) { hi = n; }
+            if (mid < hi) { merge(lo, mid, hi); }
+        }
+    }
+}
+
+int verify(int n) {
+    int i;
+    for (i = 1; i < n; i = i + 1) {
+        if (data[i - 1] > data[i]) { return 0; }
+    }
+    return 1;
+}
+
+int main() {
+    fill(@LEN@);
+    sort(@LEN@);
+    if (verify(@LEN@) == 0) { return 1; }
+    return 0;
+}
+"""
+
+PIPELINE = r"""
+// Three sequential stages with distinct buffers: the cleanest possible
+// phase structure for exercising phase detection.
+int stage_a[@LEN@];
+int stage_b[@LEN@];
+int stage_c[@LEN@];
+
+int produce() {
+    int i;
+    for (i = 0; i < @LEN@; i = i + 1) { stage_a[i] = i * 7 % 1000; }
+    return 0;
+}
+
+int transform() {
+    int i;
+    for (i = 0; i < @LEN@; i = i + 1) { stage_b[i] = stage_a[i] * 3 + 1; }
+    return 0;
+}
+
+int consume() {
+    int i;
+    int acc = 0;
+    for (i = 0; i < @LEN@; i = i + 1) {
+        stage_c[i] = stage_b[i] / 2;
+        acc = acc + stage_c[i];
+    }
+    return acc;
+}
+
+int main() {
+    produce();
+    transform();
+    return consume() % 251;
+}
+"""
+
+
+CONV2D = r"""
+// 3x3 box/sharpen convolution over a synthetic grayscale image, with
+// separate border handling -- a classic streaming image kernel.
+float img[@PIX@];
+float out[@PIX@];
+float kern[9];
+
+void make_image(int w, int h) {
+    int y;
+    int x;
+    for (y = 0; y < h; y++) {
+        for (x = 0; x < w; x++) {
+            img[y * w + x] = __sin(0.3 * (float)x) * __cos(0.2 * (float)y);
+        }
+    }
+}
+
+void make_kernel() {
+    int i;
+    for (i = 0; i < 9; i++) { kern[i] = -0.0625; }
+    kern[4] = 1.5;
+}
+
+void convolve_interior(int w, int h) {
+    int y;
+    int x;
+    for (y = 1; y < h - 1; y++) {
+        for (x = 1; x < w - 1; x++) {
+            float acc = 0.0;
+            int ky;
+            for (ky = 0; ky < 3; ky++) {
+                int kx;
+                for (kx = 0; kx < 3; kx++) {
+                    acc += kern[ky * 3 + kx]
+                         * img[(y + ky - 1) * w + (x + kx - 1)];
+                }
+            }
+            out[y * w + x] = acc;
+        }
+    }
+}
+
+void copy_borders(int w, int h) {
+    int x;
+    int y;
+    for (x = 0; x < w; x++) {
+        out[x] = img[x];
+        out[(h - 1) * w + x] = img[(h - 1) * w + x];
+    }
+    for (y = 0; y < h; y++) {
+        out[y * w] = img[y * w];
+        out[y * w + w - 1] = img[y * w + w - 1];
+    }
+}
+
+float image_energy(int w, int h) {
+    int i;
+    float e = 0.0;
+    for (i = 0; i < w * h; i++) { e += out[i] * out[i]; }
+    return e;
+}
+
+int main() {
+    make_image(@W@, @H@);
+    make_kernel();
+    convolve_interior(@W@, @H@);
+    copy_borders(@W@, @H@);
+    print_float(image_energy(@W@, @H@));
+    print_str("\n");
+    return 0;
+}
+"""
+
+HISTOGRAM = r"""
+// Byte-stream histogram with a scatter access pattern, then a scan.
+char stream[@LEN@];
+int bins[256];
+
+void make_stream(int n) {
+    int i;
+    int x = 99991;
+    for (i = 0; i < n; i++) {
+        x = (x * 1103515245 + 12345) % 2147483648;
+        if (x < 0) { x = -x; }
+        stream[i] = (char)(x % 256);
+    }
+}
+
+void build_histogram(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        bins[(int)stream[i]] += 1;
+    }
+}
+
+int mode_bin() {
+    int best = 0;
+    int i;
+    for (i = 1; i < 256; i++) {
+        if (bins[i] > bins[best]) { best = i; }
+    }
+    return best;
+}
+
+int main() {
+    make_stream(@LEN@);
+    build_histogram(@LEN@);
+    return mode_bin();
+}
+"""
+
+
+def _instantiate(template: str, **subs: int) -> str:
+    text = template
+    for key, value in subs.items():
+        text = text.replace(f"@{key}@", str(value))
+    if "@" in text:
+        raise ValueError("unsubstituted token in kernel template")
+    return text
+
+
+def matmul_source(size: int = 24) -> str:
+    return _instantiate(MATMUL, SIZE=size, SIZE2=size * size)
+
+
+def fir_source(length: int = 2048, n_taps: int = 16) -> str:
+    return _instantiate(FIR, LEN=length, NTAPS=n_taps)
+
+
+def mergesort_source(length: int = 1024) -> str:
+    return _instantiate(MERGESORT, LEN=length)
+
+
+def pipeline_source(length: int = 1024) -> str:
+    return _instantiate(PIPELINE, LEN=length)
+
+
+def build_matmul(size: int = 24) -> Program:
+    return build_program(matmul_source(size))
+
+
+def build_fir(length: int = 2048, n_taps: int = 16) -> Program:
+    return build_program(fir_source(length, n_taps))
+
+
+def build_mergesort(length: int = 1024) -> Program:
+    return build_program(mergesort_source(length))
+
+
+def build_pipeline(length: int = 1024) -> Program:
+    return build_program(pipeline_source(length))
+
+
+def conv2d_source(width: int = 48, height: int = 32) -> str:
+    return _instantiate(CONV2D, W=width, H=height, PIX=width * height)
+
+
+def histogram_source(length: int = 4096) -> str:
+    return _instantiate(HISTOGRAM, LEN=length)
+
+
+def build_conv2d(width: int = 48, height: int = 32) -> Program:
+    return build_program(conv2d_source(width, height))
+
+
+def build_histogram(length: int = 4096) -> Program:
+    return build_program(histogram_source(length))

@@ -1,0 +1,12 @@
+"""The hArtes-wfs application (MiniC reconstruction) and its workloads."""
+
+from .config import DEMO, PAPER, PRESETS, SMALL, TINY, WfsConfig
+from .runner import WfsRun, run_wfs
+from .source import (build_wfs_program, config_file_bytes, input_signal,
+                     make_workspace, wfs_source)
+
+__all__ = [
+    "WfsConfig", "TINY", "SMALL", "DEMO", "PAPER", "PRESETS",
+    "wfs_source", "build_wfs_program", "make_workspace", "input_signal",
+    "config_file_bytes", "run_wfs", "WfsRun",
+]

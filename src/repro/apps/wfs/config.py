@@ -1,0 +1,94 @@
+"""Configuration of the hArtes-wfs reconstruction.
+
+The paper's run executes >6·10⁹ instructions (Fraunhofer's full WFS system,
+32 speakers, multi-second audio).  A Python-interpreted VM sustains ~10⁶
+guest instructions/s, so the workload is parameterised and scaled down; the
+*structure* (which kernels exist, who calls whom how often, which buffers
+live on the stack) is preserved, which is what the paper's analyses measure.
+See DESIGN.md §2 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WfsConfig:
+    """All knobs of the WFS workload."""
+
+    name: str = "small"
+    chunk: int = 64            #: samples per chunk == FFT size (power of 2)
+    n_chunks: int = 40         #: processing iterations (paper: 493)
+    n_speakers: int = 12       #: secondary sources (paper: 32)
+    n_taps: int = 4            #: pre-filter FIR length
+    sample_rate: int = 48000
+    gain_update_every: int = 2  #: chunks between source-position updates
+    moving_fraction: float = 0.5  #: fraction of chunks with a moving source
+    filter_cutoff: float = 0.25   #: normalised cutoff of the main filter
+    array_width_m: float = 4.0    #: speaker array span
+    source_depth_m: float = 2.0   #: primary source distance from the array
+    sound_speed_m_s: float = 343.0
+
+    def __post_init__(self) -> None:
+        if self.chunk & (self.chunk - 1) or self.chunk < 4:
+            raise ValueError("chunk must be a power of two >= 4")
+        if self.n_chunks < 2 or self.n_speakers < 1 or self.n_taps < 1:
+            raise ValueError("degenerate configuration")
+        if not 0.0 <= self.moving_fraction <= 1.0:
+            raise ValueError("moving_fraction must be within [0, 1]")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def frames(self) -> int:
+        """Total input/output frames."""
+        return self.chunk * self.n_chunks
+
+    @property
+    def log2_chunk(self) -> int:
+        return self.chunk.bit_length() - 1
+
+    @property
+    def delay_line_len(self) -> int:
+        """Ring-buffer length (power of two, ≥ 4 chunks)."""
+        return 4 * self.chunk
+
+    @property
+    def max_delay(self) -> int:
+        """Largest representable delay in samples."""
+        return self.delay_line_len - self.chunk - 1
+
+    @property
+    def n_positions(self) -> int:
+        """Number of distinct primary-source positions."""
+        moving_chunks = int(self.n_chunks * self.moving_fraction)
+        return max(1, moving_chunks // self.gain_update_every)
+
+    @property
+    def input_wav_name(self) -> str:
+        return "input.wav"
+
+    @property
+    def output_wav_name(self) -> str:
+        return "wfs_out.wav"
+
+    @property
+    def config_file_name(self) -> str:
+        return "wfs.cfg"
+
+    def scaled(self, **changes) -> "WfsConfig":
+        return replace(self, **changes)
+
+
+#: Presets.  ``tiny`` is the test workload, ``small`` drives the benchmark
+#: harness, ``demo`` is for interactive exploration, and ``paper`` documents
+#: (but is not meant to be executed on the Python VM) the published scale.
+TINY = WfsConfig(name="tiny", chunk=16, n_chunks=8, n_speakers=4, n_taps=2)
+SMALL = WfsConfig(name="small")
+DEMO = WfsConfig(name="demo", chunk=64, n_chunks=96, n_speakers=16,
+                 n_taps=6)
+PAPER = WfsConfig(name="paper", chunk=2048, n_chunks=492, n_speakers=32,
+                  n_taps=32)
+
+PRESETS: dict[str, WfsConfig] = {c.name: c for c in (TINY, SMALL, DEMO,
+                                                     PAPER)}

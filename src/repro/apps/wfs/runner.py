@@ -1,0 +1,44 @@
+"""One-call execution of the WFS app, uninstrumented or under a profiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...vm import GuestFS, Machine
+from ...vm.program import Program
+from .config import WfsConfig
+from .source import build_wfs_program, make_workspace
+
+#: Safety budget: generous multiple of the largest expected run.
+DEFAULT_BUDGET = 500_000_000
+
+
+@dataclass
+class WfsRun:
+    """Result of an uninstrumented WFS execution."""
+
+    cfg: WfsConfig
+    machine: Machine
+    program: Program
+    exit_code: int
+
+    @property
+    def instructions(self) -> int:
+        return self.machine.icount
+
+    @property
+    def output_wav(self) -> bytes:
+        return self.machine.fs.get(self.cfg.output_wav_name)
+
+
+def run_wfs(cfg: WfsConfig, *, program: Program | None = None,
+            fs: GuestFS | None = None,
+            max_instructions: int = DEFAULT_BUDGET) -> WfsRun:
+    """Compile (or reuse) the WFS program and run it to completion."""
+    if program is None:
+        program = build_wfs_program(cfg)
+    if fs is None:
+        fs = make_workspace(cfg)
+    machine = Machine(program, fs=fs)
+    code = machine.run(max_instructions=max_instructions)
+    return WfsRun(cfg=cfg, machine=machine, program=program, exit_code=code)

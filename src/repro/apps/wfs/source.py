@@ -1,0 +1,584 @@
+"""The hArtes-wfs application, reconstructed in MiniC.
+
+A self-contained Wave Field Synthesis system in the structure the paper
+describes (§V): a primary source signal is loaded from a WAV file, pre-
+filtered, FFT-filtered per chunk, distributed over an array of secondary
+sources (speakers) through per-speaker delay lines and gains, interleaved
+into a multi-channel output buffer, and finally stored as a WAV file in a
+single, long-running ``wav_store`` call.
+
+Kernel names, call multiplicities and buffer placement (stack vs global)
+follow Table I/II of the paper:
+
+========================  =====================================  ============
+kernel                    role                                   calls
+========================  =====================================  ============
+ldint                     read integer config                    1
+wav_load                  WAV → float samples                    1
+ffw                       windowed-sinc filter design            2
+fft1d                     radix-2 in-place Danielson-Lanczos     2/chunk + 2
+perm / bitrev             bit-reversal permutation               1 per fft / N per perm
+cadd / cmult              complex helpers (spectral MAC)         N per chunk
+zeroRealVec               clear speaker chunk buffer             NSPK per chunk
+zeroCplxVec               clear FFT work buffer                  1 per chunk + init
+r2c / c2r                 real ⇄ complex conversion              1 per chunk
+Filter_process_pre_       time-domain FIR pre-filter             1 per chunk
+Filter_process            FFT-domain main filter                 1 per chunk
+PrimarySource_deriveTP    source trajectory point                1 per position
+calculateGainPQ           per-speaker gain/delay                 NSPK per position
+vsmult2d                  scale gain/aux pairs                   NSPK per position
+DelayLine_processChunk    per-speaker delay + mix                1 per chunk
+AudioIo_getFrames         fetch input chunk                      1 per chunk
+AudioIo_setFrames         interleave into output (distinct       1 per chunk
+                          addresses every call — the paper's
+                          bottleneck observation)
+wav_store                 normalise + quantise + write WAV       1 (second half
+                                                                 of the run)
+========================  =====================================  ============
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...minic import build_program
+from ...vm import GuestFS
+from ...vm.program import Program
+from ...wavio import sine_sweep, write_wav
+from .config import WfsConfig
+
+_TEMPLATE = r"""
+// ------------------------------------------------------------------ globals
+float input[@FRAMES@];
+float out_f[@OUTLEN@];
+
+float X[@N2@];
+float H[@N2@];
+float REG[@N2@];
+float h_main[@N@];
+float h_reg[@N@];
+
+float chunk_in[@N@];
+float chunk_pre[@N@];
+float chunk_flt[@N@];
+float spk[@SPKLEN@];
+float dl[@DLLEN@];
+
+float pre_coeff[@NTAPS@];
+float pre_state[@NTAPS@];
+
+float gq[@GQLEN@];           // per speaker: [gain, aux]
+int   delays[@NSPK@];
+float src_x;
+float src_y;
+
+int cfg_rate;
+int cfg_nsrc;
+int cfg_nspk;
+int cfg_flags;
+
+char in_name[12]  = "input.wav";
+char out_name[12] = "wfs_out.wav";
+char cfg_name[8]  = "wfs.cfg";
+
+// -------------------------------------------------------------- small utils
+float clampf(float v, float lo, float hi) {
+    if (v < lo) { return lo; }
+    if (v > hi) { return hi; }
+    return v;
+}
+
+float hamming(int i, int n) {
+    if (n < 2) { return 1.0; }
+    return 0.54 - 0.46 * __cos(6.283185307179586 * (float)i / (float)(n - 1));
+}
+
+int read_i64(int fd) {
+    // read a little-endian 64-bit integer from a file
+    char b[8];
+    int k;
+    int v = 0;
+    read(fd, b, 8);
+    for (k = 7; k >= 0; k = k - 1) {
+        v = (v << 8) | (int)b[k];
+    }
+    return v;
+}
+
+void put_u32(char* p, int v) {
+    p[0] = (char)(v & 255);
+    p[1] = (char)((v >> 8) & 255);
+    p[2] = (char)((v >> 16) & 255);
+    p[3] = (char)((v >> 24) & 255);
+}
+
+void put_u16(char* p, int v) {
+    p[0] = (char)(v & 255);
+    p[1] = (char)((v >> 8) & 255);
+}
+
+int get_u32(char* p) {
+    return (int)p[0] | ((int)p[1] << 8) | ((int)p[2] << 16)
+         | ((int)p[3] << 24);
+}
+
+// ------------------------------------------------------------ configuration
+int ldint(char* path) {
+    int fd = open(path, 0);
+    if (fd < 0) { return -1; }
+    cfg_rate  = read_i64(fd);
+    cfg_nsrc  = read_i64(fd);
+    cfg_nspk  = read_i64(fd);
+    cfg_flags = read_i64(fd);
+    close(fd);
+    return 4;
+}
+
+// ------------------------------------------------------------- filter design
+void ffw(float* c, int n, float fc) {
+    // windowed-sinc low-pass prototype
+    int i;
+    float mid = (float)(n - 1) / 2.0;
+    for (i = 0; i < n; i = i + 1) {
+        float x = (float)i - mid;
+        float v;
+        if (__fabs(x) < 0.000000001) {
+            v = 2.0 * fc;
+        } else {
+            v = __sin(6.283185307179586 * fc * x)
+                / (3.141592653589793 * x);
+        }
+        c[i] = v * hamming(i, n);
+    }
+}
+
+// --------------------------------------------------------------- FFT kernels
+int bitrev(int i, int bits) {
+    int r = 0;
+    int b;
+    for (b = 0; b < bits; b = b + 1) {
+        r = (r << 1) | (i & 1);
+        i = i >> 1;
+    }
+    return r;
+}
+
+void perm(float* data, int n) {
+    int bits = 0;
+    int i;
+    while ((1 << bits) < n) { bits = bits + 1; }
+    for (i = 0; i < n; i = i + 1) {
+        int j = bitrev(i, bits);
+        if (j > i) {
+            float tr = data[2 * i];
+            float ti = data[2 * i + 1];
+            data[2 * i] = data[2 * j];
+            data[2 * i + 1] = data[2 * j + 1];
+            data[2 * j] = tr;
+            data[2 * j + 1] = ti;
+        }
+    }
+}
+
+void fft1d(float* data, int n, int isign) {
+    // in-place radix-2 Danielson-Lanczos on interleaved complex data
+    int len;
+    perm(data, n);
+    for (len = 2; len <= n; len = len * 2) {
+        float ang = 6.283185307179586 / (float)len;
+        if (isign < 0) { ang = 0.0 - ang; }
+        float wre = __cos(ang);
+        float wim = __sin(ang);
+        int i;
+        for (i = 0; i < n; i = i + len) {
+            float cre = 1.0;
+            float cim = 0.0;
+            int j;
+            int half = len / 2;
+            for (j = 0; j < half; j = j + 1) {
+                int a = 2 * (i + j);
+                int b = 2 * (i + j + half);
+                float ure = data[a];
+                float uim = data[a + 1];
+                float vre = data[b] * cre - data[b + 1] * cim;
+                float vim = data[b] * cim + data[b + 1] * cre;
+                data[a] = ure + vre;
+                data[a + 1] = uim + vim;
+                data[b] = ure - vre;
+                data[b + 1] = uim - vim;
+                float ncre = cre * wre - cim * wim;
+                cim = cre * wim + cim * wre;
+                cre = ncre;
+            }
+        }
+    }
+    if (isign < 0) {
+        float inv = 1.0 / (float)n;
+        int k;
+        for (k = 0; k < 2 * n; k = k + 1) {
+            data[k] = data[k] * inv;
+        }
+    }
+}
+
+void cadd(float* a, float* b, float* r) {
+    float re = a[0] + b[0];
+    float im = a[1] + b[1];
+    r[0] = re;
+    r[1] = im;
+}
+
+void cmult(float* a, float* b, float* r) {
+    float re = a[0] * b[0] - a[1] * b[1];
+    float im = a[0] * b[1] + a[1] * b[0];
+    r[0] = re;
+    r[1] = im;
+}
+
+// ------------------------------------------------------------ vector helpers
+void zeroRealVec(float* v, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { v[i] = 0.0; }
+}
+
+void zeroCplxVec(float* v, int n) {
+    int i;
+    for (i = 0; i < 2 * n; i = i + 1) { v[i] = 0.0; }
+}
+
+void r2c(float* re, float* cx, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        cx[2 * i] = re[i];
+    }
+}
+
+void c2r(float* cx, float* re, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        re[i] = cx[2 * i];
+    }
+}
+
+void vsmult2d(float* m, int rows, int cols, float s) {
+    int i;
+    int total = rows * cols;
+    for (i = 0; i < total; i = i + 1) {
+        m[i] = m[i] * s;
+    }
+}
+
+// ----------------------------------------------------------------- filtering
+void Filter_process_pre_(float* src, float* dst, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        int t;
+        for (t = @NTAPS@ - 1; t > 0; t = t - 1) {
+            pre_state[t] = pre_state[t - 1];
+        }
+        pre_state[0] = src[i];
+        float acc = 0.0;
+        for (t = 0; t < @NTAPS@; t = t + 1) {
+            acc = acc + pre_coeff[t] * pre_state[t];
+        }
+        dst[i] = acc;
+    }
+}
+
+void Filter_process(float* src, float* dst, int n) {
+    int k;
+    zeroCplxVec(X, n);
+    r2c(src, X, n);
+    fft1d(X, n, 1);
+    for (k = 0; k < n; k = k + 1) {
+        cmult(X + 2 * k, H + 2 * k, X + 2 * k);
+        cadd(X + 2 * k, REG + 2 * k, X + 2 * k);
+    }
+    fft1d(X, n, -1);
+    c2r(X, dst, n);
+}
+
+// ------------------------------------------------------------ wave propagation
+void PrimarySource_deriveTP(int p) {
+    float t = (float)p / (float)@NPOS@;
+    src_x = @SPKW@ * (t - 0.5);
+    src_y = @DEPTH@ * (1.0 + 0.2 * __sin(6.283185307179586 * t));
+}
+
+float calculateGainPQ(int s) {
+    float spx = ((float)s / (float)@NSPKM1@) * @SPKW@ - @SPKWHALF@;
+    float dx = spx - src_x;
+    float dy = 0.0 - src_y;
+    float dist = __sqrt(dx * dx + dy * dy) + 0.1;
+    delays[s] = ((int)(dist * @DELAYSCALE@)) % @MAXDELAY@;
+    return 1.0 / __sqrt(dist);
+}
+
+// --------------------------------------------------------------- delay lines
+void DelayLine_processChunk(float* src, int wpos) {
+    int i;
+    int s;
+    for (i = 0; i < @N@; i = i + 1) {
+        dl[(wpos + i) & @DLMASK@] = src[i];
+    }
+    for (s = 0; s < @NSPK@; s = s + 1) {
+        float g = gq[2 * s];
+        int d = delays[s];
+        float* row = spk + s * @N@;
+        for (i = 0; i < @N@; i = i + 1) {
+            // two-tap fractional-delay interpolation
+            int p = wpos + i - d;
+            row[i] = row[i] + g * 0.5 * (dl[p & @DLMASK@]
+                                         + dl[(p - 1) & @DLMASK@]);
+        }
+    }
+}
+
+// ------------------------------------------------------------------ audio I/O
+void AudioIo_getFrames(float* dst, int pos, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        dst[i] = input[pos + i];
+    }
+}
+
+void AudioIo_setFrames(int pos, int n) {
+    // interleave speaker chunks into the global output: every call writes
+    // to fresh, distinct addresses (the paper's AudioIo_setFrames pattern)
+    int i;
+    int s;
+    for (s = 0; s < @NSPK@; s = s + 1) {
+        float* dst = out_f + pos * @NSPK@ + s;
+        float* src = spk + s * @N@;
+        for (i = 0; i < n; i = i + 1) {
+            *dst = src[i];
+            dst = dst + @NSPK@;
+        }
+    }
+}
+
+// -------------------------------------------------------------------- wav I/O
+int wav_read_header(int fd) {
+    char hdr[44];
+    if (read(fd, hdr, 44) != 44) { return -1; }
+    if (hdr[0] != 'R') { return -1; }
+    if (hdr[1] != 'I') { return -1; }
+    if (hdr[8] != 'W') { return -1; }
+    return get_u32(hdr + 40);       // data chunk size in bytes
+}
+
+void wav_write_header(int fd, int nch, int rate, int nbytes) {
+    char h[44];
+    h[0] = 'R'; h[1] = 'I'; h[2] = 'F'; h[3] = 'F';
+    put_u32(h + 4, 36 + nbytes);
+    h[8] = 'W'; h[9] = 'A'; h[10] = 'V'; h[11] = 'E';
+    h[12] = 'f'; h[13] = 'm'; h[14] = 't'; h[15] = ' ';
+    put_u32(h + 16, 16);
+    put_u16(h + 20, 1);
+    put_u16(h + 22, nch);
+    put_u32(h + 24, rate);
+    put_u32(h + 28, rate * nch * 2);
+    put_u16(h + 32, nch * 2);
+    put_u16(h + 34, 16);
+    h[36] = 'd'; h[37] = 'a'; h[38] = 't'; h[39] = 'a';
+    put_u32(h + 40, nbytes);
+    write(fd, h, 44);
+}
+
+int wav_load(char* path, float* dst, int maxn) {
+    char rbuf[@RBUF@];
+    int fd = open(path, 0);
+    if (fd < 0) { return -1; }
+    int nbytes = wav_read_header(fd);
+    if (nbytes < 0) { close(fd); return -1; }
+    int total = nbytes / 2;
+    if (total > maxn) { total = maxn; }
+    int done = 0;
+    while (done < total) {
+        int want = (total - done) * 2;
+        if (want > @RBUF@) { want = @RBUF@; }
+        int got = read(fd, rbuf, want);
+        if (got < 2) { break; }
+        int k;
+        for (k = 0; k + 1 < got; k = k + 2) {
+            int v = (int)rbuf[k] | ((int)rbuf[k + 1] << 8);
+            if (v > 32767) { v = v - 65536; }
+            dst[done] = (float)v / 32768.0;
+            done = done + 1;
+        }
+    }
+    close(fd);
+    return done;
+}
+
+int wav_store(char* path) {
+    char stage[@STAGE@];
+    int fd = open(path, 1);
+    if (fd < 0) { return -1; }
+    // pass 1: normalisation scan over every produced sample
+    float peak = 0.0;
+    int k;
+    for (k = 0; k < @OUTLEN@; k = k + 1) {
+        float v = __fabs(out_f[k]);
+        if (v > peak) { peak = v; }
+    }
+    float scale = 1.0;
+    if (peak > 1.0) { scale = 1.0 / peak; }
+    // pass 2: quantise into a local staging buffer, flush by syscall
+    wav_write_header(fd, @NSPK@, @SR@, @OUTLEN@ * 2);
+    int fill = 0;
+    for (k = 0; k < @OUTLEN@; k = k + 1) {
+        float v = out_f[k] * scale;
+        if (v < -1.0) { v = -1.0; }
+        if (v > 1.0) { v = 1.0; }
+        int iv = (int)(v * 32767.0);
+        stage[fill] = (char)(iv & 255);
+        stage[fill + 1] = (char)((iv >> 8) & 255);
+        fill = fill + 2;
+        if (fill >= @STAGE@) {
+            write(fd, stage, fill);
+            fill = 0;
+        }
+    }
+    if (fill > 0) { write(fd, stage, fill); }
+    close(fd);
+    return @OUTLEN@;
+}
+
+// ----------------------------------------------------------------------- main
+int main() {
+    int c;
+    int posidx = 0;
+    int s;
+
+    // ---- initialisation phase
+    ldint(cfg_name);
+    ffw(h_main, @N@, @FC@);
+    ffw(h_reg, @N@, @FC2@);
+    zeroCplxVec(H, @N@);
+    r2c(h_main, H, @N@);
+    fft1d(H, @N@, 1);
+    zeroCplxVec(REG, @N@);
+    r2c(h_reg, REG, @N@);
+    fft1d(REG, @N@, 1);
+    vsmult2d(REG, 1, @N2@, 0.001);
+    for (s = 0; s < @NTAPS@; s = s + 1) {
+        pre_coeff[s] = 1.0 / (float)(@NTAPS@ + s);
+        pre_state[s] = 0.0;
+    }
+
+    // ---- wave load phase
+    wav_load(in_name, input, @FRAMES@);
+
+    // initial source position and gains
+    PrimarySource_deriveTP(0);
+    for (s = 0; s < @NSPK@; s = s + 1) {
+        gq[2 * s] = calculateGainPQ(s);
+        gq[2 * s + 1] = 1.0;
+        vsmult2d(gq + 2 * s, 1, 2, 0.7071);
+    }
+
+    // ---- WFS main processing (with interleaved wave propagation updates)
+    for (c = 0; c < @NCHUNKS@; c = c + 1) {
+        int pos = c * @N@;
+        if ((c % @GUPDATE@ == 0) && (c < @MOVCHUNKS@) && (c > 0)) {
+            PrimarySource_deriveTP(posidx);
+            for (s = 0; s < @NSPK@; s = s + 1) {
+                gq[2 * s] = calculateGainPQ(s);
+                vsmult2d(gq + 2 * s, 1, 2, 0.7071);
+            }
+            posidx = posidx + 1;
+        }
+        AudioIo_getFrames(chunk_in, pos, @N@);
+        Filter_process_pre_(chunk_in, chunk_pre, @N@);
+        Filter_process(chunk_pre, chunk_flt, @N@);
+        for (s = 0; s < @NSPK@; s = s + 1) {
+            zeroRealVec(spk + s * @N@, @N@);
+        }
+        DelayLine_processChunk(chunk_flt, pos & @DLMASK@);
+        AudioIo_setFrames(pos, @N@);
+    }
+
+    // ---- wave save phase
+    wav_store(out_name);
+    return 0;
+}
+"""
+
+
+def wfs_source(cfg: WfsConfig) -> str:
+    """Instantiate the MiniC source for a configuration."""
+    n = cfg.chunk
+    nspk = cfg.n_speakers
+    subs = {
+        "@N2@": str(2 * n),
+        "@N@": str(n),
+        "@NSPKM1@": str(max(nspk - 1, 1)),
+        "@NSPK@": str(nspk),
+        "@NCHUNKS@": str(cfg.n_chunks),
+        "@FRAMES@": str(cfg.frames),
+        "@OUTLEN@": str(cfg.frames * nspk),
+        "@SPKLEN@": str(nspk * n),
+        "@GQLEN@": str(2 * nspk),
+        "@DLLEN@": str(cfg.delay_line_len),
+        "@DLMASK@": str(cfg.delay_line_len - 1),
+        "@MAXDELAY@": str(cfg.max_delay),
+        "@NTAPS@": str(cfg.n_taps),
+        "@NPOS@": str(cfg.n_positions),
+        "@GUPDATE@": str(cfg.gain_update_every),
+        "@MOVCHUNKS@": str(int(cfg.n_chunks * cfg.moving_fraction)),
+        "@FC@": repr(cfg.filter_cutoff),
+        "@FC2@": repr(cfg.filter_cutoff * 0.5),
+        "@SR@": str(cfg.sample_rate),
+        "@SPKWHALF@": repr(cfg.array_width_m / 2.0),
+        "@SPKW@": repr(cfg.array_width_m),
+        "@DEPTH@": repr(cfg.source_depth_m),
+        "@DELAYSCALE@": repr(_delay_scale(cfg)),
+        "@STAGE@": "256",
+        "@RBUF@": "512",
+    }
+    text = _TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        at = text.index("@")
+        raise ValueError(f"unsubstituted template token near: "
+                         f"{text[at:at + 30]!r}")
+    return text
+
+
+def _delay_scale(cfg: WfsConfig) -> float:
+    """Samples of delay per metre, scaled so the farthest speaker still fits
+    in the delay line."""
+    import math
+
+    max_dist = math.hypot(cfg.array_width_m, cfg.source_depth_m * 1.2) + 0.1
+    return (cfg.max_delay - 1) / max_dist
+
+
+def build_wfs_program(cfg: WfsConfig) -> Program:
+    """Compile the WFS app (plus runtime) for a configuration."""
+    return build_program(wfs_source(cfg))
+
+
+def input_signal(cfg: WfsConfig) -> np.ndarray:
+    """The deterministic input stimulus (float64 in [-1, 1])."""
+    return sine_sweep(cfg.frames, f0=100.0, f1=cfg.sample_rate * 0.35,
+                      sample_rate=cfg.sample_rate, amplitude=0.5)
+
+
+def config_file_bytes(cfg: WfsConfig) -> bytes:
+    """The binary config file ``ldint`` reads (four little-endian i64s)."""
+    return struct.pack("<4q", cfg.sample_rate, 1, cfg.n_speakers, 0)
+
+
+def make_workspace(cfg: WfsConfig) -> GuestFS:
+    """A guest filesystem seeded with the input WAV and the config file."""
+    fs = GuestFS()
+    samples = np.clip(np.rint(input_signal(cfg) * 32768.0), -32768,
+                      32767).astype(np.int16)
+    fs.put(cfg.input_wav_name, write_wav(cfg.sample_rate, samples))
+    fs.put(cfg.config_file_name, config_file_bytes(cfg))
+    return fs

@@ -1,0 +1,7 @@
+"""Two-pass assembler for the repro ISA."""
+
+from .assembler import Assembler, assemble
+from .errors import AsmError
+from .lexer import Line, tokenize
+
+__all__ = ["assemble", "Assembler", "AsmError", "tokenize", "Line"]

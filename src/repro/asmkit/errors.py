@@ -1,0 +1,15 @@
+"""Assembler diagnostics."""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """A source-level assembly error with file/line context."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 text: str | None = None):
+        self.line = line
+        self.text = text
+        loc = f"line {line}: " if line is not None else ""
+        suffix = f"\n    {text.strip()}" if text else ""
+        super().__init__(f"{loc}{message}{suffix}")

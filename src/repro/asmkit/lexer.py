@@ -1,0 +1,127 @@
+"""Line-oriented lexer for the assembly language.
+
+The surface syntax is classic Unix assembler::
+
+    # comment
+    .data
+    buf:    .space 64
+    msg:    .asciz "hello"
+        .text
+        .func main
+    main:
+        addi sp, sp, -16
+        sd   ra, 0(sp)
+        li   a0, 42
+        ld   t0, 8(sp) ?t1       # predicated on t1 != 0
+        ret
+        .endfunc
+
+Each non-empty line yields a :class:`Line` with optional label, optional
+mnemonic/directive and raw operand strings (split on top-level commas, with
+quoted strings kept intact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import AsmError
+
+
+@dataclass
+class Line:
+    number: int
+    label: str | None = None
+    op: str | None = None          #: mnemonic or directive (with leading '.')
+    operands: list[str] = field(default_factory=list)
+    text: str = ""
+
+
+def _strip_comment(text: str) -> str:
+    """Remove ``#`` / ``;`` comments, respecting double-quoted strings."""
+    out = []
+    in_str = False
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if in_str:
+            out.append(c)
+            if c == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 1
+            elif c == '"':
+                in_str = False
+        else:
+            if c in "#;":
+                break
+            out.append(c)
+            if c == '"':
+                in_str = True
+        i += 1
+    return "".join(out)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand list on commas outside quotes and parentheses."""
+    parts: list[str] = []
+    cur: list[str] = []
+    depth = 0
+    in_str = False
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if in_str:
+            cur.append(c)
+            if c == "\\" and i + 1 < len(text):
+                cur.append(text[i + 1])
+                i += 1
+            elif c == '"':
+                in_str = False
+        elif c == '"':
+            in_str = True
+            cur.append(c)
+        elif c == "(":
+            depth += 1
+            cur.append(c)
+        elif c == ")":
+            depth -= 1
+            cur.append(c)
+        elif c == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+        i += 1
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+_LABEL_OK = set("abcdefghijklmnopqrstuvwxyz"
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.$")
+
+
+def tokenize(source: str) -> list[Line]:
+    """Tokenize assembly source into :class:`Line` records."""
+    lines: list[Line] = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw).strip()
+        if not text:
+            continue
+        line = Line(number=number, text=raw)
+        # Leading label(s): "name:" — allow at most one per line.
+        if ":" in text:
+            head, _, rest = text.partition(":")
+            head = head.strip()
+            if head and all(ch in _LABEL_OK for ch in head) and not head[0].isdigit():
+                line.label = head
+                text = rest.strip()
+        if text:
+            parts = text.split(None, 1)
+            line.op = parts[0].lower()
+            line.operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        if line.label is None and line.op is None:
+            raise AsmError("unparsable line", line=number, text=raw)
+        lines.append(line)
+    return lines

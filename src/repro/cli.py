@@ -1,0 +1,286 @@
+"""Command-line interface.
+
+Mirrors how the paper's tool is driven: a binary (here: a MiniC program or
+the built-in WFS case study) plus the three tQUAD options — time slice
+interval, stack-area inclusion, and library exclusion.
+
+Examples::
+
+    tquad profile app.mc --tool tquad --interval 5000
+    tquad profile app.mc --tool gprof
+    tquad wfs --preset tiny --phases
+    tquad disasm app.mc
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import bandwidth_strips, cluster_kernels
+from .apps.wfs import PRESETS, build_wfs_program, make_workspace
+from .core import (TQuadOptions, cluster_kernel_phases, detect_phases,
+                   run_tquad)
+from .gprofsim import run_gprof
+from .isa import disassemble
+from .minic import build_program
+from .pin import PinEngine
+from .quad import QuadTool, run_quad
+from .vm import run_program
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    if path.endswith(".s"):
+        from .asmkit import assemble
+
+        return assemble(source)
+    return build_program(source)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    options = TQuadOptions(slice_interval=args.interval,
+                           exclude_libraries=args.exclude_libs)
+    if args.tool == "tquad":
+        report = run_tquad(program, options=options,
+                           max_instructions=args.budget)
+        if args.json:
+            from .serialize import tquad_to_json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(tquad_to_json(report))
+            print(f"wrote {args.json}", file=sys.stderr)
+        print(report.format_table(top=args.top))
+        if args.figure:
+            kernels = report.top_kernels(args.top or 10)
+            names, mat = report.bandwidth_matrix(
+                kernels, write=args.writes,
+                include_stack=not args.exclude_stack)
+            print()
+            print(bandwidth_strips(names, mat, interval=report.interval))
+        if args.phases:
+            print()
+            print(cluster_kernel_phases(report).format_table())
+        if args.cache:
+            from .tools import run_dcache
+
+            tool = run_dcache(_load_program(args.file),
+                              max_instructions=args.budget)
+            print()
+            print(tool.format_table(top=args.top))
+        if args.imix:
+            from .tools import run_imix
+
+            tool = run_imix(_load_program(args.file),
+                            max_instructions=args.budget)
+            print()
+            print(tool.format_table(top=args.top))
+    elif args.tool == "quad":
+        report = run_quad(program, max_instructions=args.budget)
+        if args.json:
+            from .serialize import quad_to_json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(quad_to_json(report))
+            print(f"wrote {args.json}", file=sys.stderr)
+        print(report.format_table())
+    elif args.tool == "gprof":
+        flat = run_gprof(program, max_instructions=args.budget)
+        if args.json:
+            from .serialize import flat_to_json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(flat_to_json(flat))
+            print(f"wrote {args.json}", file=sys.stderr)
+        print(flat.format_table(top=args.top))
+        if args.callgraph:
+            print()
+            print(flat.format_call_graph(top=args.top))
+    else:  # pragma: no cover
+        raise AssertionError(args.tool)
+    return 0
+
+
+def _cmd_wfs(args: argparse.Namespace) -> int:
+    cfg = PRESETS[args.preset]
+    if cfg.name == "paper":
+        print("the 'paper' preset documents the published scale and is not "
+              "runnable on the Python VM; use tiny/small/demo",
+              file=sys.stderr)
+        return 2
+    program = build_wfs_program(cfg)
+    if args.report:
+        from .analysis import case_study_report
+
+        result = case_study_report(
+            program, fs_factory=lambda: make_workspace(cfg),
+            title=f"hArtes-wfs case study ({cfg.name} preset)",
+            slice_interval=args.interval)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(result.markdown)
+        print(f"wrote {args.report}")
+        return 0
+    fs = make_workspace(cfg)
+    options = TQuadOptions(slice_interval=args.interval)
+    report = run_tquad(program, fs=fs, options=options)
+    print(f"# WFS case study, preset {cfg.name!r}: "
+          f"{report.total_instructions} instructions, "
+          f"{report.n_slices} slices of {report.interval}")
+    print(report.format_table(top=args.top))
+    if args.figure:
+        kernels = report.top_kernels(args.top or 10)
+        names, mat = report.bandwidth_matrix(kernels, write=args.writes,
+                                             include_stack=not
+                                             args.exclude_stack)
+        print()
+        print(bandwidth_strips(names, mat, interval=report.interval))
+    if args.phases:
+        print()
+        print(cluster_kernel_phases(report, max_phases=5).format_table())
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    print(disassemble(program.instrs, pc_base=0x1000))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    machine = run_program(program, max_instructions=args.budget)
+    sys.stdout.write(machine.stdout_text())
+    print(f"[exit {machine.exit_code}, {machine.icount} instructions]",
+          file=sys.stderr)
+    return machine.exit_code or 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    quad = run_quad(program, max_instructions=args.budget)
+    result = cluster_kernels(quad, n_clusters=args.clusters)
+    print(f"intra-cluster communication: {100 * result.intra_fraction:.1f}% "
+          f"({result.total_bytes - result.cut_bytes}/{result.total_bytes} "
+          f"bytes)")
+    for i, c in enumerate(result.clusters):
+        members = ", ".join(sorted(c.members))
+        print(f"  cluster {i}: [{members}] internal={c.internal_bytes}B")
+    return 0
+
+
+def _cmd_wcet(args: argparse.Namespace) -> int:
+    from .static import WCETAnalyzer, WCETError
+
+    program = _load_program(args.file)
+    bounds: dict[str, list[int]] = {}
+    for spec in args.bounds:
+        routine, _, values = spec.partition(":")
+        bounds[routine] = [int(v) for v in values.split(",") if v]
+    analyzer = WCETAnalyzer(program, loop_bounds=bounds)
+    try:
+        result = analyzer.analyze(args.routine)
+    except WCETError as err:
+        headers = []
+        try:
+            headers = analyzer.loops_of(args.routine)
+        except Exception:
+            pass
+        print(f"error: {err}", file=sys.stderr)
+        if headers:
+            print(f"loops of {args.routine} (source order, header "
+                  f"instruction indices): {headers}", file=sys.stderr)
+        return 1
+    print(f"WCET({args.routine}) = {result.bound:.0f} instructions")
+    for li in result.loops:
+        print(f"  loop #{li.ordinal} @ {li.header_index}: bound {li.bound}, "
+              f"body {li.body_cost:.0f} instructions/iter")
+    for callee, bound in sorted(result.callees.items()):
+        print(f"  callee {callee}: {bound:.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tquad",
+        description="tQUAD reproduction: temporal memory bandwidth analysis")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--budget", type=int, default=200_000_000,
+                       help="instruction budget (runaway guard)")
+
+    p = sub.add_parser("profile", help="profile a MiniC (.mc) or asm (.s) "
+                                       "program")
+    p.add_argument("file")
+    p.add_argument("--tool", choices=("tquad", "quad", "gprof"),
+                   default="tquad")
+    p.add_argument("--interval", type=int, default=5000,
+                   help="time slice interval in instructions")
+    p.add_argument("--top", type=int, default=None)
+    p.add_argument("--exclude-stack", action="store_true",
+                   help="show the stack-excluded view in figures")
+    p.add_argument("--exclude-libs", action="store_true",
+                   help="drop accesses made inside library routines")
+    p.add_argument("--writes", action="store_true",
+                   help="figures show writes instead of reads")
+    p.add_argument("--figure", action="store_true",
+                   help="render temporal bandwidth strips")
+    p.add_argument("--phases", action="store_true")
+    p.add_argument("--callgraph", action="store_true",
+                   help="with --tool gprof: print the call-graph section")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the report as JSON")
+    p.add_argument("--cache", action="store_true",
+                   help="with --tool tquad: also simulate the data cache")
+    p.add_argument("--imix", action="store_true",
+                   help="with --tool tquad: also print the instruction mix")
+    common(p)
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("wcet", help="static WCET bound of a routine")
+    p.add_argument("file")
+    p.add_argument("routine")
+    p.add_argument("--bounds", metavar="R:N,N,...", action="append",
+                   default=[],
+                   help="loop bounds per routine, source order "
+                        "(repeatable), e.g. --bounds main:10,20")
+    p.set_defaults(fn=_cmd_wcet)
+
+    p = sub.add_parser("wfs", help="run the hArtes-wfs case study")
+    p.add_argument("--preset", choices=sorted(PRESETS), default="tiny")
+    p.add_argument("--interval", type=int, default=5000)
+    p.add_argument("--top", type=int, default=12)
+    p.add_argument("--exclude-stack", action="store_true")
+    p.add_argument("--writes", action="store_true")
+    p.add_argument("--figure", action="store_true")
+    p.add_argument("--phases", action="store_true")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the full case-study report as markdown")
+    p.set_defaults(fn=_cmd_wfs)
+
+    p = sub.add_parser("disasm", help="disassemble a program")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_disasm)
+
+    p = sub.add_parser("run", help="run a program uninstrumented")
+    p.add_argument("file")
+    common(p)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("cluster", help="QDU-based task clustering")
+    p.add_argument("file")
+    p.add_argument("--clusters", type=int, default=4)
+    common(p)
+    p.set_defaults(fn=_cmd_cluster)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""tQUAD — the paper's primary contribution: a temporal memory-bandwidth
+profiler with phase identification, built on the Pin-workalike DBI layer."""
+
+from .callstack import CallStack
+from .ledger import BandwidthLedger, KernelSeries
+from .machine_model import MachineModel, PAPER_MACHINE
+from .multipass import (BandwidthEstimate, MultiPassResult, profile_passes)
+from .options import StackPolicy, TQuadOptions
+from .kernel_phases import (KernelPhase, KernelPhaseAnalysis,
+                            cluster_kernel_phases)
+from .phases import (Phase, PhaseAnalysis, PhaseKernelStats, detect_phases)
+from .profiler import TQuadTool, run_tquad
+from .report import KernelSummary, TQuadReport
+
+__all__ = [
+    "TQuadTool", "run_tquad", "TQuadOptions", "StackPolicy",
+    "TQuadReport", "KernelSummary", "KernelSeries", "BandwidthLedger",
+    "CallStack", "MachineModel", "PAPER_MACHINE",
+    "Phase", "PhaseAnalysis", "PhaseKernelStats", "detect_phases",
+    "KernelPhase", "KernelPhaseAnalysis", "cluster_kernel_phases",
+    "profile_passes", "MultiPassResult", "BandwidthEstimate",
+]

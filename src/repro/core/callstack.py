@@ -1,0 +1,75 @@
+"""Internal call stack, rebuilt dynamically during execution.
+
+Run-time instrumentation has no static call graph, so tQUAD maintains its own
+call stack (paper §IV-A: "an internal call stack data structure is dynamically
+created and maintained").  Frames are pushed by routine-entry analysis calls
+and popped when a ``ret`` instruction is observed.
+
+tQUAD "ignores the functions which are not in the main image file": a library
+frame does not become a kernel of its own — its memory accesses are
+attributed to the innermost main-image caller — but it still occupies a stack
+slot so that call/return pairing stays intact.  The *exclude libraries*
+option additionally drops accesses made while inside a library frame.
+"""
+
+from __future__ import annotations
+
+from ..vm.program import MAIN_IMAGE
+
+
+class CallStack:
+    """Attribution call stack.
+
+    Attributes kept O(1)-fresh for the per-access hot path:
+
+    * ``current_kernel`` — the main-image function accesses attribute to
+      (or the library routine's own name when nothing from the main image
+      is below it, e.g. ``_start``);
+    * ``in_library`` — whether the topmost frame is library code.
+    """
+
+    __slots__ = ("_frames", "current_kernel", "in_library",
+                 "max_depth", "underflows")
+
+    def __init__(self) -> None:
+        # each frame: (attributed kernel name, frame-is-library)
+        self._frames: list[tuple[str, bool]] = []
+        self.current_kernel: str | None = None
+        self.in_library = False
+        self.max_depth = 0
+        self.underflows = 0
+
+    def enter(self, name: str, image: str) -> None:
+        """Routine-entry event (the paper's ``EnterFC`` analysis routine)."""
+        is_lib = image != MAIN_IMAGE
+        if is_lib and self._frames:
+            kernel = self._frames[-1][0]
+        else:
+            kernel = name
+        self._frames.append((kernel, is_lib))
+        self.current_kernel = kernel
+        self.in_library = is_lib
+        depth = len(self._frames)
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def on_ret(self) -> None:
+        """Return-instruction event: pop the top frame."""
+        frames = self._frames
+        if not frames:
+            self.underflows += 1
+            return
+        frames.pop()
+        if frames:
+            self.current_kernel, self.in_library = frames[-1]
+        else:
+            self.current_kernel = None
+            self.in_library = False
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def frames(self) -> list[tuple[str, bool]]:
+        """Snapshot of (kernel, is_library) frames, bottom first."""
+        return list(self._frames)

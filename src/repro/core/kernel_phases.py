@@ -1,0 +1,203 @@
+"""Kernel-clustering phase identification — the Table IV view.
+
+The paper's five phases *overlap in time* (wave propagation spans slices
+540–274868 while WFS main processing starts at 14663): a phase is a group of
+kernels with similar activity profiles, and the phase span is the envelope of
+its kernels' spans ("the earliest starting point and the latest ending point
+in which a kernel in the phase is communicating with the memory").
+
+This module clusters kernels agglomeratively by the Jaccard similarity of
+their active-slice sets, then derives per-phase statistics exactly as
+Table IV reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .phases import PhaseKernelStats
+from .report import TQuadReport
+
+
+@dataclass
+class KernelPhase:
+    """One phase: a cluster of co-active kernels with an envelope span."""
+
+    index: int
+    start_slice: int
+    end_slice: int
+    kernels: list[PhaseKernelStats] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def span(self) -> int:
+        return self.end_slice - self.start_slice + 1
+
+    @property
+    def aggregate_mbw(self) -> float:
+        """Sum of kernel maximum bandwidths, stack included (Table IV's
+        "aggregate MBW")."""
+        return sum(k.max_bw_incl for k in self.kernels)
+
+    def kernel_names(self) -> list[str]:
+        return [k.name for k in self.kernels]
+
+
+def _jaccard_matrix(sets: list[frozenset]) -> np.ndarray:
+    n = len(sets)
+    sim = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i, n):
+            a, b = sets[i], sets[j]
+            union = len(a | b)
+            s = len(a & b) / union if union else 1.0
+            sim[i, j] = sim[j, i] = s
+    return sim
+
+
+def cluster_kernel_phases(report: TQuadReport,
+                          kernels: list[str] | None = None, *,
+                          similarity_threshold: float = 0.35,
+                          max_phases: int | None = None,
+                          coarsen_blocks: int = 128
+                          ) -> "KernelPhaseAnalysis":
+    """Group kernels into phases by activity-profile similarity.
+
+    Average-linkage agglomerative clustering on Jaccard similarity of the
+    kernels' active-slice sets; merging stops when the best pair's linkage
+    falls below ``similarity_threshold`` (or when ``max_phases`` is reached,
+    if given).
+
+    ``coarsen_blocks`` compares activity at a granularity of ~that many
+    blocks over the whole run, so kernels that alternate *within* one
+    processing iteration (FFT part vs delay part of a chunk) still cluster
+    together.  This mirrors the paper's practice of examining "different
+    graphs" at several slice intervals before fixing the phases.
+    """
+    if kernels is None:
+        kernels = report.kernels()
+    kernels = [k for k in kernels
+               if report.series(k).activity_span()[2] > 0]
+    if not kernels:
+        return KernelPhaseAnalysis(report=report, phases=[])
+    n = max(report.n_slices, 1)
+    blocks = min(max(coarsen_blocks, 1), n)
+    active_sets = []
+    for name in kernels:
+        s = report.series(name)
+        mask = s.active_mask(include_stack=True)
+        active_sets.append(frozenset(
+            int(v) * blocks // n for v in s.slices[mask]))
+    clusters: list[list[int]] = [[i] for i in range(len(kernels))]
+    sim = _jaccard_matrix(active_sets)
+
+    def linkage(a: list[int], b: list[int]) -> float:
+        return float(np.mean([sim[i, j] for i in a for j in b]))
+
+    while len(clusters) > 1:
+        best, bi, bj = -1.0, -1, -1
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                s_ij = linkage(clusters[i], clusters[j])
+                if s_ij > best:
+                    best, bi, bj = s_ij, i, j
+        stop_by_threshold = best < similarity_threshold
+        if max_phases is None:
+            if stop_by_threshold:
+                break
+        else:
+            if len(clusters) <= max_phases and stop_by_threshold:
+                break
+            if len(clusters) <= max_phases:
+                break
+        clusters[bi] = clusters[bi] + clusters[bj]
+        del clusters[bj]
+
+    phases = []
+    for members in clusters:
+        names = [kernels[i] for i in members]
+        phases.append(_build_kernel_phase(report, names))
+    phases.sort(key=lambda p: (p.start_slice, p.end_slice))
+    for i, p in enumerate(phases):
+        p.index = i
+        dominant = max(p.kernels, key=lambda k: k.activity_span)
+        p.label = f"phase-{i}:{dominant.name}"
+    return KernelPhaseAnalysis(report=report, phases=phases)
+
+
+def _build_kernel_phase(report: TQuadReport, names: list[str]) -> KernelPhase:
+    interval = report.interval
+    stats = []
+    start, end = None, None
+    for name in names:
+        s = report.series(name)
+        first, last, span = s.activity_span(include_stack=True)
+        if span == 0:
+            continue
+        start = first if start is None else min(start, first)
+        end = last if end is None else max(end, last)
+        stats.append(PhaseKernelStats(
+            name=name,
+            activity_span=span,
+            avg_read_incl=s.average_bandwidth(write=False,
+                                              include_stack=True),
+            avg_read_excl=s.average_bandwidth(write=False,
+                                              include_stack=False),
+            avg_write_incl=s.average_bandwidth(write=True,
+                                               include_stack=True),
+            avg_write_excl=s.average_bandwidth(write=True,
+                                               include_stack=False),
+            max_bw_incl=s.max_bandwidth(include_stack=True),
+            max_bw_excl=s.max_bandwidth(include_stack=False),
+        ))
+    stats.sort(key=lambda k: k.activity_span, reverse=True)
+    return KernelPhase(index=-1, start_slice=start or 0, end_slice=end or 0,
+                       kernels=stats)
+
+
+@dataclass
+class KernelPhaseAnalysis:
+    """The Table IV result: possibly-overlapping kernel phases."""
+
+    report: TQuadReport
+    phases: list[KernelPhase]
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def phase_of_kernel(self, name: str) -> KernelPhase | None:
+        for p in self.phases:
+            if name in p.kernel_names():
+                return p
+        return None
+
+    def format_table(self) -> str:
+        """Table-IV-style rendering (phase span, %span, per-kernel rows)."""
+        n = self.report.n_slices
+        head = (f"{'phase':<30}{'span':>15}{'%span':>9}  "
+                f"{'kernel':<26}{'act':>7}"
+                f"{'avgR(i)':>9}{'avgR(x)':>9}{'avgW(i)':>9}{'avgW(x)':>9}"
+                f"{'maxBW(i)':>10}{'maxBW(x)':>10}{'aggMBW':>9}")
+        lines = [head, "-" * len(head)]
+        for p in self.phases:
+            span = f"{p.start_slice}-{p.end_slice}"
+            pct = 100.0 * p.span / max(n, 1)
+            first = True
+            for k in p.kernels:
+                lead = (f"{p.label:<30}{span:>15}{pct:>9.4f}  " if first
+                        else " " * 56)
+                agg = f"{p.aggregate_mbw:>9.4f}" if first else " " * 9
+                lines.append(
+                    f"{lead}{k.name:<26}{k.activity_span:>7}"
+                    f"{k.avg_read_incl:>9.4f}{k.avg_read_excl:>9.4f}"
+                    f"{k.avg_write_incl:>9.4f}{k.avg_write_excl:>9.4f}"
+                    f"{k.max_bw_incl:>10.4f}{k.max_bw_excl:>10.4f}{agg}")
+                first = False
+        lines.append(f"{self.report.n_slices} time slices were measured "
+                     f"in total.")
+        return "\n".join(lines)

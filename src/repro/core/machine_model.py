@@ -1,0 +1,47 @@
+"""Nominal machine model: instructions → wall-clock conversions.
+
+tQUAD deliberately reports time in instructions, "a platform-independent
+implementation of the tool" (paper §II).  Converting to seconds or
+bytes/second needs exactly two target-architecture numbers: clock frequency
+and sustained IPC.  The default models the paper's testbed, an Intel Core 2
+Quad Q9550 at 2.83 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters for converting instruction counts to time."""
+
+    frequency_hz: float = 2.83e9
+    ipc: float = 1.0
+    name: str = "Intel Core 2 Quad Q9550 (nominal)"
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0 or self.ipc <= 0:
+            raise ValueError("frequency and IPC must be positive")
+
+    @property
+    def instructions_per_second(self) -> float:
+        return self.frequency_hz * self.ipc
+
+    def seconds(self, instructions: int | float) -> float:
+        """Wall-clock seconds for a given instruction count."""
+        return instructions / self.instructions_per_second
+
+    def milliseconds(self, instructions: int | float) -> float:
+        return 1e3 * self.seconds(instructions)
+
+    def cycles(self, instructions: int | float) -> float:
+        return instructions / self.ipc
+
+    def bytes_per_second(self, bytes_per_instruction: float) -> float:
+        """Convert the paper's bytes/instruction unit to bytes/second."""
+        return bytes_per_instruction * self.instructions_per_second
+
+
+#: The paper's experimental platform.
+PAPER_MACHINE = MachineModel()

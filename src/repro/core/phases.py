@@ -1,0 +1,266 @@
+"""Phase identification (paper §V-B, "Phase identification", Table IV).
+
+tQUAD "analyzes the data to identify the boundaries of potential phases":
+kernels that are active in the same time interval are likely related, and the
+execution span partitions into phases accordingly.  The algorithm here:
+
+1. build the boolean kernel×slice activity matrix;
+2. close small gaps (a kernel that pauses for a few slices is still "active");
+3. segment the timeline into maximal runs of identical active-kernel sets;
+4. agglomeratively merge adjacent segments whose kernel sets are similar
+   (Jaccard similarity above a threshold), preferring the most similar pair —
+   this absorbs jitter like the paper's "kernels activated in a short period
+   of time outside the identified span";
+5. merge segments shorter than a minimum length into their more similar
+   neighbour.
+
+The result is a :class:`PhaseAnalysis` that renders a Table-IV-style report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .report import TQuadReport
+
+
+@dataclass
+class PhaseKernelStats:
+    """Per-kernel numbers within one phase (a Table IV row)."""
+
+    name: str
+    activity_span: int             #: active slices inside the phase
+    avg_read_incl: float           #: bytes/instruction, stack included
+    avg_read_excl: float
+    avg_write_incl: float
+    avg_write_excl: float
+    max_bw_incl: float             #: peak R+W bytes/instruction
+    max_bw_excl: float
+
+
+@dataclass
+class Phase:
+    """One detected execution phase."""
+
+    index: int
+    start_slice: int               #: inclusive
+    end_slice: int                 #: inclusive
+    kernels: list[PhaseKernelStats] = field(default_factory=list)
+    label: str = ""
+
+    @property
+    def span(self) -> int:
+        return self.end_slice - self.start_slice + 1
+
+    @property
+    def aggregate_mbw(self) -> float:
+        """Sum of the kernels' maximum bandwidth usages, stack included
+        ("aggregate MBW" column of Table IV)."""
+        return sum(k.max_bw_incl for k in self.kernels)
+
+    def kernel_names(self) -> list[str]:
+        return [k.name for k in self.kernels]
+
+
+def _close_gaps(mat: np.ndarray, window: int) -> np.ndarray:
+    """Binary closing along time: bridge inactive gaps up to ``window``."""
+    if window <= 0 or mat.size == 0:
+        return mat
+    out = mat.copy()
+    k, n = mat.shape
+    for i in range(k):
+        row = mat[i]
+        active = np.flatnonzero(row)
+        if active.size < 2:
+            continue
+        gaps = np.diff(active)
+        for j in np.flatnonzero((gaps > 1) & (gaps <= window + 1)):
+            out[i, active[j]:active[j + 1] + 1] = True
+    return out
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class _Segment:
+    start: int
+    end: int
+    kernels: frozenset
+
+
+def _initial_segments(names: list[str], mat: np.ndarray) -> list[_Segment]:
+    segments: list[_Segment] = []
+    n = mat.shape[1]
+    prev: frozenset | None = None
+    for t in range(n):
+        cur = frozenset(names[i] for i in np.flatnonzero(mat[:, t]))
+        if prev is not None and cur == prev:
+            segments[-1].end = t
+        else:
+            segments.append(_Segment(t, t, cur))
+        prev = cur
+    return segments
+
+
+def _merge_pass(segments: list[_Segment], threshold: float) -> bool:
+    """Merge the most similar adjacent pair above the threshold."""
+    best = -1.0
+    best_i = -1
+    for i in range(len(segments) - 1):
+        sim = _jaccard(segments[i].kernels, segments[i + 1].kernels)
+        if sim > best:
+            best = sim
+            best_i = i
+    if best_i < 0 or best < threshold:
+        return False
+    a, b = segments[best_i], segments[best_i + 1]
+    segments[best_i] = _Segment(a.start, b.end, a.kernels | b.kernels)
+    del segments[best_i + 1]
+    return True
+
+
+def _absorb_short(segments: list[_Segment], min_len: int) -> list[_Segment]:
+    changed = True
+    while changed and len(segments) > 1:
+        changed = False
+        for i, seg in enumerate(segments):
+            if seg.end - seg.start + 1 >= min_len:
+                continue
+            left = segments[i - 1] if i > 0 else None
+            right = segments[i + 1] if i + 1 < len(segments) else None
+            sim_l = _jaccard(seg.kernels, left.kernels) if left else -1.0
+            sim_r = _jaccard(seg.kernels, right.kernels) if right else -1.0
+            if left is None and right is None:
+                break
+            if sim_l >= sim_r:
+                segments[i - 1] = _Segment(left.start, seg.end,
+                                           left.kernels | seg.kernels)
+            else:
+                segments[i + 1] = _Segment(seg.start, right.end,
+                                           right.kernels | seg.kernels)
+            del segments[i]
+            changed = True
+            break
+    return segments
+
+
+def detect_phases(report: TQuadReport, kernels: list[str] | None = None, *,
+                  gap_window: int = 2, similarity_threshold: float = 0.6,
+                  min_phase_slices: int = 2,
+                  max_phases: int | None = None) -> "PhaseAnalysis":
+    """Partition the execution span into phases of co-active kernels."""
+    if kernels is None:
+        kernels = report.kernels()
+    names, mat = report.activity_matrix(kernels)
+    mat = _close_gaps(mat, gap_window)
+    segments = _initial_segments(names, mat)
+    # Drop fully idle leading/trailing segments into their neighbours later;
+    # idle middle segments merge naturally (empty-set Jaccard with anything
+    # is 0, but the short-segment absorption handles them).
+    while _merge_pass(segments, similarity_threshold):
+        pass
+    segments = _absorb_short(segments, min_phase_slices)
+    if max_phases is not None:
+        while len(segments) > max_phases:
+            if not _merge_pass(segments, threshold=-1.0):
+                break
+    phases = [_build_phase(report, i, seg)
+              for i, seg in enumerate(segments) if seg.kernels]
+    for i, p in enumerate(phases):
+        p.index = i
+    return PhaseAnalysis(report=report, phases=phases)
+
+
+def _build_phase(report: TQuadReport, index: int, seg: _Segment) -> Phase:
+    phase = Phase(index=index, start_slice=seg.start, end_slice=seg.end)
+    interval = report.interval
+    for name in sorted(seg.kernels):
+        s = report.series(name)
+        mask = (s.slices >= seg.start) & (s.slices <= seg.end)
+        combined_incl = (s.read_incl + s.write_incl)[mask]
+        active = combined_incl > 0
+        n_active = int(active.sum())
+        if n_active == 0:
+            continue
+
+        def avg(arr: np.ndarray) -> float:
+            return float(arr[mask][active].sum()) / (n_active * interval)
+
+        combined_excl = (s.read_excl + s.write_excl)[mask]
+        phase.kernels.append(PhaseKernelStats(
+            name=name,
+            activity_span=n_active,
+            avg_read_incl=avg(s.read_incl),
+            avg_read_excl=avg(s.read_excl),
+            avg_write_incl=avg(s.write_incl),
+            avg_write_excl=avg(s.write_excl),
+            max_bw_incl=float(combined_incl.max()) / interval,
+            max_bw_excl=float(combined_excl.max()) / interval,
+        ))
+    phase.kernels.sort(key=lambda k: k.activity_span, reverse=True)
+    if phase.kernels:
+        dominant = max(phase.kernels,
+                       key=lambda k: k.avg_read_incl + k.avg_write_incl)
+        phase.label = f"phase-{index}:{dominant.name}"
+    return phase
+
+
+@dataclass
+class PhaseAnalysis:
+    """All detected phases plus rendering helpers."""
+
+    report: TQuadReport
+    phases: list[Phase]
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self):
+        return iter(self.phases)
+
+    def phase_of_slice(self, s: int) -> Phase | None:
+        for p in self.phases:
+            if p.start_slice <= s <= p.end_slice:
+                return p
+        return None
+
+    def phase_containing(self, kernel: str) -> Phase | None:
+        """The phase where ``kernel`` is most active."""
+        best, best_span = None, 0
+        for p in self.phases:
+            for k in p.kernels:
+                if k.name == kernel and k.activity_span > best_span:
+                    best, best_span = p, k.activity_span
+        return best
+
+    def format_table(self) -> str:
+        """Table-IV-style rendering."""
+        n = self.report.n_slices
+        lines = []
+        head = (f"{'phase':<22}{'span':>13}{'%span':>8}  "
+                f"{'kernel':<26}{'act':>6}"
+                f"{'avgR(i)':>9}{'avgR(x)':>9}{'avgW(i)':>9}{'avgW(x)':>9}"
+                f"{'maxBW(i)':>10}{'aggMBW':>9}")
+        lines.append(head)
+        lines.append("-" * len(head))
+        for p in self.phases:
+            span = f"{p.start_slice}-{p.end_slice}"
+            pct = 100.0 * p.span / max(n, 1)
+            first = True
+            for k in p.kernels:
+                lead = (f"{p.label:<22}{span:>13}{pct:>8.3f}  " if first
+                        else " " * 45)
+                agg = f"{p.aggregate_mbw:>9.3f}" if first else " " * 9
+                lines.append(
+                    f"{lead}{k.name:<26}{k.activity_span:>6}"
+                    f"{k.avg_read_incl:>9.4f}{k.avg_read_excl:>9.4f}"
+                    f"{k.avg_write_incl:>9.4f}{k.avg_write_excl:>9.4f}"
+                    f"{k.max_bw_incl:>10.4f}{agg}")
+                first = False
+        return "\n".join(lines)

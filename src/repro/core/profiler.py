@@ -1,0 +1,236 @@
+"""The tQUAD profiler pintool.
+
+This module mirrors the paper's implementation section (§IV-C, Figures 3–5):
+
+* ``attach`` plays the role of the tQUAD ``main`` — it registers the
+  ``Instruction`` and ``UpdateCallStack`` instrumentation routines;
+* ``_instrument_instruction`` is ``Instruction()``: it inserts predicated
+  analysis calls ``IncreaseRead``/``IncreaseWrite`` on memory instructions,
+  watches for returns to keep the internal call stack intact, and initiates
+  the time-slice snapshot management;
+* ``_instrument_routine`` is ``UpdateCallStack()``: it inserts ``EnterFC``
+  at routine entries, passing the routine name and an image flag;
+* the analysis routines return immediately for prefetches.
+"""
+
+from __future__ import annotations
+
+from ..pin import IARG, INS, IPOINT, PinEngine, RTN
+from ..vm.program import MAIN_IMAGE
+from .callstack import CallStack
+from .ledger import BandwidthLedger
+from .options import StackPolicy, TQuadOptions
+from .report import TQuadReport
+
+
+class TQuadTool:
+    """Temporal memory-bandwidth profiler (the paper's primary artifact)."""
+
+    def __init__(self, options: TQuadOptions | None = None):
+        self.options = options or TQuadOptions()
+        self.callstack = CallStack()
+        self.ledger = BandwidthLedger(self.options.slice_interval)
+        self._engine: PinEngine | None = None
+        self._machine = None
+        self._images: dict[str, str] = {}
+        self.prefetches_skipped = 0
+        self.finished = False
+
+    # ------------------------------------------------------------- plumbing
+    def attach(self, engine: PinEngine) -> "TQuadTool":
+        """Register instrumentation with the engine (Pin ``main`` analogue)."""
+        if self._engine is not None:
+            raise RuntimeError("tool already attached")
+        self._engine = engine
+        self._machine = engine.machine
+        self._images = {r.name: r.image for r in engine.program.routines}
+        engine.INS_AddInstrumentFunction(self._instrument_instruction)
+        engine.RTN_AddInstrumentFunction(self._instrument_routine)
+        engine.AddFiniFunction(self._fini)
+        return self
+
+    def _instrument_instruction(self, ins: INS) -> None:
+        """``Instruction()`` — see paper Fig. 4."""
+        if ins.IsPrefetch():
+            # keep the full argument shape so the analysis routine performs
+            # the paper's "return immediately upon detection of a prefetch".
+            ins.InsertPredicatedCall(
+                IPOINT.BEFORE, self._increase_read,
+                IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP,
+                IARG.IS_PREFETCH)
+            return
+        # The paper's include/exclude-stack option selects the analysis
+        # routine variant; BOTH records the two views side by side.
+        policy = self.options.stack
+        if policy is StackPolicy.BOTH:
+            on_read, on_write = self._on_read, self._on_write
+        elif policy is StackPolicy.INCLUDE:
+            on_read, on_write = self._on_read_incl, self._on_write_incl
+        else:
+            on_read, on_write = self._on_read_excl, self._on_write_excl
+        if ins.IsMemoryRead():
+            ins.InsertPredicatedCall(
+                IPOINT.BEFORE, on_read,
+                IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP)
+        if ins.IsMemoryWrite():
+            ins.InsertPredicatedCall(
+                IPOINT.BEFORE, on_write,
+                IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP)
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self.callstack.on_ret)
+
+    def _instrument_routine(self, rtn: RTN) -> None:
+        """``UpdateCallStack()`` — see paper Fig. 5."""
+        rtn.InsertCall(IPOINT.BEFORE, self.callstack.enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+    # ------------------------------------------------------ analysis routines
+    def _increase_read(self, ea: int, size: int, sp: int,
+                       is_prefetch: bool) -> None:
+        """``IncreaseRead`` with the prefetch guard of the paper."""
+        if is_prefetch:
+            self.prefetches_skipped += 1
+            return
+        self._on_read(ea, size, sp)
+
+    def _on_read(self, ea: int, size: int, sp: int) -> None:
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[0] += size
+        if ea < sp:          # below the live stack: global/heap access
+            c[1] += size
+
+    def _on_write(self, ea: int, size: int, sp: int) -> None:
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[2] += size
+        if ea < sp:
+            c[3] += size
+
+    # --- single-sided variants (the paper's either/or option) -------------
+    def _on_read_incl(self, ea: int, size: int, sp: int) -> None:
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[0] += size
+
+    def _on_write_incl(self, ea: int, size: int, sp: int) -> None:
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[2] += size
+
+    def _on_read_excl(self, ea: int, size: int, sp: int) -> None:
+        if ea >= sp:
+            return  # local stack area: discarded before any tracing work
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[1] += size
+
+    def _on_write_excl(self, ea: int, size: int, sp: int) -> None:
+        if ea >= sp:
+            return
+        cs = self.callstack
+        if cs.in_library and self.options.exclude_libraries:
+            return
+        name = cs.current_kernel
+        if name is None:
+            return
+        ledger = self.ledger
+        s = (self._machine.icount - 1) // ledger.interval
+        if s != ledger.cur_slice:
+            ledger.advance(s)
+        c = ledger.cur.get(name)
+        if c is None:
+            c = ledger.cur[name] = [0, 0, 0, 0]
+        c[3] += size
+
+    def _fini(self, exit_code: int) -> None:
+        self.ledger.flush()
+        self.finished = True
+
+    # ------------------------------------------------------------- results
+    def report(self, *, allow_partial: bool = False) -> TQuadReport:
+        """The profiling results (valid after the engine has run).
+
+        With ``allow_partial=True`` a report can also be produced after the
+        guest crashed (memory fault, budget exhaustion, …): the in-flight
+        slice is flushed and the report is marked ``complete=False``.
+        """
+        if not self.finished:
+            if not allow_partial:
+                raise RuntimeError(
+                    "run the engine before asking for the report "
+                    "(or pass allow_partial=True after a guest crash)")
+            self.ledger.flush()
+        total = self._machine.icount
+        return TQuadReport(ledger=self.ledger, options=self.options,
+                           total_instructions=total,
+                           images=dict(self._images),
+                           complete=self.finished)
+
+
+def run_tquad(program, *, options: TQuadOptions | None = None, fs=None,
+              max_instructions: int | None = None,
+              mem_size: int | None = None) -> TQuadReport:
+    """Convenience: profile ``program`` with tQUAD and return the report."""
+    kwargs = {"fs": fs}
+    if mem_size is not None:
+        kwargs["mem_size"] = mem_size
+    engine = PinEngine(program, **kwargs)
+    tool = TQuadTool(options).attach(engine)
+    engine.run(max_instructions=max_instructions)
+    return tool.report()

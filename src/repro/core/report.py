@@ -1,0 +1,167 @@
+"""tQUAD profiling results: queries and formatted tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..vm.program import MAIN_IMAGE
+from .ledger import BandwidthLedger, KernelSeries
+from .machine_model import MachineModel, PAPER_MACHINE
+from .options import TQuadOptions
+
+
+@dataclass
+class KernelSummary:
+    """Table-IV-style per-kernel numbers."""
+
+    name: str
+    activity_span: int                 #: active slices (stack included)
+    first_slice: int
+    last_slice: int
+    avg_read_incl: float               #: bytes/instruction
+    avg_read_excl: float
+    avg_write_incl: float
+    avg_write_excl: float
+    max_bw_incl: float                 #: peak (R+W) bytes/instruction
+    max_bw_excl: float
+    total_bytes_incl: int
+    total_bytes_excl: int
+
+
+@dataclass
+class TQuadReport:
+    """Results of one tQUAD run."""
+
+    ledger: BandwidthLedger
+    options: TQuadOptions
+    total_instructions: int
+    images: dict[str, str] = field(default_factory=dict)
+    #: False when produced from a crashed/aborted run (partial data).
+    complete: bool = True
+
+    # ------------------------------------------------------------- basics
+    @property
+    def interval(self) -> int:
+        return self.ledger.interval
+
+    @property
+    def n_slices(self) -> int:
+        """Total slices covering the run (paper: "64 time slices were
+        counted representing the execution of more than six billion
+        instructions")."""
+        if self.total_instructions == 0:
+            return 0
+        return (self.total_instructions - 1) // self.interval + 1
+
+    def kernels(self, *, main_image_only: bool = True) -> list[str]:
+        names = self.ledger.kernels()
+        if self.options.kernels is not None:
+            allowed = set(self.options.kernels)
+            names = [n for n in names if n in allowed]
+        if main_image_only:
+            names = [n for n in names
+                     if self.images.get(n, MAIN_IMAGE) == MAIN_IMAGE]
+        return names
+
+    def series(self, name: str) -> KernelSeries:
+        return self.ledger.series(name)
+
+    # ------------------------------------------------------------ summaries
+    def summary(self, name: str) -> KernelSummary:
+        s = self.series(name)
+        first, last, span = s.activity_span(include_stack=True)
+        return KernelSummary(
+            name=name,
+            activity_span=span, first_slice=first, last_slice=last,
+            avg_read_incl=s.average_bandwidth(write=False, include_stack=True),
+            avg_read_excl=s.average_bandwidth(write=False,
+                                              include_stack=False),
+            avg_write_incl=s.average_bandwidth(write=True,
+                                               include_stack=True),
+            avg_write_excl=s.average_bandwidth(write=True,
+                                               include_stack=False),
+            max_bw_incl=s.max_bandwidth(include_stack=True),
+            max_bw_excl=s.max_bandwidth(include_stack=False),
+            total_bytes_incl=(s.total(write=False, include_stack=True)
+                              + s.total(write=True, include_stack=True)),
+            total_bytes_excl=(s.total(write=False, include_stack=False)
+                              + s.total(write=True, include_stack=False)),
+        )
+
+    def summaries(self, *, main_image_only: bool = True
+                  ) -> list[KernelSummary]:
+        return [self.summary(n)
+                for n in self.kernels(main_image_only=main_image_only)]
+
+    def top_kernels(self, k: int, *, include_stack: bool = True,
+                    main_image_only: bool = True) -> list[str]:
+        """Kernels ranked by total traffic."""
+        def total(name: str) -> int:
+            s = self.series(name)
+            return (s.total(write=False, include_stack=include_stack)
+                    + s.total(write=True, include_stack=include_stack))
+        names = self.kernels(main_image_only=main_image_only)
+        return sorted(names, key=total, reverse=True)[:k]
+
+    # ------------------------------------------------------- matrix views
+    def bandwidth_matrix(self, kernels: list[str] | None = None, *,
+                         write: bool = False, include_stack: bool = True
+                         ) -> tuple[list[str], np.ndarray]:
+        """Dense (kernel × slice) byte matrix — the data behind the paper's
+        Figures 6 and 7."""
+        if kernels is None:
+            kernels = self.kernels()
+        n = self.n_slices
+        mat = np.zeros((len(kernels), n), dtype=np.int64)
+        for i, name in enumerate(kernels):
+            mat[i] = self.series(name).dense(n, write=write,
+                                             include_stack=include_stack)
+        return kernels, mat
+
+    def activity_matrix(self, kernels: list[str] | None = None, *,
+                        include_stack: bool = True
+                        ) -> tuple[list[str], np.ndarray]:
+        """Boolean (kernel × slice) activity matrix for phase detection."""
+        if kernels is None:
+            kernels = self.kernels()
+        n = self.n_slices
+        mat = np.zeros((len(kernels), n), dtype=bool)
+        for i, name in enumerate(kernels):
+            s = self.series(name)
+            dense = (s.dense(n, write=False, include_stack=include_stack)
+                     + s.dense(n, write=True, include_stack=include_stack))
+            mat[i] = dense > 0
+        return kernels, mat
+
+    # --------------------------------------------------------------- totals
+    def total_bytes(self, *, write: bool, include_stack: bool) -> int:
+        return sum(self.series(n).total(write=write,
+                                        include_stack=include_stack)
+                   for n in self.ledger.kernels())
+
+    def seconds(self, model: MachineModel = PAPER_MACHINE) -> float:
+        """Estimated native runtime under a machine model."""
+        return model.seconds(self.total_instructions)
+
+    # ------------------------------------------------------------ rendering
+    def format_table(self, *, top: int | None = None) -> str:
+        """Human-readable per-kernel table (bytes/instruction units)."""
+        names = (self.top_kernels(top) if top is not None
+                 else self.kernels())
+        rows = [self.summary(n) for n in names]
+        head = (f"{'kernel':<28}{'span':>6}{'first':>7}{'last':>7}"
+                f"{'avgR(i)':>9}{'avgR(x)':>9}{'avgW(i)':>9}{'avgW(x)':>9}"
+                f"{'maxBW(i)':>10}{'maxBW(x)':>10}")
+        lines = [head, "-" * len(head)]
+        for r in rows:
+            lines.append(
+                f"{r.name:<28}{r.activity_span:>6}{r.first_slice:>7}"
+                f"{r.last_slice:>7}"
+                f"{r.avg_read_incl:>9.4f}{r.avg_read_excl:>9.4f}"
+                f"{r.avg_write_incl:>9.4f}{r.avg_write_excl:>9.4f}"
+                f"{r.max_bw_incl:>10.4f}{r.max_bw_excl:>10.4f}")
+        lines.append(f"slices={self.n_slices} interval={self.interval} "
+                     f"instructions={self.total_instructions}")
+        return "\n".join(lines)

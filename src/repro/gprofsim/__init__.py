@@ -1,0 +1,6 @@
+"""gprof-sim: exact flat-profile baseline (with optional sampling emulation)."""
+
+from .report import FlatProfile, FlatRow
+from .tool import GprofTool, run_gprof
+
+__all__ = ["GprofTool", "run_gprof", "FlatProfile", "FlatRow"]

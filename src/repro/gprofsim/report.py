@@ -1,0 +1,162 @@
+"""Flat-profile report (the gprof output format of Tables I and III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.machine_model import MachineModel, PAPER_MACHINE
+
+
+@dataclass
+class FlatRow:
+    """One function's flat-profile entry."""
+
+    name: str
+    self_instructions: int
+    cumulative_instructions: int
+    calls: int
+
+
+@dataclass
+class FlatProfile:
+    """A gprof-style flat profile, in instruction units.
+
+    Seconds/milliseconds columns are derived views under a
+    :class:`~repro.core.machine_model.MachineModel`.
+    """
+
+    rows: list[FlatRow]
+    total_instructions: int
+    machine: MachineModel = PAPER_MACHINE
+    edges: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_name = {r.name: r for r in self.rows}
+
+    # ------------------------------------------------------------- queries
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def row(self, name: str) -> FlatRow:
+        return self._by_name[name]
+
+    @property
+    def profiled_instructions(self) -> int:
+        return sum(r.self_instructions for r in self.rows)
+
+    def percent(self, name: str) -> float:
+        """%time — percentage of the total run spent in the function."""
+        row = self._by_name.get(name)
+        if row is None:
+            return 0.0
+        total = self.profiled_instructions
+        return 100.0 * row.self_instructions / total if total else 0.0
+
+    def self_seconds(self, name: str) -> float:
+        return self.machine.seconds(self._by_name[name].self_instructions)
+
+    def self_ms_per_call(self, name: str) -> float:
+        row = self._by_name[name]
+        if row.calls == 0:
+            return 0.0
+        return self.machine.milliseconds(row.self_instructions) / row.calls
+
+    def total_ms_per_call(self, name: str) -> float:
+        row = self._by_name[name]
+        if row.calls == 0:
+            return 0.0
+        return (self.machine.milliseconds(row.cumulative_instructions)
+                / row.calls)
+
+    def rank(self, name: str) -> int:
+        """1-based position in the self-time ordering."""
+        for i, r in enumerate(self.rows):
+            if r.name == name:
+                return i + 1
+        raise KeyError(name)
+
+    def top(self, k: int) -> list[str]:
+        return [r.name for r in self.rows[:k]]
+
+    def callers_of(self, name: str) -> dict[str, int]:
+        return {caller: n for (caller, callee), n in self.edges.items()
+                if callee == name}
+
+    def callees_of(self, name: str) -> dict[str, int]:
+        return {callee: n for (caller, callee), n in self.edges.items()
+                if caller == name}
+
+    # ------------------------------------------------------------- sampling
+    def sampled(self, period_instructions: int,
+                rng: np.random.Generator | None = None) -> "FlatProfile":
+        """Emulate gprof's statistical sampling.
+
+        gprof samples the PC every ``period`` (10 ms on the paper's testbed);
+        a function's measured time is (number of samples that landed in it) ×
+        period.  With an rng, each function's sample count is drawn from a
+        binomial, reproducing the "statistical inaccuracy, particularly if a
+        function runs only for a small amount of time" the paper warns about.
+        """
+        if period_instructions <= 0:
+            raise ValueError("period must be positive")
+        total = self.profiled_instructions
+        n_samples = total // period_instructions
+        rows = []
+        for r in self.rows:
+            p = r.self_instructions / total if total else 0.0
+            if rng is None:
+                hits = round(p * n_samples)
+            else:
+                hits = int(rng.binomial(n_samples, p)) if n_samples else 0
+            rows.append(FlatRow(
+                name=r.name,
+                self_instructions=hits * period_instructions,
+                cumulative_instructions=r.cumulative_instructions,
+                calls=r.calls))
+        rows.sort(key=lambda r: r.self_instructions, reverse=True)
+        return FlatProfile(rows=rows, total_instructions=self.total_instructions,
+                           machine=self.machine, edges=dict(self.edges))
+
+    # ------------------------------------------------------------ rendering
+    def format_call_graph(self, *, top: int | None = None) -> str:
+        """gprof's second section: per-function caller/callee entries."""
+        order = sorted(self.rows, key=lambda r: r.cumulative_instructions,
+                       reverse=True)
+        if top is not None:
+            order = order[:top]
+        index = {r.name: i + 1 for i, r in enumerate(order)}
+        total = self.profiled_instructions or 1
+        lines = [f"{'index':>6} {'%time':>7} {'self s':>9} {'total s':>9} "
+                 f"{'calls':>9}  name"]
+        lines.append("-" * len(lines[0]))
+        for r in order:
+            for caller, n in sorted(self.callers_of(r.name).items()):
+                lines.append(f"{'':>6} {'':>7} {'':>9} {'':>9} {n:>9}      "
+                             f"<- {caller}")
+            pct = 100.0 * r.cumulative_instructions / total
+            lines.append(
+                f"[{index[r.name]:>4}] {min(pct, 100.0):>7.1f} "
+                f"{self.machine.seconds(r.self_instructions):>9.4f} "
+                f"{self.machine.seconds(r.cumulative_instructions):>9.4f} "
+                f"{r.calls:>9}  {r.name}")
+            for callee, n in sorted(self.callees_of(r.name).items()):
+                lines.append(f"{'':>6} {'':>7} {'':>9} {'':>9} {n:>9}      "
+                             f"-> {callee}")
+            lines.append("")
+        return "\n".join(lines)
+
+    def format_table(self, *, top: int | None = None) -> str:
+        """Table-I-style rendering."""
+        head = (f"{'kernel':<28}{'%time':>8}{'self s':>10}{'calls':>10}"
+                f"{'self ms/call':>14}{'total ms/call':>15}")
+        lines = [head, "-" * len(head)]
+        rows = self.rows[:top] if top is not None else self.rows
+        for r in rows:
+            lines.append(
+                f"{r.name:<28}{self.percent(r.name):>8.2f}"
+                f"{self.self_seconds(r.name):>10.4f}{r.calls:>10}"
+                f"{self.self_ms_per_call(r.name):>14.4f}"
+                f"{self.total_ms_per_call(r.name):>15.4f}")
+        return "\n".join(lines)

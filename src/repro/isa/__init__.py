@@ -1,0 +1,25 @@
+"""The repro ISA: a 64-bit RISC-style instruction set.
+
+This package defines the instruction set that every guest program in the
+reproduction runs on: register files (:mod:`~repro.isa.registers`), opcode
+table (:mod:`~repro.isa.opcodes`), the decoded-instruction container
+(:mod:`~repro.isa.instruction`), the 16-byte binary encoding
+(:mod:`~repro.isa.encoding`) and a disassembler (:mod:`~repro.isa.disasm`).
+"""
+
+from . import opcodes
+from .disasm import disassemble, format_instr
+from .encoding import (EncodingError, decode, decode_program, encode,
+                       encode_program)
+from .instruction import INSTR_BYTES, NO_PRED, Instr, validate
+from .opcodes import BY_NAME, NUM_OPCODES, OPCODES, Fmt, OpInfo
+from .registers import (FREG_DISPLAY, FREG_NAMES, XREG_DISPLAY, XREG_NAMES,
+                        freg, xreg)
+
+__all__ = [
+    "opcodes", "Instr", "validate", "INSTR_BYTES", "NO_PRED",
+    "OpInfo", "Fmt", "OPCODES", "BY_NAME", "NUM_OPCODES",
+    "encode", "decode", "encode_program", "decode_program", "EncodingError",
+    "disassemble", "format_instr",
+    "xreg", "freg", "XREG_NAMES", "FREG_NAMES", "XREG_DISPLAY", "FREG_DISPLAY",
+]

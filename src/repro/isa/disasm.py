@@ -1,0 +1,60 @@
+"""Textual disassembly of decoded instructions.
+
+The output is accepted back by :mod:`repro.asmkit`, so
+``assemble(disassemble(p)) == p`` holds for label-free code (branch and jump
+targets are printed as absolute immediates, which the assembler accepts).
+"""
+
+from __future__ import annotations
+
+from .instruction import NO_PRED, Instr
+from .opcodes import Fmt
+from .registers import FREG_DISPLAY, XREG_DISPLAY
+
+
+def format_instr(ins: Instr) -> str:
+    """Render one instruction as assembly text."""
+    inf = ins.info
+    x = XREG_DISPLAY
+    f = FREG_DISPLAY
+    fmt = inf.fmt
+    if fmt is Fmt.RRR:
+        body = f"{inf.name} {x[ins.rd]}, {x[ins.rs1]}, {x[ins.rs2]}"
+    elif fmt is Fmt.RRI:
+        body = f"{inf.name} {x[ins.rd]}, {x[ins.rs1]}, {ins.imm}"
+    elif fmt is Fmt.RI:
+        body = f"{inf.name} {x[ins.rd]}, {ins.imm}"
+    elif fmt is Fmt.FRI:
+        body = f"{inf.name} {f[ins.rd]}, {ins.imm!r}"
+    elif fmt is Fmt.FFF:
+        body = f"{inf.name} {f[ins.rd]}, {f[ins.rs1]}, {f[ins.rs2]}"
+    elif fmt is Fmt.FF:
+        body = f"{inf.name} {f[ins.rd]}, {f[ins.rs1]}"
+    elif fmt is Fmt.RFF:
+        body = f"{inf.name} {x[ins.rd]}, {f[ins.rs1]}, {f[ins.rs2]}"
+    elif fmt is Fmt.FR:
+        body = f"{inf.name} {f[ins.rd]}, {x[ins.rs1]}"
+    elif fmt is Fmt.RF:
+        body = f"{inf.name} {x[ins.rd]}, {f[ins.rs1]}"
+    elif fmt is Fmt.MEM:
+        data = f[ins.rd] if inf.is_float else x[ins.rd]
+        body = f"{inf.name} {data}, {ins.imm}({x[ins.rs1]})"
+    elif fmt is Fmt.BRANCH:
+        body = f"{inf.name} {x[ins.rs1]}, {x[ins.rs2]}, {ins.imm}"
+    elif fmt is Fmt.JUMP:
+        body = f"{inf.name} {x[ins.rd]}, {ins.imm}"
+    elif fmt is Fmt.JUMPR:
+        body = f"{inf.name} {x[ins.rd]}, {x[ins.rs1]}, {ins.imm}"
+    else:  # Fmt.NONE
+        body = inf.name
+    if ins.pred != NO_PRED:
+        body += f" ?{x[ins.pred]}"
+    return body
+
+
+def disassemble(instrs: list[Instr], *, pc_base: int = 0) -> str:
+    """Disassemble a code segment, one instruction per line with addresses."""
+    lines = []
+    for i, ins in enumerate(instrs):
+        lines.append(f"{pc_base + 16 * i:#010x}:  {format_instr(ins)}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Binary wire format: 16 bytes per instruction.
+
+Layout (little endian)::
+
+    offset  size  field
+    0       2     opcode
+    2       1     rd
+    3       1     rs1
+    4       1     rs2
+    5       1     pred register (0xFF = not predicated)
+    6       2     flags (bit0: imm is a float)
+    8       8     immediate (i64 two's complement, or f64 bits)
+
+The format is deliberately uniform — decoding never needs the opcode to know
+where fields live, which keeps :func:`decode` trivially total on any opcode
+the table knows about.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from . import opcodes
+from .instruction import INSTR_BYTES, NO_PRED, Instr
+
+_PACK_I = struct.Struct("<HBBBBHq")
+_PACK_F = struct.Struct("<HBBBBHd")
+
+_FLAG_FLOAT_IMM = 0x0001
+_PRED_NONE_BYTE = 0xFF
+
+
+class EncodingError(ValueError):
+    """Raised on malformed instruction bytes."""
+
+
+def encode(ins: Instr) -> bytes:
+    """Encode one instruction into its 16-byte representation."""
+    pred_byte = _PRED_NONE_BYTE if ins.pred == NO_PRED else ins.pred
+    if isinstance(ins.imm, float):
+        return _PACK_F.pack(ins.op, ins.rd, ins.rs1, ins.rs2, pred_byte,
+                            _FLAG_FLOAT_IMM, ins.imm)
+    return _PACK_I.pack(ins.op, ins.rd, ins.rs1, ins.rs2, pred_byte,
+                        0, ins.imm)
+
+
+def decode(raw: bytes | memoryview, offset: int = 0) -> Instr:
+    """Decode one instruction from ``raw`` starting at ``offset``."""
+    if len(raw) - offset < INSTR_BYTES:
+        raise EncodingError("truncated instruction")
+    op, rd, rs1, rs2, pred_byte, flags = struct.unpack_from(
+        "<HBBBBH", raw, offset)
+    if op >= opcodes.NUM_OPCODES:
+        raise EncodingError(f"unknown opcode {op}")
+    if flags & _FLAG_FLOAT_IMM:
+        (imm,) = struct.unpack_from("<d", raw, offset + 8)
+    else:
+        (imm,) = struct.unpack_from("<q", raw, offset + 8)
+    pred = NO_PRED if pred_byte == _PRED_NONE_BYTE else pred_byte
+    return Instr(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, pred=pred)
+
+
+def encode_program(instrs: list[Instr]) -> bytes:
+    """Encode a code segment (a list of instructions) into bytes."""
+    return b"".join(encode(i) for i in instrs)
+
+
+def decode_program(raw: bytes) -> list[Instr]:
+    """Decode an entire code segment."""
+    if len(raw) % INSTR_BYTES:
+        raise EncodingError("code segment length is not a multiple of 16")
+    return [decode(raw, off) for off in range(0, len(raw), INSTR_BYTES)]

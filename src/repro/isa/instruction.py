@@ -1,0 +1,99 @@
+"""The :class:`Instr` container — one decoded machine instruction.
+
+Instructions are fixed-size records.  The VM executes decoded ``Instr``
+objects directly (after closure compilation); :mod:`repro.isa.encoding`
+provides the 16-byte binary wire format used for code-size accounting,
+round-trip testing and disassembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import opcodes
+from .opcodes import Fmt, OpInfo
+
+#: Sentinel predicate register value meaning "not predicated".
+NO_PRED = -1
+
+#: Size of one encoded instruction in bytes.
+INSTR_BYTES = 16
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A single decoded instruction.
+
+    ``rd``/``rs1``/``rs2`` index either the integer or the float register
+    file depending on the opcode's format.  ``imm`` is an ``int`` for every
+    opcode except ``fli``, where it is a ``float``.  ``pred`` names an
+    integer register guarding execution (the instruction retires but has no
+    architectural or memory effect when ``x[pred] == 0``), or :data:`NO_PRED`.
+    """
+
+    op: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int | float = 0
+    pred: int = NO_PRED
+    # Source-level annotation (assembler line), not part of the encoding.
+    src: str = field(default="", compare=False)
+
+    @property
+    def info(self) -> OpInfo:
+        return opcodes.OPCODES[self.op]
+
+    # -- predicates used by the instrumentation API ------------------------
+    def is_memory_read(self) -> bool:
+        return self.info.mem_read > 0 and not self.info.is_prefetch
+
+    def is_memory_write(self) -> bool:
+        return self.info.mem_write > 0
+
+    def memory_read_size(self) -> int:
+        return self.info.mem_read
+
+    def memory_write_size(self) -> int:
+        return self.info.mem_write
+
+    def is_call(self) -> bool:
+        return self.info.is_call
+
+    def is_ret(self) -> bool:
+        return self.info.is_ret
+
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    def is_prefetch(self) -> bool:
+        return self.info.is_prefetch
+
+    def is_predicated(self) -> bool:
+        return self.pred != NO_PRED
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from .disasm import format_instr
+
+        return format_instr(self)
+
+
+def validate(ins: Instr) -> None:
+    """Raise ``ValueError`` if the instruction is malformed."""
+    if not 0 <= ins.op < opcodes.NUM_OPCODES:
+        raise ValueError(f"opcode {ins.op} out of range")
+    for fieldname in ("rd", "rs1", "rs2"):
+        v = getattr(ins, fieldname)
+        if not 0 <= v < 32:
+            raise ValueError(f"{fieldname}={v} out of range for {ins.info.name}")
+    if ins.pred != NO_PRED and not 0 <= ins.pred < 32:
+        raise ValueError(f"pred={ins.pred} out of range")
+    fmt = ins.info.fmt
+    if fmt is Fmt.FRI:
+        if not isinstance(ins.imm, float):
+            raise ValueError("fli requires a float immediate")
+    else:
+        if not isinstance(ins.imm, int):
+            raise ValueError(f"{ins.info.name} requires an integer immediate")
+        if not -(2**63) <= ins.imm < 2**63:
+            raise ValueError("immediate does not fit in 64 bits")

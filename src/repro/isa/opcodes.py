@@ -1,0 +1,162 @@
+"""Opcode definitions and static instruction properties.
+
+Each opcode carries a small amount of static metadata that the toolchain and
+the Pin-workalike instrumentation layer query:
+
+* operand *format* — how the ``rd/rs1/rs2/imm`` fields are interpreted,
+* whether the instruction **reads** or **writes** memory and how many bytes,
+* whether it is a **call**, **return**, **branch** or **prefetch**.
+
+These properties are exactly the ones the tQUAD paper's instrumentation
+routines interrogate through Pin (``INS_IsMemoryRead``, ``INS_IsRet``, …).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Fmt(enum.Enum):
+    """Operand field interpretation for an opcode."""
+
+    RRR = "rrr"          # rd, rs1, rs2            (integer ALU)
+    RRI = "rri"          # rd, rs1, imm            (integer ALU w/ immediate)
+    RI = "ri"            # rd, imm                 (li / la)
+    FRI = "fri"          # fd, imm(float)          (fli)
+    FFF = "fff"          # fd, fs1, fs2            (float ALU)
+    FF = "ff"            # fd, fs1                 (float unary)
+    RFF = "rff"          # rd, fs1, fs2            (float compare -> int)
+    FR = "fr"            # fd, rs1                 (int -> float convert)
+    RF = "rf"            # rd, fs1                 (float -> int convert)
+    MEM = "mem"          # rd/fd, imm(rs1)         (loads/stores/prefetch)
+    BRANCH = "br"        # rs1, rs2, imm(target)
+    JUMP = "j"           # rd, imm(target)         (jal)
+    JUMPR = "jr"         # rd, rs1, imm            (jalr)
+    NONE = "none"        # no operands             (ret/halt/nop/ecall)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one opcode."""
+
+    name: str
+    code: int
+    fmt: Fmt
+    mem_read: int = 0     #: bytes read from memory per execution (0 = none)
+    mem_write: int = 0    #: bytes written to memory per execution
+    is_call: bool = False
+    is_ret: bool = False
+    is_branch: bool = False
+    is_prefetch: bool = False
+    is_float: bool = False  #: data operands live in the float register file
+
+
+_TABLE: list[OpInfo] = []
+_BY_NAME: dict[str, OpInfo] = {}
+
+
+def _op(name: str, fmt: Fmt, **kw) -> int:
+    code = len(_TABLE)
+    info = OpInfo(name=name, code=code, fmt=fmt, **kw)
+    _TABLE.append(info)
+    _BY_NAME[name] = info
+    return code
+
+
+# --- integer ALU, register-register ----------------------------------------
+ADD = _op("add", Fmt.RRR)
+SUB = _op("sub", Fmt.RRR)
+MUL = _op("mul", Fmt.RRR)
+DIV = _op("div", Fmt.RRR)
+REM = _op("rem", Fmt.RRR)
+AND = _op("and", Fmt.RRR)
+OR = _op("or", Fmt.RRR)
+XOR = _op("xor", Fmt.RRR)
+SLL = _op("sll", Fmt.RRR)
+SRL = _op("srl", Fmt.RRR)
+SRA = _op("sra", Fmt.RRR)
+SLT = _op("slt", Fmt.RRR)
+SLE = _op("sle", Fmt.RRR)
+SEQ = _op("seq", Fmt.RRR)
+SNE = _op("sne", Fmt.RRR)
+
+# --- integer ALU, register-immediate ---------------------------------------
+ADDI = _op("addi", Fmt.RRI)
+MULI = _op("muli", Fmt.RRI)
+ANDI = _op("andi", Fmt.RRI)
+ORI = _op("ori", Fmt.RRI)
+XORI = _op("xori", Fmt.RRI)
+SLLI = _op("slli", Fmt.RRI)
+SRLI = _op("srli", Fmt.RRI)
+SRAI = _op("srai", Fmt.RRI)
+SLTI = _op("slti", Fmt.RRI)
+
+LI = _op("li", Fmt.RI)      # rd <- imm64 (also used for addresses, via `la`)
+
+# --- floating point ---------------------------------------------------------
+FADD = _op("fadd", Fmt.FFF, is_float=True)
+FSUB = _op("fsub", Fmt.FFF, is_float=True)
+FMUL = _op("fmul", Fmt.FFF, is_float=True)
+FDIV = _op("fdiv", Fmt.FFF, is_float=True)
+FMIN = _op("fmin", Fmt.FFF, is_float=True)
+FMAX = _op("fmax", Fmt.FFF, is_float=True)
+FNEG = _op("fneg", Fmt.FF, is_float=True)
+FABS = _op("fabs", Fmt.FF, is_float=True)
+FSQRT = _op("fsqrt", Fmt.FF, is_float=True)
+FSIN = _op("fsin", Fmt.FF, is_float=True)
+FCOS = _op("fcos", Fmt.FF, is_float=True)
+FMV = _op("fmv", Fmt.FF, is_float=True)
+FLI = _op("fli", Fmt.FRI, is_float=True)   # fd <- float immediate
+FEQ = _op("feq", Fmt.RFF, is_float=True)   # rd <- fs1 == fs2
+FLT = _op("flt", Fmt.RFF, is_float=True)
+FLE = _op("fle", Fmt.RFF, is_float=True)
+FCVTFI = _op("fcvt.f.i", Fmt.FR, is_float=True)  # fd <- float(rs1)
+FCVTIF = _op("fcvt.i.f", Fmt.RF, is_float=True)  # rd <- trunc(fs1)
+
+# --- memory -----------------------------------------------------------------
+LD = _op("ld", Fmt.MEM, mem_read=8)
+LW = _op("lw", Fmt.MEM, mem_read=4)
+LWU = _op("lwu", Fmt.MEM, mem_read=4)
+LH = _op("lh", Fmt.MEM, mem_read=2)
+LHU = _op("lhu", Fmt.MEM, mem_read=2)
+LB = _op("lb", Fmt.MEM, mem_read=1)
+LBU = _op("lbu", Fmt.MEM, mem_read=1)
+SD = _op("sd", Fmt.MEM, mem_write=8)
+SW = _op("sw", Fmt.MEM, mem_write=4)
+SH = _op("sh", Fmt.MEM, mem_write=2)
+SB = _op("sb", Fmt.MEM, mem_write=1)
+FLD = _op("fld", Fmt.MEM, mem_read=8, is_float=True)
+FSD = _op("fsd", Fmt.MEM, mem_write=8, is_float=True)
+PREFETCH = _op("prefetch", Fmt.MEM, mem_read=8, is_prefetch=True)
+
+# --- control flow ------------------------------------------------------------
+BEQ = _op("beq", Fmt.BRANCH, is_branch=True)
+BNE = _op("bne", Fmt.BRANCH, is_branch=True)
+BLT = _op("blt", Fmt.BRANCH, is_branch=True)
+BGE = _op("bge", Fmt.BRANCH, is_branch=True)
+BLE = _op("ble", Fmt.BRANCH, is_branch=True)
+BGT = _op("bgt", Fmt.BRANCH, is_branch=True)
+JAL = _op("jal", Fmt.JUMP, is_call=True)     # rd <- return addr; jump imm
+J = _op("j", Fmt.JUMP)                       # unconditional jump, no link
+JALR = _op("jalr", Fmt.JUMPR, is_call=True)  # indirect call
+RET = _op("ret", Fmt.NONE, is_ret=True)
+
+# --- system -------------------------------------------------------------------
+ECALL = _op("ecall", Fmt.NONE)
+HALT = _op("halt", Fmt.NONE)
+NOP = _op("nop", Fmt.NONE)
+
+
+#: All opcodes, indexed by numeric code.
+OPCODES: tuple[OpInfo, ...] = tuple(_TABLE)
+
+#: Opcode lookup by mnemonic.
+BY_NAME: dict[str, OpInfo] = dict(_BY_NAME)
+
+NUM_OPCODES = len(OPCODES)
+
+
+def info(code: int) -> OpInfo:
+    """Return the :class:`OpInfo` for a numeric opcode."""
+    return OPCODES[code]

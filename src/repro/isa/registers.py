@@ -1,0 +1,105 @@
+"""Register file definition for the repro ISA.
+
+The ISA has 32 integer registers (``x0``–``x31``) and 32 floating point
+registers (``f0``–``f31``).  ``x0`` is hard-wired to zero, exactly like the
+RISC-V convention that this ISA loosely follows.  The assembler accepts both
+the raw names and the ABI aliases defined here.
+
+ABI summary (used by the MiniC code generator and hand-written assembly):
+
+====================  =========================  ==========================
+registers             alias                      role
+====================  =========================  ==========================
+``x0``                ``zero``                   constant 0
+``x1``                ``ra``                     return address
+``x2``                ``sp``                     stack pointer
+``x3``                ``fp``                     frame pointer (callee saved)
+``x4``                ``gp``                     global pointer (unused)
+``x5``–``x12``        ``a0``–``a7``              integer args / return value
+``x13``–``x22``       ``t0``–``t9``              caller-saved temporaries
+``x23``–``x30``       ``s0``–``s7``              callee-saved
+``x31``               ``tp``                     reserved (thread pointer)
+``f0``–``f7``         ``fa0``–``fa7``            float args / return value
+``f8``–``f19``        ``ft0``–``ft11``           caller-saved float temps
+``f20``–``f31``       ``fs0``–``fs11``           callee-saved float
+====================  =========================  ==========================
+"""
+
+from __future__ import annotations
+
+NUM_XREGS = 32
+NUM_FREGS = 32
+
+# --- canonical integer register numbers -----------------------------------
+ZERO = 0
+RA = 1
+SP = 2
+FP = 3
+GP = 4
+
+A_REGS = tuple(range(5, 13))       # a0..a7
+T_REGS = tuple(range(13, 23))      # t0..t9
+S_REGS = tuple(range(23, 31))      # s0..s7
+TP = 31
+
+# --- canonical float register numbers -------------------------------------
+FA_REGS = tuple(range(0, 8))       # fa0..fa7
+FT_REGS = tuple(range(8, 20))      # ft0..ft11
+FS_REGS = tuple(range(20, 32))     # fs0..fs11
+
+
+def _build_name_tables() -> tuple[dict[str, int], dict[str, int]]:
+    xnames: dict[str, int] = {}
+    fnames: dict[str, int] = {}
+    for i in range(NUM_XREGS):
+        xnames[f"x{i}"] = i
+    for i in range(NUM_FREGS):
+        fnames[f"f{i}"] = i
+    xnames.update(zero=ZERO, ra=RA, sp=SP, fp=FP, gp=GP, tp=TP)
+    for k, r in enumerate(A_REGS):
+        xnames[f"a{k}"] = r
+    for k, r in enumerate(T_REGS):
+        xnames[f"t{k}"] = r
+    for k, r in enumerate(S_REGS):
+        xnames[f"s{k}"] = r
+    for k, r in enumerate(FA_REGS):
+        fnames[f"fa{k}"] = r
+    for k, r in enumerate(FT_REGS):
+        fnames[f"ft{k}"] = r
+    for k, r in enumerate(FS_REGS):
+        fnames[f"fs{k}"] = r
+    return xnames, fnames
+
+
+#: Mapping of accepted integer register spellings to register numbers.
+XREG_NAMES, FREG_NAMES = _build_name_tables()
+
+#: Preferred (ABI) display name for each integer register number.
+XREG_DISPLAY: tuple[str, ...] = tuple(
+    next(name for name, num in XREG_NAMES.items()
+         if num == i and not name.startswith("x"))
+    for i in range(NUM_XREGS)
+)
+
+#: Preferred (ABI) display name for each float register number.
+FREG_DISPLAY: tuple[str, ...] = tuple(
+    next(name for name, num in FREG_NAMES.items()
+         if num == i and name[1] in "ats")
+    for i in range(NUM_FREGS)
+)
+
+
+def xreg(name: str) -> int:
+    """Resolve an integer register name (``"a0"``, ``"x7"``, …) to its number."""
+    try:
+        return XREG_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def freg(name: str) -> int:
+    """Resolve a float register name (``"fa0"``, ``"f7"``, …) to its number."""
+    try:
+        return FREG_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown float register {name!r}") from None

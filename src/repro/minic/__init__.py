@@ -1,0 +1,28 @@
+"""MiniC: the C-like language the guest applications are written in.
+
+Public API: :func:`compile_unit` (MiniC → assembly text),
+:func:`build_program` (MiniC + runtime → loadable Program) and
+:func:`run_minic` (compile, run, return the Machine)."""
+
+from __future__ import annotations
+
+from ..vm import GuestFS, Machine
+from .driver import build_program, compile_unit
+from .errors import MiniCError
+from .parser import parse
+
+__all__ = ["compile_unit", "build_program", "run_minic", "parse",
+           "MiniCError"]
+
+
+def run_minic(source: str | list[str], *, fs: GuestFS | None = None,
+              max_instructions: int | None = 50_000_000,
+              mem_size: int | None = None) -> Machine:
+    """Compile and execute MiniC source; returns the finished Machine."""
+    program = build_program(source)
+    kwargs = {}
+    if mem_size is not None:
+        kwargs["mem_size"] = mem_size
+    m = Machine(program, fs=fs, **kwargs)
+    m.run(max_instructions=max_instructions)
+    return m

@@ -1,0 +1,179 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import Type
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""              # '-', '!', '~', '*', '&'
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    func: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: Type | None = None
+    operand: Expr | None = None
+
+
+# ----------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    type: Type | None = None
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr | None = None    # Name, Unary('*'), or Index
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: "Block | None" = None
+    orelse: "Block | None" = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: "Block | None" = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: "Block | None" = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None      # Assign/VarDecl/ExprStmt or None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: "Block | None" = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------- top level
+
+
+@dataclass
+class Param:
+    name: str
+    type: Type
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: Type
+    params: list[Param]
+    body: Block | None            #: None for extern declarations
+    line: int = 0
+    extern: bool = False
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    type: Type
+    init: Expr | None = None      #: constant initializer (literal) or None
+    line: int = 0
+
+
+@dataclass
+class Unit:
+    """One translation unit."""
+
+    globals: list[GlobalVar] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

@@ -1,0 +1,792 @@
+"""MiniC code generator: typed AST walk emitting assembly text.
+
+Conventions (matching the ABI in :mod:`repro.isa.registers`):
+
+* integer/pointer/char arguments use ``a0``–``a7`` in order of the
+  integer-typed parameters; float arguments use ``fa0``–``fa7`` likewise;
+* results come back in ``a0``/``fa0``;
+* every function keeps a frame pointer: ``fp`` = sp at entry, saved ``ra`` at
+  ``fp-8``, saved caller ``fp`` at ``fp-16``, locals below;
+* all locals (including parameters) live in memory slots — like ``-O0``
+  compiled C.  This is deliberate: the stack-area memory traffic the tQUAD
+  paper analyses (stack include/exclude ratios in Tables II and IV) only
+  exists because real compiled code spills to its frame;
+* expression evaluation uses the caller-saved ``t``/``ft`` register pools as
+  an operand stack; live temporaries are saved around calls.
+
+``char`` is unsigned (loads use ``lbu``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast
+from .errors import MiniCError
+from .types import (ArrayType, CHAR, FLOAT, INT, PtrType, Type, VOID,
+                    assignable, binary_result)
+
+_INT_TEMPS = tuple(f"t{i}" for i in range(10))
+_FLOAT_TEMPS = tuple(f"ft{i}" for i in range(12))
+_MAX_ARGS = 8
+
+#: Intrinsics lowered to single instructions instead of calls.
+_FLOAT_INTRINSICS = {"__sqrt": "fsqrt", "__sin": "fsin", "__cos": "fcos",
+                     "__fabs": "fabs"}
+
+
+@dataclass
+class Value:
+    """An evaluated expression: a type plus the register holding it."""
+
+    type: Type
+    reg: str          #: "tN" or "ftN"
+
+    @property
+    def is_float_reg(self) -> bool:
+        return self.reg.startswith("ft")
+
+
+@dataclass
+class VarInfo:
+    kind: str         #: 'local' | 'global'
+    type: Type
+    offset: int = 0   #: fp-relative offset for locals
+    label: str = ""   #: data label for globals
+
+
+@dataclass
+class FuncSig:
+    name: str
+    ret: Type
+    params: tuple[Type, ...]
+
+
+class RegPool:
+    """Stack-disciplined temporary register allocator."""
+
+    def __init__(self, names: tuple[str, ...], what: str):
+        self.names = names
+        self.what = what
+        self.in_use: list[str] = []
+
+    def alloc(self, line: int = 0) -> str:
+        for name in self.names:
+            if name not in self.in_use:
+                self.in_use.append(name)
+                return name
+        raise MiniCError(
+            f"expression too complex: out of {self.what} temporaries",
+            line=line)
+
+    def free(self, reg: str) -> None:
+        self.in_use.remove(reg)
+
+    def live(self) -> list[str]:
+        return list(self.in_use)
+
+
+class UnitContext:
+    """Shared state across the functions of one translation unit."""
+
+    def __init__(self, unit: ast.Unit, *, prefix: str = ""):
+        self.prefix = prefix
+        self.sigs: dict[str, FuncSig] = {}
+        self.globals: dict[str, VarInfo] = {}
+        self.strings: list[tuple[str, str]] = []   # (label, text)
+        self._label_n = 0
+        self._str_n = 0
+        for f in unit.functions:
+            sig = FuncSig(f.name, f.ret,
+                          tuple(p.type.decay() for p in f.params))
+            if f.name in self.sigs and self.sigs[f.name] != sig:
+                raise MiniCError(f"conflicting declarations of {f.name}",
+                                 line=f.line)
+            self.sigs[f.name] = sig
+        for g in unit.globals:
+            if g.name in self.globals:
+                raise MiniCError(f"duplicate global {g.name}", line=g.line)
+            self.globals[g.name] = VarInfo(kind="global", type=g.type,
+                                           label=f"g_{prefix}{g.name}")
+
+    def new_label(self, hint: str) -> str:
+        self._label_n += 1
+        return f".L{self.prefix}{hint}_{self._label_n}"
+
+    def intern_string(self, text: str) -> str:
+        label = f".Lstr_{self.prefix}{self._str_n}"
+        self._str_n += 1
+        self.strings.append((label, text))
+        return label
+
+
+def _load_op(ty: Type) -> str:
+    if ty.is_float():
+        return "fld"
+    if ty == CHAR:
+        return "lbu"
+    return "ld"
+
+
+def _store_op(ty: Type) -> str:
+    if ty.is_float():
+        return "fsd"
+    if ty == CHAR:
+        return "sb"
+    return "sd"
+
+
+class FuncCodegen:
+    """Generates the body of a single function."""
+
+    def __init__(self, ctx: UnitContext, func: ast.FuncDef):
+        self.ctx = ctx
+        self.func = func
+        self.out: list[str] = []
+        self.itemps = RegPool(_INT_TEMPS, "integer")
+        self.ftemps = RegPool(_FLOAT_TEMPS, "float")
+        self.vars: dict[str, VarInfo] = {}
+        self.scopes: list[list[str]] = []
+        self.next_offset = -24            # below saved ra (-8) and fp (-16)
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+        self.ret_label = ctx.new_label(f"ret_{func.name}")
+        self.seen_return = False
+
+    # ----------------------------------------------------------- emission
+    def emit(self, text: str) -> None:
+        self.out.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.out.append(f"{label}:")
+
+    # ---------------------------------------------------------- generation
+    def generate(self) -> list[str]:
+        f = self.func
+        if len([p for p in f.params if p.type.decay().is_float()]) > _MAX_ARGS \
+                or len([p for p in f.params
+                        if not p.type.decay().is_float()]) > _MAX_ARGS:
+            raise MiniCError(f"too many parameters in {f.name}", line=f.line)
+        self.scopes.append([])
+        # Parameter slots + stores from argument registers.
+        int_idx = 0
+        float_idx = 0
+        param_stores: list[str] = []
+        for p in f.params:
+            ty = p.type.decay()
+            info = self._declare(p.name, ty, p.line)
+            if ty.is_float():
+                param_stores.append(f"fsd fa{float_idx}, {info.offset}(fp)")
+                float_idx += 1
+            else:
+                op = _store_op(ty)
+                param_stores.append(f"{op} a{int_idx}, {info.offset}(fp)")
+                int_idx += 1
+        for stmt in f.body.body:
+            self.gen_stmt(stmt)
+        self.scopes.pop()
+        # Frame: 16 bytes saved regs + locals, rounded up to 16.
+        frame = ((-self.next_offset) + 15) & ~15
+        head = [
+            f"    .func {f.name}",
+            f"{f.name}:",
+            f"    addi sp, sp, -{frame}",
+            f"    sd ra, {frame - 8}(sp)",
+            f"    sd fp, {frame - 16}(sp)",
+            f"    addi fp, sp, {frame}",
+        ] + ["    " + s for s in param_stores]
+        # Epilogue keeps every read at or above SP so the profilers' stack
+        # classification (address >= SP) stays exact.
+        tail = [
+            f"{self.ret_label}:",
+            "    ld ra, -8(fp)",
+            "    addi sp, fp, -16",
+            "    ld fp, 0(sp)",
+            "    addi sp, sp, 16",
+            "    ret",
+            "    .endfunc",
+        ]
+        if not f.ret.is_void() and not self.seen_return:
+            raise MiniCError(f"function {f.name} returns {f.ret} but has no "
+                             "return statement", line=f.line)
+        # Fall through to the epilogue for void functions.
+        return head + self.out + tail
+
+    # ------------------------------------------------------------ scoping
+    def _declare(self, name: str, ty: Type, line: int) -> VarInfo:
+        if name in self.vars and name in self.scopes[-1]:
+            raise MiniCError(f"redeclaration of {name}", line=line)
+        size = (ty.sizeof() + 7) & ~7
+        self.next_offset -= size
+        info = VarInfo(kind="local", type=ty, offset=self.next_offset)
+        self.scopes[-1].append(name)
+        self._shadow_stack = getattr(self, "_shadow_stack", {})
+        self._shadow_stack.setdefault(name, []).append(self.vars.get(name))
+        self.vars[name] = info
+        return info
+
+    def _enter_scope(self) -> None:
+        self.scopes.append([])
+
+    def _leave_scope(self) -> None:
+        for name in self.scopes.pop():
+            prev = self._shadow_stack[name].pop()
+            if prev is None:
+                del self.vars[name]
+            else:
+                self.vars[name] = prev
+
+    def _lookup(self, name: str, line: int) -> VarInfo:
+        info = self.vars.get(name) or self.ctx.globals.get(name)
+        if info is None:
+            raise MiniCError(f"undeclared identifier {name!r}", line=line)
+        return info
+
+    # ---------------------------------------------------------- statements
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.VarDecl):
+            self.gen_var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            v = self.gen_expr(stmt.expr)
+            if v is not None:
+                self.free_value(v)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.gen_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise MiniCError("break outside loop", line=stmt.line)
+            self.emit(f"j {self.loop_stack[-1][1]}")
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise MiniCError("continue outside loop", line=stmt.line)
+            self.emit(f"j {self.loop_stack[-1][0]}")
+        elif isinstance(stmt, ast.Block):
+            self._enter_scope()
+            for s in stmt.body:
+                self.gen_stmt(s)
+            self._leave_scope()
+        else:  # pragma: no cover - parser produces no other nodes
+            raise MiniCError(f"unhandled statement {type(stmt).__name__}",
+                             line=stmt.line)
+
+    def gen_var_decl(self, stmt: ast.VarDecl) -> None:
+        info = self._declare(stmt.name, stmt.type, stmt.line)
+        if stmt.init is not None:
+            v = self.gen_expr(stmt.init)
+            v = self.convert(v, info.type, stmt.line)
+            self.emit(f"{_store_op(info.type)} {v.reg}, {info.offset}(fp)")
+            self.free_value(v)
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        # Fast path: scalar variable.
+        if isinstance(target, ast.Name):
+            info = self._lookup(target.ident, stmt.line)
+            if info.type.is_array():
+                raise MiniCError("cannot assign to an array", line=stmt.line)
+            v = self.gen_expr(stmt.value)
+            v = self.convert(v, info.type, stmt.line)
+            if info.kind == "local":
+                self.emit(f"{_store_op(info.type)} {v.reg}, "
+                          f"{info.offset}(fp)")
+            else:
+                addr = self.itemps.alloc(stmt.line)
+                self.emit(f"la {addr}, {info.label}")
+                self.emit(f"{_store_op(info.type)} {v.reg}, 0({addr})")
+                self.itemps.free(addr)
+            self.free_value(v)
+            return
+        addr_reg, elem_ty = self.gen_lvalue_address(target)
+        v = self.gen_expr(stmt.value)
+        v = self.convert(v, elem_ty, stmt.line)
+        self.emit(f"{_store_op(elem_ty)} {v.reg}, 0({addr_reg})")
+        self.free_value(v)
+        self.itemps.free(addr_reg)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        else_label = self.ctx.new_label("else")
+        end_label = self.ctx.new_label("endif")
+        self.gen_branch_if_false(stmt.cond,
+                                 else_label if stmt.orelse else end_label)
+        self.gen_stmt(stmt.then)
+        if stmt.orelse is not None:
+            self.emit(f"j {end_label}")
+            self.emit_label(else_label)
+            self.gen_stmt(stmt.orelse)
+        self.emit_label(end_label)
+
+    def gen_while(self, stmt: ast.While) -> None:
+        top = self.ctx.new_label("while")
+        end = self.ctx.new_label("endwhile")
+        self.emit_label(top)
+        self.gen_branch_if_false(stmt.cond, end)
+        self.loop_stack.append((top, end))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit(f"j {top}")
+        self.emit_label(end)
+
+    def gen_do_while(self, stmt: ast.DoWhile) -> None:
+        top = self.ctx.new_label("do")
+        cond_label = self.ctx.new_label("docond")
+        end = self.ctx.new_label("enddo")
+        self.emit_label(top)
+        self.loop_stack.append((cond_label, end))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit_label(cond_label)
+        self.gen_branch_if_false(stmt.cond, end)
+        self.emit(f"j {top}")
+        self.emit_label(end)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        self._enter_scope()
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        top = self.ctx.new_label("for")
+        step_label = self.ctx.new_label("forstep")
+        end = self.ctx.new_label("endfor")
+        self.emit_label(top)
+        if stmt.cond is not None:
+            self.gen_branch_if_false(stmt.cond, end)
+        self.loop_stack.append((step_label, end))
+        self.gen_stmt(stmt.body)
+        self.loop_stack.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.emit(f"j {top}")
+        self.emit_label(end)
+        self._leave_scope()
+
+    def gen_return(self, stmt: ast.Return) -> None:
+        self.seen_return = True
+        ret = self.func.ret
+        if stmt.value is None:
+            if not ret.is_void():
+                raise MiniCError("return without value in non-void function",
+                                 line=stmt.line)
+        else:
+            if ret.is_void():
+                raise MiniCError("return with value in void function",
+                                 line=stmt.line)
+            v = self.gen_expr(stmt.value)
+            v = self.convert(v, ret, stmt.line)
+            if ret.is_float():
+                self.emit(f"fmv fa0, {v.reg}")
+            else:
+                self.emit(f"mv a0, {v.reg}")
+            self.free_value(v)
+        self.emit(f"j {self.ret_label}")
+
+    # ---------------------------------------------------------- conditions
+    def gen_branch_if_false(self, cond: ast.Expr, label: str) -> None:
+        """Emit a test of ``cond`` that jumps to ``label`` when false."""
+        # Comparison operators fold directly into branches.
+        if isinstance(cond, ast.Binary) and cond.op in (
+                "==", "!=", "<", "<=", ">", ">="):
+            lhs = self.gen_expr(cond.lhs)
+            rhs = self.gen_expr(cond.rhs)
+            if lhs.type.decay().is_float() or rhs.type.decay().is_float():
+                v = self._float_compare(cond.op, lhs, rhs, cond.line)
+                self.emit(f"beqz {v.reg}, {label}")
+                self.free_value(v)
+                return
+            inverse = {"==": "bne", "!=": "beq", "<": "bge", "<=": "bgt",
+                       ">": "ble", ">=": "blt"}[cond.op]
+            self.emit(f"{inverse} {lhs.reg}, {rhs.reg}, {label}")
+            self.free_value(rhs)
+            self.free_value(lhs)
+            return
+        v = self.gen_expr(cond)
+        v = self._truth_value(v, cond.line)
+        self.emit(f"beqz {v.reg}, {label}")
+        self.free_value(v)
+
+    def _truth_value(self, v: Value, line: int) -> Value:
+        """Convert any scalar value to an int 0/1-ish register."""
+        if not v.is_float_reg:
+            return v
+        zero = self.ftemps.alloc(line)
+        out = self.itemps.alloc(line)
+        self.emit(f"fli {zero}, 0.0")
+        self.emit(f"feq {out}, {v.reg}, {zero}")
+        self.emit(f"xori {out}, {out}, 1")
+        self.ftemps.free(zero)
+        self.free_value(v)
+        return Value(INT, out)
+
+    # ---------------------------------------------------------- expressions
+    def gen_expr(self, expr: ast.Expr) -> Value | None:
+        """Evaluate ``expr``; returns None only for void calls."""
+        if isinstance(expr, ast.IntLit):
+            reg = self.itemps.alloc(expr.line)
+            self.emit(f"li {reg}, {expr.value}")
+            return Value(INT, reg)
+        if isinstance(expr, ast.CharLit):
+            reg = self.itemps.alloc(expr.line)
+            self.emit(f"li {reg}, {expr.value}")
+            return Value(CHAR, reg)
+        if isinstance(expr, ast.FloatLit):
+            reg = self.ftemps.alloc(expr.line)
+            self.emit(f"fli {reg}, {expr.value!r}")
+            return Value(FLOAT, reg)
+        if isinstance(expr, ast.StrLit):
+            label = self.ctx.intern_string(expr.value)
+            reg = self.itemps.alloc(expr.line)
+            self.emit(f"la {reg}, {label}")
+            return Value(PtrType(CHAR), reg)
+        if isinstance(expr, ast.Name):
+            return self.gen_name(expr)
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr)
+        if isinstance(expr, ast.Index):
+            addr, elem_ty = self.gen_lvalue_address(expr)
+            return self._load_from(addr, elem_ty, expr.line)
+        if isinstance(expr, ast.Cast):
+            return self.gen_cast(expr)
+        raise MiniCError(f"unhandled expression {type(expr).__name__}",
+                         line=expr.line)  # pragma: no cover
+
+    def gen_name(self, expr: ast.Name) -> Value:
+        info = self._lookup(expr.ident, expr.line)
+        ty = info.type
+        if ty.is_array():
+            # decay to pointer: the value is the address
+            reg = self.itemps.alloc(expr.line)
+            if info.kind == "local":
+                self.emit(f"addi {reg}, fp, {info.offset}")
+            else:
+                self.emit(f"la {reg}, {info.label}")
+            return Value(PtrType(ty.elem), reg)
+        if info.kind == "local":
+            if ty.is_float():
+                reg = self.ftemps.alloc(expr.line)
+            else:
+                reg = self.itemps.alloc(expr.line)
+            self.emit(f"{_load_op(ty)} {reg}, {info.offset}(fp)")
+            return Value(ty, reg)
+        addr = self.itemps.alloc(expr.line)
+        self.emit(f"la {addr}, {info.label}")
+        v = self._load_from(addr, ty, expr.line)
+        return v
+
+    def _load_from(self, addr_reg: str, ty: Type, line: int) -> Value:
+        """Load a scalar through ``addr_reg`` and free the address temp."""
+        if ty.is_float():
+            reg = self.ftemps.alloc(line)
+            self.emit(f"fld {reg}, 0({addr_reg})")
+            self.itemps.free(addr_reg)
+            return Value(ty, reg)
+        self.emit(f"{_load_op(ty)} {addr_reg}, 0({addr_reg})")
+        return Value(ty, addr_reg)
+
+    def gen_lvalue_address(self, expr: ast.Expr) -> tuple[str, Type]:
+        """Evaluate an lvalue to (address register, element type)."""
+        if isinstance(expr, ast.Name):
+            info = self._lookup(expr.ident, expr.line)
+            if info.type.is_array():
+                raise MiniCError("array is not a scalar lvalue",
+                                 line=expr.line)
+            reg = self.itemps.alloc(expr.line)
+            if info.kind == "local":
+                self.emit(f"addi {reg}, fp, {info.offset}")
+            else:
+                self.emit(f"la {reg}, {info.label}")
+            return reg, info.type
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            v = self.gen_expr(expr.operand)
+            ty = v.type.decay()
+            if not ty.is_pointer():
+                raise MiniCError(f"cannot dereference {v.type}",
+                                 line=expr.line)
+            return v.reg, ty.elem
+        if isinstance(expr, ast.Index):
+            base = self.gen_expr(expr.base)
+            bty = base.type.decay()
+            if not bty.is_pointer():
+                raise MiniCError(f"cannot index {base.type}", line=expr.line)
+            idx = self.gen_expr(expr.index)
+            if idx.is_float_reg:
+                raise MiniCError("array index must be an integer",
+                                 line=expr.line)
+            elem = bty.elem
+            size = elem.sizeof()
+            if size == 8:
+                self.emit(f"slli {idx.reg}, {idx.reg}, 3")
+            elif size != 1:  # pragma: no cover - no such element types
+                self.emit(f"muli {idx.reg}, {idx.reg}, {size}")
+            self.emit(f"add {base.reg}, {base.reg}, {idx.reg}")
+            self.itemps.free(idx.reg)
+            return base.reg, elem
+        raise MiniCError("expression is not an lvalue", line=expr.line)
+
+    def gen_unary(self, expr: ast.Unary) -> Value:
+        op = expr.op
+        if op == "&":
+            reg, ty = self.gen_lvalue_address(expr.operand)
+            return Value(PtrType(ty), reg)
+        if op == "*":
+            addr, ty = self.gen_lvalue_address(expr)
+            return self._load_from(addr, ty, expr.line)
+        v = self.gen_expr(expr.operand)
+        if op == "-":
+            if v.is_float_reg:
+                self.emit(f"fneg {v.reg}, {v.reg}")
+            else:
+                self.emit(f"neg {v.reg}, {v.reg}")
+            return v
+        if op == "~":
+            if v.is_float_reg:
+                raise MiniCError("~ requires an integer", line=expr.line)
+            self.emit(f"not {v.reg}, {v.reg}")
+            return v
+        if op == "!":
+            v = self._truth_value(v, expr.line)
+            self.emit(f"xori {v.reg}, {v.reg}, 1")
+            # normalise to exactly 0/1
+            self.emit(f"andi {v.reg}, {v.reg}, 1")
+            return Value(INT, v.reg)
+        raise MiniCError(f"unhandled unary {op}", line=expr.line)
+
+    def gen_binary(self, expr: ast.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.gen_logical(expr)
+        lhs = self.gen_expr(expr.lhs)
+        rhs = self.gen_expr(expr.rhs)
+        result_ty = binary_result(op, lhs.type, rhs.type, line=expr.line)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lhs.type.decay().is_float() or rhs.type.decay().is_float():
+                return self._float_compare(op, lhs, rhs, expr.line)
+            return self._int_compare(op, lhs, rhs, expr.line)
+        if result_ty.is_float():
+            lhs = self.convert(lhs, FLOAT, expr.line)
+            rhs = self.convert(rhs, FLOAT, expr.line)
+            mnem = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}[op]
+            self.emit(f"{mnem} {lhs.reg}, {lhs.reg}, {rhs.reg}")
+            self.free_value(rhs)
+            return Value(FLOAT, lhs.reg)
+        # pointer arithmetic
+        lty, rty = lhs.type.decay(), rhs.type.decay()
+        if lty.is_pointer() or rty.is_pointer():
+            return self._pointer_arith(op, lhs, rhs, result_ty, expr.line)
+        mnem = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+                "&": "and", "|": "or", "^": "xor", "<<": "sll",
+                ">>": "sra"}[op]
+        self.emit(f"{mnem} {lhs.reg}, {lhs.reg}, {rhs.reg}")
+        self.free_value(rhs)
+        return Value(INT, lhs.reg)
+
+    def _pointer_arith(self, op: str, lhs: Value, rhs: Value,
+                       result_ty: Type, line: int) -> Value:
+        lty, rty = lhs.type.decay(), rhs.type.decay()
+        if lty.is_pointer() and rty.is_pointer():
+            # pointer difference, in elements
+            self.emit(f"sub {lhs.reg}, {lhs.reg}, {rhs.reg}")
+            shift = 3 if lty.elem.sizeof() == 8 else 0
+            if shift:
+                self.emit(f"srai {lhs.reg}, {lhs.reg}, {shift}")
+            self.free_value(rhs)
+            return Value(INT, lhs.reg)
+        if rty.is_pointer():  # int + ptr
+            lhs, rhs = rhs, lhs
+            lty, rty = rty, lty
+        size = lty.elem.sizeof()
+        if size == 8:
+            self.emit(f"slli {rhs.reg}, {rhs.reg}, 3")
+        elif size != 1:  # pragma: no cover
+            self.emit(f"muli {rhs.reg}, {rhs.reg}, {size}")
+        mnem = "add" if op == "+" else "sub"
+        self.emit(f"{mnem} {lhs.reg}, {lhs.reg}, {rhs.reg}")
+        self.free_value(rhs)
+        return Value(result_ty, lhs.reg)
+
+    def _int_compare(self, op: str, lhs: Value, rhs: Value,
+                     line: int) -> Value:
+        a, b = lhs.reg, rhs.reg
+        if op == ">":
+            op, a, b = "<", b, a
+        elif op == ">=":
+            op, a, b = "<=", b, a
+        mnem = {"==": "seq", "!=": "sne", "<": "slt", "<=": "sle"}[op]
+        self.emit(f"{mnem} {lhs.reg}, {a}, {b}")
+        self.free_value(rhs)
+        return Value(INT, lhs.reg)
+
+    def _float_compare(self, op: str, lhs: Value, rhs: Value,
+                       line: int) -> Value:
+        lhs = self.convert(lhs, FLOAT, line)
+        rhs = self.convert(rhs, FLOAT, line)
+        out = self.itemps.alloc(line)
+        a, b = lhs.reg, rhs.reg
+        negate = False
+        if op == ">":
+            a, b = b, a
+            op = "<"
+        elif op == ">=":
+            a, b = b, a
+            op = "<="
+        elif op == "!=":
+            op = "=="
+            negate = True
+        mnem = {"==": "feq", "<": "flt", "<=": "fle"}[op]
+        self.emit(f"{mnem} {out}, {a}, {b}")
+        if negate:
+            self.emit(f"xori {out}, {out}, 1")
+        self.free_value(lhs)
+        self.free_value(rhs)
+        return Value(INT, out)
+
+    def gen_logical(self, expr: ast.Binary) -> Value:
+        out = self.itemps.alloc(expr.line)
+        end = self.ctx.new_label("sc_end")
+        lhs = self.gen_expr(expr.lhs)
+        lhs = self._truth_value(lhs, expr.line)
+        self.emit(f"sne {out}, {lhs.reg}, zero")
+        self.free_value(lhs)
+        if expr.op == "&&":
+            self.emit(f"beqz {out}, {end}")
+        else:
+            self.emit(f"bnez {out}, {end}")
+        rhs = self.gen_expr(expr.rhs)
+        rhs = self._truth_value(rhs, expr.line)
+        self.emit(f"sne {out}, {rhs.reg}, zero")
+        self.free_value(rhs)
+        self.emit_label(end)
+        return Value(INT, out)
+
+    def gen_cast(self, expr: ast.Cast) -> Value:
+        v = self.gen_expr(expr.operand)
+        target = expr.target
+        if target.is_void():
+            raise MiniCError("cannot cast to void", line=expr.line)
+        return self.convert(v, target, expr.line, explicit=True)
+
+    def gen_call(self, expr: ast.Call) -> Value | None:
+        name = expr.func
+        line = expr.line
+        if name in _FLOAT_INTRINSICS:
+            if len(expr.args) != 1:
+                raise MiniCError(f"{name} takes one argument", line=line)
+            v = self.gen_expr(expr.args[0])
+            v = self.convert(v, FLOAT, line)
+            self.emit(f"{_FLOAT_INTRINSICS[name]} {v.reg}, {v.reg}")
+            return v
+        if name == "__prefetch":
+            if len(expr.args) != 1:
+                raise MiniCError("__prefetch takes one argument", line=line)
+            v = self.gen_expr(expr.args[0])
+            if v.is_float_reg or not v.type.decay().is_pointer():
+                raise MiniCError("__prefetch needs a pointer", line=line)
+            self.emit(f"prefetch zero, 0({v.reg})")
+            self.free_value(v)
+            zero = self.itemps.alloc(line)
+            self.emit(f"li {zero}, 0")
+            return Value(INT, zero)
+        sig = self.ctx.sigs.get(name)
+        if sig is None:
+            raise MiniCError(f"call to undeclared function {name!r}",
+                             line=line)
+        if len(expr.args) != len(sig.params):
+            raise MiniCError(
+                f"{name} expects {len(sig.params)} arguments, got "
+                f"{len(expr.args)}", line=line)
+        # Evaluate arguments left to right into temporaries.
+        arg_values: list[Value] = []
+        for arg, pty in zip(expr.args, sig.params):
+            v = self.gen_expr(arg)
+            if v is None:
+                raise MiniCError("void value used as argument", line=line)
+            v = self.convert(v, pty, line)
+            arg_values.append(v)
+        # Move into the argument registers, then release the temps.
+        int_idx = 0
+        float_idx = 0
+        for v in arg_values:
+            if v.is_float_reg:
+                self.emit(f"fmv fa{float_idx}, {v.reg}")
+                float_idx += 1
+            else:
+                self.emit(f"mv a{int_idx}, {v.reg}")
+                int_idx += 1
+            self.free_value(v)
+        # Save every live caller-saved temp across the call.
+        live_i = self.itemps.live()
+        live_f = self.ftemps.live()
+        total = len(live_i) + len(live_f)
+        if total:
+            self.emit(f"addi sp, sp, -{8 * total}")
+            slot = 0
+            for r in live_i:
+                self.emit(f"sd {r}, {8 * slot}(sp)")
+                slot += 1
+            for r in live_f:
+                self.emit(f"fsd {r}, {8 * slot}(sp)")
+                slot += 1
+        self.emit(f"call {name}")
+        if total:
+            slot = 0
+            for r in live_i:
+                self.emit(f"ld {r}, {8 * slot}(sp)")
+                slot += 1
+            for r in live_f:
+                self.emit(f"fld {r}, {8 * slot}(sp)")
+                slot += 1
+            self.emit(f"addi sp, sp, {8 * total}")
+        if sig.ret.is_void():
+            return None
+        if sig.ret.is_float():
+            reg = self.ftemps.alloc(line)
+            self.emit(f"fmv {reg}, fa0")
+            return Value(FLOAT, reg)
+        reg = self.itemps.alloc(line)
+        self.emit(f"mv {reg}, a0")
+        return Value(sig.ret, reg)
+
+    # ---------------------------------------------------------- conversions
+    def convert(self, v: Value | None, target: Type, line: int,
+                *, explicit: bool = False) -> Value:
+        if v is None:
+            raise MiniCError("void value used in expression", line=line)
+        src = v.type.decay()
+        target = target.decay()
+        if not explicit and not assignable(target, src):
+            raise MiniCError(f"cannot convert {src} to {target}", line=line)
+        if target.is_float():
+            if v.is_float_reg:
+                return Value(FLOAT, v.reg)
+            reg = self.ftemps.alloc(line)
+            self.emit(f"fcvt.f.i {reg}, {v.reg}")
+            self.itemps.free(v.reg)
+            return Value(FLOAT, reg)
+        # integer-ish / pointer target
+        if v.is_float_reg:
+            reg = self.itemps.alloc(line)
+            self.emit(f"fcvt.i.f {reg}, {v.reg}")
+            self.ftemps.free(v.reg)
+            v = Value(INT, reg)
+        if target == CHAR and v.type != CHAR:
+            self.emit(f"andi {v.reg}, {v.reg}, 255")
+        return Value(target, v.reg)
+
+    def free_value(self, v: Value | None) -> None:
+        if v is None:
+            return
+        if v.is_float_reg:
+            self.ftemps.free(v.reg)
+        else:
+            self.itemps.free(v.reg)

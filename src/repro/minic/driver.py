@@ -1,0 +1,108 @@
+"""Compiler driver: MiniC source → assembly → loadable Program."""
+
+from __future__ import annotations
+
+from ..asmkit import assemble
+from ..vm.program import Program
+from . import ast
+from .codegen import FuncCodegen, FuncSig, UnitContext
+from .errors import MiniCError
+from .parser import parse
+from .runtime import RUNTIME_ASM, RUNTIME_SIGNATURES
+from .types import ArrayType, CHAR, Type
+
+
+def _inject_runtime_sigs(ctx: UnitContext) -> None:
+    for name, (ret, params) in RUNTIME_SIGNATURES.items():
+        ctx.sigs.setdefault(name, FuncSig(name, ret, tuple(params)))
+
+
+def _global_data_lines(g: ast.GlobalVar, label: str) -> list[str]:
+    """Emit the .data lines for one global variable."""
+    lines = [f"    .align 8", f"{label}:"]
+    ty: Type = g.type
+    init = g.init
+    if isinstance(ty, ArrayType):
+        size = ty.sizeof()
+        if init is None:
+            lines.append(f"    .space {size}")
+        elif isinstance(init, ast.StrLit) and ty.elem == CHAR:
+            data = init.value
+            if len(data) + 1 > ty.length:
+                raise MiniCError(
+                    f"string initializer too long for {g.name}", line=g.line)
+            escaped = (data.replace("\\", "\\\\").replace('"', '\\"')
+                       .replace("\n", "\\n").replace("\t", "\\t")
+                       .replace("\r", "\\r").replace("\0", "\\0"))
+            lines.append(f'    .asciz "{escaped}"')
+            pad = ty.length - len(data) - 1
+            if pad:
+                lines.append(f"    .space {pad}")
+        else:
+            raise MiniCError(f"bad array initializer for {g.name}",
+                             line=g.line)
+        return lines
+    if ty.is_float():
+        if init is None:
+            value = 0.0
+        elif isinstance(init, (ast.FloatLit, ast.IntLit)):
+            value = float(init.value)
+        else:
+            raise MiniCError(f"bad initializer for {g.name}", line=g.line)
+        lines.append(f"    .f64 {value!r}")
+        return lines
+    # int / char / pointer scalars: one 8-byte slot for int/ptr, 1 for char
+    if init is None:
+        value = 0
+    elif isinstance(init, (ast.IntLit, ast.CharLit)):
+        value = init.value
+    else:
+        raise MiniCError(f"bad initializer for {g.name}", line=g.line)
+    if ty == CHAR:
+        lines.append(f"    .byte {value & 0xFF}")
+    else:
+        lines.append(f"    .i64 {value}")
+    return lines
+
+
+def compile_unit(source: str, *, prefix: str = "",
+                 image: str = "main") -> str:
+    """Compile one MiniC translation unit to assembly text."""
+    unit = parse(source)
+    ctx = UnitContext(unit, prefix=prefix)
+    _inject_runtime_sigs(ctx)
+    text_lines: list[str] = ["    .text", f"    .image {image}"]
+    for f in unit.functions:
+        if f.extern or f.body is None:
+            continue
+        text_lines.extend(FuncCodegen(ctx, f).generate())
+    data_lines: list[str] = ["    .data"]
+    for g in unit.globals:
+        data_lines.extend(_global_data_lines(g, ctx.globals[g.name].label))
+    for label, text in ctx.strings:
+        escaped = (text.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t")
+                   .replace("\r", "\\r").replace("\0", "\\0"))
+        data_lines.append(f"{label}:")
+        data_lines.append(f'    .asciz "{escaped}"')
+    return "\n".join(data_lines + text_lines) + "\n"
+
+
+def build_program(sources: str | list[str], *, with_runtime: bool = True,
+                  entry: str | None = None) -> Program:
+    """Compile MiniC source(s) plus the runtime into a loadable Program.
+
+    With the runtime, execution starts at ``_start`` (libc image), which
+    calls ``main`` and exits with its return value.
+    """
+    if isinstance(sources, str):
+        sources = [sources]
+    parts: list[str] = []
+    if entry is not None:
+        parts.append(f"    .global {entry}")
+    for n, source in enumerate(sources):
+        prefix = f"u{n}_" if len(sources) > 1 else ""
+        parts.append(compile_unit(source, prefix=prefix))
+    if with_runtime:
+        parts.append(RUNTIME_ASM)
+    return assemble("\n".join(parts))

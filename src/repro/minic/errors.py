@@ -1,0 +1,19 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """A MiniC front-end or code-generation error with source location."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = ""
+        if line is not None:
+            loc = f"line {line}"
+            if col is not None:
+                loc += f":{col}"
+            loc += ": "
+        super().__init__(loc + message)

@@ -1,0 +1,95 @@
+"""Tokenizer for MiniC.
+
+MiniC is the C-like source language the guest applications (including the
+hArtes-wfs reconstruction) are written in.  The lexer produces a flat token
+stream; ``//`` and ``/* */`` comments are stripped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .errors import MiniCError
+
+KEYWORDS = {
+    "int", "float", "char", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "extern", "do",
+}
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<float>(\d+\.\d*([eE][-+]?\d+)?|\d+[eE][-+]?\d+|\.\d+([eE][-+]?\d+)?))
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<op><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|[-+*/%&|^]=
+          |[-+*/%<>=!&|^~(){}\[\],;])
+""", re.VERBOSE | re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str            #: 'int' | 'float' | 'ident' | 'kw' | 'string' | 'char' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source; raises :class:`MiniCError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            col = pos - line_start + 1
+            raise MiniCError(f"unexpected character {source[pos]!r}",
+                             line=line, col=col)
+        kind = m.lastgroup
+        text = m.group()
+        col = pos - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rindex("\n") + 1
+        elif kind == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line, col))
+        else:
+            tokens.append(Token(kind, text, line, col))
+        pos = m.end()
+    tokens.append(Token("eof", "", line, n - line_start + 1))
+    return tokens
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            '"': '"', "'": "'"}
+
+
+def unescape_string(text: str, *, line: int = 0) -> str:
+    """Decode a quoted string/char literal body (without the quotes)."""
+    out = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "\\":
+            if i + 1 >= len(text):
+                raise MiniCError("dangling escape in literal", line=line)
+            esc = text[i + 1]
+            if esc not in _ESCAPES:
+                raise MiniCError(f"unknown escape \\{esc}", line=line)
+            out.append(_ESCAPES[esc])
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)

@@ -1,0 +1,439 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import MiniCError
+from .lexer import Token, tokenize, unescape_string
+from .types import ArrayType, CHAR, FLOAT, INT, PtrType, Type, VOID
+
+_TYPE_KWS = {"int": INT, "float": FLOAT, "char": CHAR, "void": VOID}
+
+# binary operator precedence: higher binds tighter
+_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------- cursor
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, ahead: int = 1) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        t = self.tokens[self.pos]
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        t = self.tok
+        if t.kind == kind and (text is None or t.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        t = self.accept(kind, text)
+        if t is None:
+            want = text if text is not None else kind
+            raise MiniCError(
+                f"expected {want!r}, found {self.tok.text or 'end of input'!r}",
+                line=self.tok.line, col=self.tok.col)
+        return t
+
+    def at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.text in _TYPE_KWS
+
+    # ------------------------------------------------------------ top level
+    def parse_unit(self) -> ast.Unit:
+        unit = ast.Unit()
+        while self.tok.kind != "eof":
+            if self.accept("kw", "extern"):
+                unit.functions.append(self._func_decl(extern=True))
+                continue
+            if not self.at_type():
+                raise MiniCError(
+                    f"expected declaration, found {self.tok.text!r}",
+                    line=self.tok.line, col=self.tok.col)
+            save = self.pos
+            base = self._parse_type()
+            name = self.expect("ident")
+            if self.tok.text == "(":
+                self.pos = save
+                unit.functions.append(self._func_decl(extern=False))
+            else:
+                self.pos = save
+                unit.globals.append(self._global_var())
+        return unit
+
+    def _parse_type(self) -> Type:
+        t = self.expect("kw")
+        if t.text not in _TYPE_KWS:
+            raise MiniCError(f"not a type: {t.text!r}", line=t.line)
+        ty: Type = _TYPE_KWS[t.text]
+        while self.accept("op", "*"):
+            ty = PtrType(ty)
+        return ty
+
+    def _func_decl(self, *, extern: bool) -> ast.FuncDef:
+        ret = self._parse_type()
+        name_tok = self.expect("ident")
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.accept("op", ")"):
+            if self.tok.kind == "kw" and self.tok.text == "void" \
+                    and self.peek().text == ")":
+                self.advance()
+            else:
+                while True:
+                    pty = self._parse_type()
+                    pname = self.expect("ident")
+                    if pty.is_void():
+                        raise MiniCError("void parameter", line=pname.line)
+                    params.append(ast.Param(pname.text, pty, pname.line))
+                    if not self.accept("op", ","):
+                        break
+            self.expect("op", ")")
+        if extern:
+            self.expect("op", ";")
+            body = None
+        else:
+            body = self._block()
+        return ast.FuncDef(name=name_tok.text, ret=ret, params=params,
+                           body=body, line=name_tok.line, extern=extern)
+
+    def _global_var(self) -> ast.GlobalVar:
+        ty = self._parse_type()
+        name_tok = self.expect("ident")
+        ty = self._maybe_array(ty, name_tok.line)
+        init = None
+        if self.accept("op", "="):
+            init = self._const_initializer()
+        self.expect("op", ";")
+        if ty.is_void():
+            raise MiniCError("void variable", line=name_tok.line)
+        return ast.GlobalVar(name=name_tok.text, type=ty, init=init,
+                             line=name_tok.line)
+
+    def _maybe_array(self, ty: Type, line: int) -> Type:
+        if self.accept("op", "["):
+            length_tok = self.expect("int")
+            self.expect("op", "]")
+            length = int(length_tok.text, 0)
+            if length <= 0:
+                raise MiniCError("array length must be positive", line=line)
+            return ArrayType(ty, length)
+        return ty
+
+    def _const_initializer(self) -> ast.Expr:
+        # Literal, optionally negated; or a string literal for char arrays.
+        t = self.tok
+        if t.kind == "string":
+            self.advance()
+            return ast.StrLit(line=t.line,
+                              value=unescape_string(t.text[1:-1], line=t.line))
+        if t.kind == "char":
+            self.advance()
+            body = unescape_string(t.text[1:-1], line=t.line)
+            return ast.CharLit(line=t.line, value=ord(body))
+        neg = bool(self.accept("op", "-"))
+        t = self.tok
+        if t.kind == "int":
+            self.advance()
+            v = int(t.text, 0)
+            return ast.IntLit(line=t.line, value=-v if neg else v)
+        if t.kind == "float":
+            self.advance()
+            v = float(t.text)
+            return ast.FloatLit(line=t.line, value=-v if neg else v)
+        raise MiniCError("global initializers must be literal constants",
+                         line=t.line, col=t.col)
+
+    # ------------------------------------------------------------ statements
+    def _block(self) -> ast.Block:
+        open_tok = self.expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            if self.tok.kind == "eof":
+                raise MiniCError("unterminated block", line=open_tok.line)
+            body.append(self._statement())
+        return ast.Block(line=open_tok.line, body=body)
+
+    def _stmt_as_block(self) -> ast.Block:
+        if self.tok.text == "{":
+            return self._block()
+        stmt = self._statement()
+        return ast.Block(line=stmt.line, body=[stmt])
+
+    def _statement(self) -> ast.Stmt:
+        t = self.tok
+        if t.kind == "kw":
+            if t.text in _TYPE_KWS:
+                return self._var_decl()
+            if t.text == "if":
+                return self._if()
+            if t.text == "while":
+                return self._while()
+            if t.text == "do":
+                return self._do_while()
+            if t.text == "for":
+                return self._for()
+            if t.text == "return":
+                self.advance()
+                value = None
+                if self.tok.text != ";":
+                    value = self._expr()
+                self.expect("op", ";")
+                return ast.Return(line=t.line, value=value)
+            if t.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(line=t.line)
+            if t.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(line=t.line)
+        if t.text == "{":
+            return self._block()
+        stmt = self._simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def _var_decl(self) -> ast.VarDecl:
+        ty = self._parse_type()
+        name_tok = self.expect("ident")
+        ty = self._maybe_array(ty, name_tok.line)
+        if ty.is_void():
+            raise MiniCError("void variable", line=name_tok.line)
+        init = None
+        if self.accept("op", "="):
+            if ty.is_array():
+                raise MiniCError("local arrays cannot have initializers",
+                                 line=name_tok.line)
+            init = self._expr()
+        self.expect("op", ";")
+        return ast.VarDecl(line=name_tok.line, name=name_tok.text,
+                           type=ty, init=init)
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                     "&=": "&", "|=": "|", "^=": "^", "<<=": "<<",
+                     ">>=": ">>"}
+
+    def _simple_stmt(self) -> ast.Stmt:
+        """Assignment, compound assignment, ++/--, or expression statement
+        (no trailing semicolon)."""
+        line = self.tok.line
+        expr = self._expr()
+        if self.accept("op", "="):
+            self._require_lvalue(expr, line)
+            value = self._expr()
+            return ast.Assign(line=line, target=expr, value=value)
+        tok = self.tok
+        if tok.kind == "op" and tok.text in self._COMPOUND_OPS:
+            self.advance()
+            self._require_lvalue(expr, line, simple=True)
+            rhs = self._expr()
+            # desugar: `lv op= e`  =>  `lv = lv op e`
+            value = ast.Binary(line=line, op=self._COMPOUND_OPS[tok.text],
+                               lhs=expr, rhs=rhs)
+            return ast.Assign(line=line, target=expr, value=value)
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            self._require_lvalue(expr, line, simple=True)
+            op = "+" if tok.text == "++" else "-"
+            value = ast.Binary(line=line, op=op, lhs=expr,
+                               rhs=ast.IntLit(line=line, value=1))
+            return ast.Assign(line=line, target=expr, value=value)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    def _require_lvalue(self, expr: ast.Expr, line: int, *,
+                        simple: bool = False) -> None:
+        if not isinstance(expr, (ast.Name, ast.Index)) and \
+                not (isinstance(expr, ast.Unary) and expr.op == "*"):
+            raise MiniCError("assignment target is not an lvalue", line=line)
+        if simple and self._contains_call(expr):
+            # desugared forms evaluate the target expression twice; a call
+            # inside it would run twice, which C does not do
+            raise MiniCError("compound assignment / ++ / -- target must "
+                             "not contain function calls", line=line)
+
+    def _contains_call(self, expr: ast.Expr | None) -> bool:
+        if expr is None:
+            return False
+        if isinstance(expr, ast.Call):
+            return True
+        if isinstance(expr, ast.Unary):
+            return self._contains_call(expr.operand)
+        if isinstance(expr, ast.Binary):
+            return (self._contains_call(expr.lhs)
+                    or self._contains_call(expr.rhs))
+        if isinstance(expr, ast.Index):
+            return (self._contains_call(expr.base)
+                    or self._contains_call(expr.index))
+        if isinstance(expr, ast.Cast):
+            return self._contains_call(expr.operand)
+        return False
+
+    def _if(self) -> ast.If:
+        t = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        then = self._stmt_as_block()
+        orelse = None
+        if self.accept("kw", "else"):
+            orelse = self._stmt_as_block()
+        return ast.If(line=t.line, cond=cond, then=then, orelse=orelse)
+
+    def _while(self) -> ast.While:
+        t = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        body = self._stmt_as_block()
+        return ast.While(line=t.line, cond=cond, body=body)
+
+    def _do_while(self) -> ast.DoWhile:
+        t = self.expect("kw", "do")
+        body = self._stmt_as_block()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self._expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(line=t.line, body=body, cond=cond)
+
+    def _for(self) -> ast.For:
+        t = self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if self.tok.text != ";":
+            init = (self._var_decl_no_semi() if self.at_type()
+                    else self._simple_stmt())
+            self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        cond = None
+        if self.tok.text != ";":
+            cond = self._expr()
+        self.expect("op", ";")
+        step = None
+        if self.tok.text != ")":
+            step = self._simple_stmt()
+        self.expect("op", ")")
+        body = self._stmt_as_block()
+        return ast.For(line=t.line, init=init, cond=cond, step=step,
+                       body=body)
+
+    def _var_decl_no_semi(self) -> ast.VarDecl:
+        ty = self._parse_type()
+        name_tok = self.expect("ident")
+        if ty.is_void():
+            raise MiniCError("void variable", line=name_tok.line)
+        init = None
+        if self.accept("op", "="):
+            init = self._expr()
+        return ast.VarDecl(line=name_tok.line, name=name_tok.text,
+                           type=ty, init=init)
+
+    # ----------------------------------------------------------- expressions
+    def _expr(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        ops = _PRECEDENCE[level]
+        lhs = self._binary(level + 1)
+        while self.tok.kind == "op" and self.tok.text in ops:
+            op = self.advance()
+            rhs = self._binary(level + 1)
+            lhs = ast.Binary(line=op.line, op=op.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def _unary(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "op" and t.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(line=t.line, op=t.text, operand=operand)
+        # cast: '(' type ')' unary
+        if t.text == "(" and self.peek().kind == "kw" \
+                and self.peek().text in _TYPE_KWS:
+            self.advance()
+            target = self._parse_type()
+            self.expect("op", ")")
+            operand = self._unary()
+            return ast.Cast(line=t.line, target=target, operand=operand)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            t = self.tok
+            if t.text == "[":
+                self.advance()
+                index = self._expr()
+                self.expect("op", "]")
+                expr = ast.Index(line=t.line, base=expr, index=index)
+            elif t.text == "(" and isinstance(expr, ast.Name):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                expr = ast.Call(line=t.line, func=expr.ident, args=args)
+            else:
+                return expr
+
+    def _primary(self) -> ast.Expr:
+        t = self.tok
+        if t.kind == "int":
+            self.advance()
+            return ast.IntLit(line=t.line, value=int(t.text, 0))
+        if t.kind == "float":
+            self.advance()
+            return ast.FloatLit(line=t.line, value=float(t.text))
+        if t.kind == "char":
+            self.advance()
+            body = unescape_string(t.text[1:-1], line=t.line)
+            return ast.CharLit(line=t.line, value=ord(body))
+        if t.kind == "string":
+            self.advance()
+            return ast.StrLit(line=t.line,
+                              value=unescape_string(t.text[1:-1], line=t.line))
+        if t.kind == "ident":
+            self.advance()
+            return ast.Name(line=t.line, ident=t.text)
+        if t.text == "(":
+            self.advance()
+            expr = self._expr()
+            self.expect("op", ")")
+            return expr
+        raise MiniCError(f"expected expression, found {t.text!r}",
+                         line=t.line, col=t.col)
+
+
+def parse(source: str) -> ast.Unit:
+    """Parse MiniC source into a :class:`~repro.minic.ast.Unit`."""
+    return Parser(source).parse_unit()

@@ -1,0 +1,208 @@
+"""The MiniC runtime library, written in assembly.
+
+All routines live in the ``libc`` image, so they are exactly what the tQUAD
+paper calls "library and OS routines" — the profilers can include or exclude
+them (paper §IV-C: "the exclusion of memory bandwidth usage data caused by OS
+and library routine calls").
+
+Provided: process control (``_start``/``exit``), file I/O syscall wrappers,
+console output, a bump allocator (``malloc``/``free``), ``memset``,
+``memcpy`` and ``strlen``.
+"""
+
+from __future__ import annotations
+
+from .types import CHAR, FLOAT, INT, PtrType, VOID
+
+#: Signatures the compiler injects so MiniC code can call the runtime
+#: without writing extern declarations.
+RUNTIME_SIGNATURES: dict[str, tuple[object, tuple[object, ...]]] = {
+    "exit": (VOID, (INT,)),
+    "open": (INT, (PtrType(CHAR), INT)),
+    "close": (INT, (INT,)),
+    "read": (INT, (INT, PtrType(CHAR), INT)),
+    "write": (INT, (INT, PtrType(CHAR), INT)),
+    "seek": (INT, (INT, INT)),
+    "fsize": (INT, (INT,)),
+    "malloc": (PtrType(CHAR), (INT,)),
+    "free": (VOID, (PtrType(CHAR),)),
+    "memset": (VOID, (PtrType(CHAR), INT, INT)),
+    "memcpy": (VOID, (PtrType(CHAR), PtrType(CHAR), INT)),
+    "strlen": (INT, (PtrType(CHAR),)),
+    "print_int": (VOID, (INT,)),
+    "print_float": (VOID, (FLOAT,)),
+    "print_str": (VOID, (PtrType(CHAR),)),
+    "clock": (INT, ()),
+}
+
+RUNTIME_ASM = """
+# ---------------------------------------------------------------- runtime
+    .image libc
+    .text
+
+    .func _start
+_start:
+    call main
+    mv   a1, a0          # exit code = main's return value
+    li   a0, 0           # SYS_EXIT
+    ecall
+    halt                 # not reached
+    .endfunc
+
+    .func exit
+exit:
+    mv   a1, a0
+    li   a0, 0
+    ecall
+    halt
+    .endfunc
+
+    .func open
+open:
+    mv   a2, a1
+    mv   a1, a0
+    li   a0, 1
+    ecall
+    ret
+    .endfunc
+
+    .func close
+close:
+    mv   a1, a0
+    li   a0, 2
+    ecall
+    ret
+    .endfunc
+
+    .func read
+read:
+    mv   a3, a2
+    mv   a2, a1
+    mv   a1, a0
+    li   a0, 3
+    ecall
+    ret
+    .endfunc
+
+    .func write
+write:
+    mv   a3, a2
+    mv   a2, a1
+    mv   a1, a0
+    li   a0, 4
+    ecall
+    ret
+    .endfunc
+
+    .func seek
+seek:
+    mv   a2, a1
+    mv   a1, a0
+    li   a0, 10
+    ecall
+    ret
+    .endfunc
+
+    .func fsize
+fsize:
+    mv   a1, a0
+    li   a0, 11
+    ecall
+    ret
+    .endfunc
+
+    # Bump allocator: malloc(n) rounds n up to 16 and sbrk's it.
+    .func malloc
+malloc:
+    addi a0, a0, 15
+    li   t0, -16
+    and  a1, a0, t0
+    li   a0, 5           # SYS_SBRK
+    ecall
+    ret
+    .endfunc
+
+    .func free
+free:
+    ret                  # bump allocator never frees
+    .endfunc
+
+    .func memset
+memset:
+    # a0 = dst, a1 = byte value, a2 = count
+    add  t0, a0, a2      # end
+ms_loop:
+    bge  a0, t0, ms_done
+    sb   a1, 0(a0)
+    addi a0, a0, 1
+    j    ms_loop
+ms_done:
+    ret
+    .endfunc
+
+    .func memcpy
+memcpy:
+    # a0 = dst, a1 = src, a2 = count; 8 bytes at a time, then tail
+    add  t0, a0, a2      # end of dst
+    addi t1, t0, -7      # last position where an 8-byte copy fits
+mc_wide:
+    bge  a0, t1, mc_tail
+    ld   t2, 0(a1)
+    sd   t2, 0(a0)
+    addi a0, a0, 8
+    addi a1, a1, 8
+    j    mc_wide
+mc_tail:
+    bge  a0, t0, mc_done
+    lbu  t2, 0(a1)
+    sb   t2, 0(a0)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    j    mc_tail
+mc_done:
+    ret
+    .endfunc
+
+    .func strlen
+strlen:
+    mv   t0, a0
+sl_loop:
+    lbu  t1, 0(t0)
+    beqz t1, sl_done
+    addi t0, t0, 1
+    j    sl_loop
+sl_done:
+    sub  a0, t0, a0
+    ret
+    .endfunc
+
+    .func print_int
+print_int:
+    mv   a1, a0
+    li   a0, 6
+    ecall
+    ret
+    .endfunc
+
+    .func print_float
+print_float:
+    li   a0, 7           # value already in fa0
+    ecall
+    ret
+    .endfunc
+
+    .func print_str
+print_str:
+    mv   a1, a0
+    li   a0, 8
+    ecall
+    ret
+    .endfunc
+
+    .func clock
+clock:
+    li   a0, 9
+    ecall
+    ret
+    .endfunc
+"""

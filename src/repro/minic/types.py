@@ -1,0 +1,148 @@
+"""MiniC type system.
+
+Scalar types: ``int`` (i64), ``float`` (f64), ``char`` (i8, widened to i64 in
+registers), ``void`` (function returns only).  Derived: pointers of any depth
+and fixed-size arrays (which decay to pointers in expressions, as in C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import MiniCError
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base marker; use the singletons and constructors below."""
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_int_like(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PtrType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def sizeof(self) -> int:
+        raise MiniCError(f"sizeof on incomplete type {self}")
+
+    def decay(self) -> "Type":
+        """Array-to-pointer decay; identity for everything else."""
+        if isinstance(self, ArrayType):
+            return PtrType(self.elem)
+        return self
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    def sizeof(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PtrType(Type):
+    elem: Type
+
+    def sizeof(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.elem}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type
+    length: int
+
+    def sizeof(self) -> int:
+        return self.elem.sizeof() * self.length
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.length}]"
+
+
+INT = IntType()
+FLOAT = FloatType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+def binary_result(op: str, lhs: Type, rhs: Type, *, line: int = 0) -> Type:
+    """Result type of ``lhs op rhs`` after the usual conversions."""
+    lhs, rhs = lhs.decay(), rhs.decay()
+    if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+        return INT
+    if op in ("%", "<<", ">>", "&", "|", "^"):
+        if lhs.is_float() or rhs.is_float():
+            raise MiniCError(f"operator {op} requires integer operands",
+                             line=line)
+        return INT
+    if op in ("+", "-"):
+        if lhs.is_pointer() and rhs.is_int_like():
+            return lhs
+        if lhs.is_int_like() and rhs.is_pointer() and op == "+":
+            return rhs
+        if lhs.is_pointer() and rhs.is_pointer() and op == "-":
+            return INT
+    if lhs.is_pointer() or rhs.is_pointer():
+        raise MiniCError(f"invalid pointer arithmetic: {lhs} {op} {rhs}",
+                         line=line)
+    if lhs.is_float() or rhs.is_float():
+        return FLOAT
+    return INT
+
+
+def assignable(dst: Type, src: Type) -> bool:
+    """Can a value of type ``src`` be stored into an lvalue of type ``dst``?"""
+    src = src.decay()
+    if isinstance(dst, ArrayType):
+        return False
+    if dst.is_float():
+        return src.is_float() or src.is_int_like()
+    if dst.is_int_like():
+        return src.is_int_like() or src.is_float() or src.is_pointer()
+    if dst.is_pointer():
+        if src.is_int_like():
+            return True
+        if not src.is_pointer():
+            return False
+        # exact element match, or raw-byte views via char*
+        return (src.elem == dst.elem or dst.elem == CHAR
+                or src.elem == CHAR)
+    return False

@@ -1,0 +1,22 @@
+"""Pin-workalike dynamic binary instrumentation framework.
+
+Usage mirrors a Pin tool::
+
+    engine = PinEngine(program)
+
+    def instrument(ins: INS) -> None:
+        if ins.IsMemoryRead():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, on_read,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE,
+                                     IARG.REG_SP)
+
+    engine.INS_AddInstrumentFunction(instrument)
+    engine.run()
+"""
+
+from .engine import INS, RTN, PinEngine
+from .tracer import MemoryTrace, MemoryTraceTool
+from .iargs import IARG, IPOINT, STATIC_IARGS
+
+__all__ = ["PinEngine", "INS", "RTN", "IARG", "IPOINT", "STATIC_IARGS",
+           "MemoryTraceTool", "MemoryTrace"]

@@ -1,0 +1,33 @@
+"""Argument descriptors for analysis-call insertion (Pin's ``IARG_*``).
+
+An analysis routine receives the values named by these descriptors at every
+dynamic execution of the instrumented instruction.  Descriptors split into
+*static* ones (resolvable when the instruction is compiled: sizes, names,
+addresses) and *dynamic* ones (effective address, stack pointer, instruction
+count), exactly like Pin distinguishes immediates from runtime operands.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IARG(enum.Enum):
+    INST_PTR = "inst_ptr"              #: byte PC of the instruction (static)
+    MEMORY_EA = "memory_ea"            #: effective address (dynamic)
+    MEMORY_SIZE = "memory_size"        #: operand bytes (static)
+    IS_PREFETCH = "is_prefetch"        #: prefetch flag (static)
+    REG_SP = "reg_sp"                  #: stack pointer value (dynamic)
+    ICOUNT = "icount"                  #: retired instruction count (dynamic)
+    RTN_NAME = "rtn_name"              #: routine name (static)
+    RTN_IMAGE = "rtn_image"            #: image the routine belongs to (static)
+    RETURN_PC = "return_pc"            #: byte PC the ret will jump to (dynamic)
+
+
+#: Descriptors whose value is fixed at instrumentation time.
+STATIC_IARGS = frozenset({IARG.INST_PTR, IARG.MEMORY_SIZE, IARG.IS_PREFETCH,
+                          IARG.RTN_NAME, IARG.RTN_IMAGE})
+
+
+class IPOINT(enum.Enum):
+    BEFORE = "before"

@@ -1,0 +1,155 @@
+"""MemoryTraceTool — a raw access-trace recorder built on the Pin API.
+
+Records ``(icount, kernel, address, size, is_write)`` tuples into bounded
+NumPy buffers.  This is the "everything" tool: tQUAD, QUAD and any offline
+analysis can be recomputed from such a trace, at the cost of memory — which
+is why the paper's tools aggregate online instead.  Useful for debugging the
+profilers (the test suite cross-checks tQUAD's ledger against a trace) and
+for exporting workloads to external cache/NoC simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.callstack import CallStack
+from .engine import INS, PinEngine, RTN
+from .iargs import IARG, IPOINT
+
+
+@dataclass
+class MemoryTrace:
+    """A finished trace (struct-of-arrays)."""
+
+    icount: np.ndarray        #: retired-instruction stamp of each access
+    kernel_id: np.ndarray     #: index into ``kernels``
+    address: np.ndarray
+    size: np.ndarray
+    is_write: np.ndarray      #: bool
+    kernels: list[str]
+    truncated: bool           #: True if the buffer limit was hit
+
+    def __len__(self) -> int:
+        return len(self.icount)
+
+    def for_kernel(self, name: str) -> "MemoryTrace":
+        """Sub-trace of one kernel."""
+        kid = self.kernels.index(name)
+        mask = self.kernel_id == kid
+        return MemoryTrace(self.icount[mask], self.kernel_id[mask],
+                           self.address[mask], self.size[mask],
+                           self.is_write[mask], self.kernels,
+                           self.truncated)
+
+    def bytes_moved(self, *, write: bool | None = None) -> int:
+        if write is None:
+            return int(self.size.sum())
+        mask = self.is_write if write else ~self.is_write
+        return int(self.size[mask].sum())
+
+    def slice_totals(self, interval: int, *,
+                     write: bool | None = None) -> np.ndarray:
+        """Bytes per time slice — tQUAD's ledger recomputed offline."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if write is None:
+            stamps, sizes = self.icount, self.size
+        else:
+            mask = self.is_write if write else ~self.is_write
+            stamps, sizes = self.icount[mask], self.size[mask]
+        if len(stamps) == 0:
+            return np.zeros(0, dtype=np.int64)
+        slices = (stamps - 1) // interval
+        out = np.zeros(int(slices.max()) + 1, dtype=np.int64)
+        np.add.at(out, slices, sizes)
+        return out
+
+    def save_npz(self, path) -> None:
+        np.savez_compressed(path, icount=self.icount,
+                            kernel_id=self.kernel_id, address=self.address,
+                            size=self.size, is_write=self.is_write,
+                            kernels=np.array(self.kernels),
+                            truncated=np.array(self.truncated))
+
+    @staticmethod
+    def load_npz(path) -> "MemoryTrace":
+        data = np.load(path, allow_pickle=False)
+        return MemoryTrace(icount=data["icount"],
+                           kernel_id=data["kernel_id"],
+                           address=data["address"], size=data["size"],
+                           is_write=data["is_write"],
+                           kernels=[str(k) for k in data["kernels"]],
+                           truncated=bool(data["truncated"]))
+
+
+class MemoryTraceTool:
+    """Pintool recording every (predicated-true, non-prefetch) access."""
+
+    def __init__(self, *, limit: int = 1_000_000):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self.callstack = CallStack()
+        self._rows: list[tuple[int, int, int, int, bool]] = []
+        self._kernel_ids: dict[str, int] = {}
+        self._machine = None
+        self.truncated = False
+
+    def attach(self, engine: PinEngine) -> "MemoryTraceTool":
+        if self._machine is not None:
+            raise RuntimeError("tool already attached")
+        self._machine = engine.machine
+        engine.INS_AddInstrumentFunction(self._instrument)
+        engine.RTN_AddInstrumentFunction(self._instrument_rtn)
+        return self
+
+    def _instrument(self, ins: INS) -> None:
+        if ins.IsPrefetch():
+            return
+        if ins.IsMemoryRead():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_read,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+        if ins.IsMemoryWrite():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_write,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self.callstack.on_ret)
+
+    def _instrument_rtn(self, rtn: RTN) -> None:
+        rtn.InsertCall(IPOINT.BEFORE, self.callstack.enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+    def _record(self, ea: int, size: int, is_write: bool) -> None:
+        rows = self._rows
+        if len(rows) >= self.limit:
+            self.truncated = True
+            return
+        name = self.callstack.current_kernel or "?"
+        kid = self._kernel_ids.get(name)
+        if kid is None:
+            kid = self._kernel_ids[name] = len(self._kernel_ids)
+        rows.append((self._machine.icount, kid, ea, size, is_write))
+
+    def _on_read(self, ea: int, size: int) -> None:
+        self._record(ea, size, False)
+
+    def _on_write(self, ea: int, size: int) -> None:
+        self._record(ea, size, True)
+
+    def trace(self) -> MemoryTrace:
+        rows = self._rows
+        if rows:
+            arr = np.array(rows, dtype=np.int64)
+            icount, kid, addr, size = (arr[:, 0], arr[:, 1], arr[:, 2],
+                                       arr[:, 3])
+            is_write = arr[:, 4].astype(bool)
+        else:
+            icount = kid = addr = size = np.zeros(0, dtype=np.int64)
+            is_write = np.zeros(0, dtype=bool)
+        kernels = [name for name, _ in sorted(self._kernel_ids.items(),
+                                              key=lambda kv: kv[1])]
+        return MemoryTrace(icount=icount, kernel_id=kid, address=addr,
+                           size=size, is_write=is_write, kernels=kernels,
+                           truncated=self.truncated)

@@ -1,0 +1,174 @@
+"""QUAD — memory access pattern analyser (Ostadzadeh et al., ARC 2010).
+
+tQUAD's companion tool: it reveals the quantitative data communication
+between kernels through a byte-granular *shadow memory* that remembers the
+last writer of every address.  When a kernel reads a byte last written by
+another kernel, a producer→consumer *binding* is recorded.
+
+Per kernel it accumulates the four Table II columns, in both stack-included
+and stack-excluded views:
+
+* ``IN``       — total bytes read by the function
+* ``IN UnMA``  — unique memory addresses used in reading
+* ``OUT``      — total bytes read *by any function* from locations this
+  function previously wrote (i.e. consumed production)
+* ``OUT UnMA`` — unique memory addresses used in writing
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.callstack import CallStack
+from ..pin import IARG, INS, IPOINT, PinEngine, RTN
+
+
+@dataclass
+class KernelIO:
+    """Accumulators for one kernel."""
+
+    in_bytes_incl: int = 0
+    in_bytes_excl: int = 0
+    out_bytes_incl: int = 0          #: consumed bytes of this kernel's output
+    out_bytes_excl: int = 0
+    in_unma_incl: set[int] = field(default_factory=set)
+    in_unma_excl: set[int] = field(default_factory=set)
+    out_unma_incl: set[int] = field(default_factory=set)
+    out_unma_excl: set[int] = field(default_factory=set)
+    reads: int = 0                   #: dynamic read accesses (not bytes)
+    writes: int = 0
+    reads_nonstack: int = 0
+    writes_nonstack: int = 0
+
+
+class QuadTool:
+    """The QUAD pintool."""
+
+    def __init__(self, *, track_bindings: bool = True):
+        self.track_bindings = track_bindings
+        self.callstack = CallStack()
+        self.shadow: dict[int, str] = {}          #: addr -> last writer
+        self.kernels: dict[str, KernelIO] = {}
+        #: (producer, consumer) -> [bytes incl. stack, bytes excl. stack]
+        self.bindings: dict[tuple[str, str], list[int]] = {}
+        self._machine = None
+        self._images: dict[str, str] = {}
+        self.finished = False
+
+    # ------------------------------------------------------------ plumbing
+    def attach(self, engine: PinEngine) -> "QuadTool":
+        if self._machine is not None:
+            raise RuntimeError("tool already attached")
+        self._machine = engine.machine
+        self._images = {r.name: r.image for r in engine.program.routines}
+        engine.INS_AddInstrumentFunction(self._instrument_instruction)
+        engine.RTN_AddInstrumentFunction(self._instrument_routine)
+        engine.AddFiniFunction(self._fini)
+        return self
+
+    def _instrument_instruction(self, ins: INS) -> None:
+        if ins.IsPrefetch():
+            return
+        if ins.IsMemoryRead():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_read,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE,
+                                     IARG.REG_SP)
+        if ins.IsMemoryWrite():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_write,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE,
+                                     IARG.REG_SP)
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self.callstack.on_ret)
+
+    def _instrument_routine(self, rtn: RTN) -> None:
+        rtn.InsertCall(IPOINT.BEFORE, self.callstack.enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+    def _fini(self, exit_code: int) -> None:
+        self.finished = True
+
+    # ------------------------------------------------------------- analysis
+    def _io(self, name: str) -> KernelIO:
+        io = self.kernels.get(name)
+        if io is None:
+            io = self.kernels[name] = KernelIO()
+        return io
+
+    def _on_write(self, ea: int, size: int, sp: int) -> None:
+        name = self.callstack.current_kernel
+        if name is None:
+            return
+        io = self._io(name)
+        io.writes += 1
+        nonstack = ea < sp
+        if nonstack:
+            io.writes_nonstack += 1
+        shadow = self.shadow
+        incl = io.out_unma_incl
+        excl = io.out_unma_excl
+        for addr in range(ea, ea + size):
+            shadow[addr] = name
+            incl.add(addr)
+            if nonstack:
+                excl.add(addr)
+
+    def _on_read(self, ea: int, size: int, sp: int) -> None:
+        name = self.callstack.current_kernel
+        if name is None:
+            return
+        io = self._io(name)
+        io.reads += 1
+        nonstack = ea < sp
+        io.in_bytes_incl += size
+        if nonstack:
+            io.in_bytes_excl += size
+            io.reads_nonstack += 1
+        shadow = self.shadow
+        kernels = self.kernels
+        bindings = self.bindings
+        track = self.track_bindings
+        in_incl = io.in_unma_incl
+        in_excl = io.in_unma_excl
+        for addr in range(ea, ea + size):
+            in_incl.add(addr)
+            if nonstack:
+                in_excl.add(addr)
+            producer = shadow.get(addr)
+            if producer is None:
+                continue
+            pio = kernels[producer]
+            pio.out_bytes_incl += 1
+            if nonstack:
+                pio.out_bytes_excl += 1
+            if track:
+                key = (producer, name)
+                b = bindings.get(key)
+                if b is None:
+                    b = bindings[key] = [0, 0]
+                b[0] += 1
+                if nonstack:
+                    b[1] += 1
+
+    # ------------------------------------------------------------- results
+    def report(self) -> "QuadReport":
+        from .report import QuadReport
+
+        if not self.finished:
+            raise RuntimeError("run the engine before asking for the report")
+        return QuadReport(kernels=dict(self.kernels),
+                          bindings=dict(self.bindings),
+                          images=dict(self._images),
+                          total_instructions=self._machine.icount)
+
+
+def run_quad(program, *, fs=None, track_bindings: bool = True,
+             max_instructions: int | None = None,
+             mem_size: int | None = None):
+    """Convenience: run QUAD over ``program`` and return its report."""
+    kwargs = {"fs": fs}
+    if mem_size is not None:
+        kwargs["mem_size"] = mem_size
+    engine = PinEngine(program, **kwargs)
+    tool = QuadTool(track_bindings=track_bindings).attach(engine)
+    engine.run(max_instructions=max_instructions)
+    return tool.report()

@@ -1,0 +1,6 @@
+"""Reference (host-side) implementation of the WFS pipeline, used as the
+oracle for validating the guest application end to end."""
+
+from .reference import RefResult, run_reference
+
+__all__ = ["run_reference", "RefResult"]

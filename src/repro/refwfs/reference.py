@@ -1,0 +1,244 @@
+"""Host-side reference implementation of the WFS pipeline.
+
+Mirrors the MiniC application operation-for-operation (same loop structure,
+same evaluation order, IEEE double throughout), so the guest's output WAV is
+expected to match **byte for byte**.  This is the oracle the integration
+tests validate the compiler + VM + application stack against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.wfs.config import WfsConfig
+from ..apps.wfs.source import _delay_scale, input_signal
+from ..wavio import write_wav
+
+TWO_PI = 6.283185307179586
+PI = 3.141592653589793
+
+
+def _hamming(i: int, n: int) -> float:
+    if n < 2:
+        return 1.0
+    return 0.54 - 0.46 * math.cos(TWO_PI * i / (n - 1))
+
+
+def _ffw(n: int, fc: float) -> list[float]:
+    mid = (n - 1) / 2.0
+    out = []
+    for i in range(n):
+        x = i - mid
+        if abs(x) < 1e-9:
+            v = 2.0 * fc
+        else:
+            v = math.sin(TWO_PI * fc * x) / (PI * x)
+        out.append(v * _hamming(i, n))
+    return out
+
+
+def _bitrev(i: int, bits: int) -> int:
+    r = 0
+    for _ in range(bits):
+        r = (r << 1) | (i & 1)
+        i >>= 1
+    return r
+
+
+def _fft1d(data: list[float], n: int, isign: int) -> None:
+    """In-place radix-2 on interleaved complex — same algorithm as the
+    guest's ``fft1d`` (including the twiddle recurrence)."""
+    bits = 0
+    while (1 << bits) < n:
+        bits += 1
+    for i in range(n):
+        j = _bitrev(i, bits)
+        if j > i:
+            data[2 * i], data[2 * j] = data[2 * j], data[2 * i]
+            data[2 * i + 1], data[2 * j + 1] = (data[2 * j + 1],
+                                                data[2 * i + 1])
+    length = 2
+    while length <= n:
+        ang = TWO_PI / length
+        if isign < 0:
+            ang = 0.0 - ang
+        wre = math.cos(ang)
+        wim = math.sin(ang)
+        for i in range(0, n, length):
+            cre, cim = 1.0, 0.0
+            half = length // 2
+            for j in range(half):
+                a = 2 * (i + j)
+                b = 2 * (i + j + half)
+                ure, uim = data[a], data[a + 1]
+                vre = data[b] * cre - data[b + 1] * cim
+                vim = data[b] * cim + data[b + 1] * cre
+                data[a] = ure + vre
+                data[a + 1] = uim + vim
+                data[b] = ure - vre
+                data[b + 1] = uim - vim
+                cre, cim = cre * wre - cim * wim, cre * wim + cim * wre
+        length *= 2
+    if isign < 0:
+        inv = 1.0 / n
+        for k in range(2 * n):
+            data[k] = data[k] * inv
+
+
+@dataclass
+class RefResult:
+    """Everything the reference computes, for fine-grained comparisons."""
+
+    cfg: WfsConfig
+    input_samples: np.ndarray          #: float64, after PCM16 round trip
+    out_f: np.ndarray                  #: (frames*nspk,) float64
+    peak: float
+    scale: float
+    gains: np.ndarray                  #: final per-speaker gains
+    delays: np.ndarray                 #: final per-speaker delays (samples)
+    wav_bytes: bytes                   #: expected output WAV file
+
+
+def run_reference(cfg: WfsConfig) -> RefResult:
+    """Execute the full pipeline on the host."""
+    n = cfg.chunk
+    nspk = cfg.n_speakers
+    frames = cfg.frames
+    dllen = cfg.delay_line_len
+    dlmask = dllen - 1
+    ntaps = cfg.n_taps
+    delay_scale = _delay_scale(cfg)
+    nspkm1 = max(nspk - 1, 1)
+    npos = cfg.n_positions
+    movchunks = int(cfg.n_chunks * cfg.moving_fraction)
+
+    # --- input, after the same PCM16 quantise/dequantise as the guest sees
+    raw = np.clip(np.rint(input_signal(cfg) * 32768.0), -32768,
+                  32767).astype(np.int16)
+    inp = [int(v) / 32768.0 for v in raw]
+
+    # --- initialisation
+    h_main = _ffw(n, cfg.filter_cutoff)
+    h_reg = _ffw(n, cfg.filter_cutoff * 0.5)
+    H = [0.0] * (2 * n)
+    for i in range(n):
+        H[2 * i] = h_main[i]
+    _fft1d(H, n, 1)
+    REG = [0.0] * (2 * n)
+    for i in range(n):
+        REG[2 * i] = h_reg[i]
+    _fft1d(REG, n, 1)
+    for k in range(2 * n):
+        REG[k] = REG[k] * 0.001
+    pre_coeff = [1.0 / (ntaps + t) for t in range(ntaps)]
+    pre_state = [0.0] * ntaps
+
+    # --- source position / gains
+    src = {"x": 0.0, "y": 0.0}
+
+    def derive_tp(p: int) -> None:
+        t = p / npos
+        src["x"] = cfg.array_width_m * (t - 0.5)
+        src["y"] = cfg.source_depth_m * (1.0 + 0.2 * math.sin(TWO_PI * t))
+
+    gq = [0.0] * (2 * nspk)
+    delays = [0] * nspk
+
+    def gain_pq(s: int) -> float:
+        spx = (s / nspkm1) * cfg.array_width_m - cfg.array_width_m / 2.0
+        dx = spx - src["x"]
+        dy = 0.0 - src["y"]
+        dist = math.sqrt(dx * dx + dy * dy) + 0.1
+        delays[s] = int(dist * delay_scale) % cfg.max_delay
+        return 1.0 / math.sqrt(dist)
+
+    derive_tp(0)
+    for s in range(nspk):
+        gq[2 * s] = gain_pq(s)
+        gq[2 * s + 1] = 1.0
+        gq[2 * s] *= 0.7071
+        gq[2 * s + 1] *= 0.7071
+
+    # --- main processing
+    out_f = [0.0] * (frames * nspk)
+    dl = [0.0] * dllen
+    X = [0.0] * (2 * n)
+    posidx = 0
+    for c in range(cfg.n_chunks):
+        pos = c * n
+        if c % cfg.gain_update_every == 0 and c < movchunks and c > 0:
+            derive_tp(posidx)
+            for s in range(nspk):
+                gq[2 * s] = gain_pq(s) * 0.7071
+                gq[2 * s + 1] *= 0.7071
+            posidx += 1
+        chunk_in = inp[pos:pos + n]
+        # pre-filter
+        chunk_pre = []
+        for i in range(n):
+            for t in range(ntaps - 1, 0, -1):
+                pre_state[t] = pre_state[t - 1]
+            pre_state[0] = chunk_in[i]
+            acc = 0.0
+            for t in range(ntaps):
+                acc = acc + pre_coeff[t] * pre_state[t]
+            chunk_pre.append(acc)
+        # FFT filter
+        for k in range(2 * n):
+            X[k] = 0.0
+        for i in range(n):
+            X[2 * i] = chunk_pre[i]
+        _fft1d(X, n, 1)
+        for k in range(n):
+            are, aim = X[2 * k], X[2 * k + 1]
+            bre, bim = H[2 * k], H[2 * k + 1]
+            re = are * bre - aim * bim
+            im = are * bim + aim * bre
+            X[2 * k], X[2 * k + 1] = re, im
+            X[2 * k] = X[2 * k] + REG[2 * k]
+            X[2 * k + 1] = X[2 * k + 1] + REG[2 * k + 1]
+        _fft1d(X, n, -1)
+        chunk_flt = [X[2 * i] for i in range(n)]
+        # delay lines
+        wpos = pos & dlmask
+        spk = [[0.0] * n for _ in range(nspk)]
+        for i in range(n):
+            dl[(wpos + i) & dlmask] = chunk_flt[i]
+        for s in range(nspk):
+            g = gq[2 * s]
+            d = delays[s]
+            for i in range(n):
+                p = wpos + i - d
+                spk[s][i] = spk[s][i] + (g * 0.5) * (dl[p & dlmask]
+                                                     + dl[(p - 1) & dlmask])
+        # interleave
+        for i in range(n):
+            for s in range(nspk):
+                out_f[(pos + i) * nspk + s] = spk[s][i]
+
+    # --- wav_store
+    peak = 0.0
+    for v in out_f:
+        a = abs(v)
+        if a > peak:
+            peak = a
+    scale = 1.0 / peak if peak > 1.0 else 1.0
+    pcm = np.empty(frames * nspk, dtype=np.int16)
+    for k, v in enumerate(out_f):
+        x = v * scale
+        if x < -1.0:
+            x = -1.0
+        elif x > 1.0:
+            x = 1.0
+        pcm[k] = int(x * 32767.0)
+    wav = write_wav(cfg.sample_rate, pcm.reshape(frames, nspk))
+    return RefResult(cfg=cfg,
+                     input_samples=np.array(inp),
+                     out_f=np.array(out_f),
+                     peak=peak, scale=scale,
+                     gains=np.array([gq[2 * s] for s in range(nspk)]),
+                     delays=np.array(delays),
+                     wav_bytes=wav)

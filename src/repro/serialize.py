@@ -1,0 +1,159 @@
+"""JSON (de)serialisation of profiling results.
+
+Profiling a large guest is expensive; analyses (phases, figures, clustering)
+are cheap.  Serialising the reports lets a run be archived and re-analysed
+without re-executing the guest — the same reason the original tools dump
+their data to files the DWB framework consumes.
+
+Round-trippable: :class:`~repro.core.report.TQuadReport`,
+:class:`~repro.gprofsim.report.FlatProfile`.  Exportable (UnMA sets are
+reduced to their cardinalities): :class:`~repro.quad.report.QuadReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.ledger import BandwidthLedger
+from .core.machine_model import MachineModel
+from .core.options import StackPolicy, TQuadOptions
+from .core.report import TQuadReport
+from .gprofsim.report import FlatProfile, FlatRow
+from .quad.report import QuadReport
+
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------- tQUAD
+def tquad_to_dict(report: TQuadReport) -> dict[str, Any]:
+    ledger = report.ledger
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "tquad",
+        "options": {
+            "slice_interval": report.options.slice_interval,
+            "stack": report.options.stack.value,
+            "exclude_libraries": report.options.exclude_libraries,
+            "kernels": (list(report.options.kernels)
+                        if report.options.kernels is not None else None),
+        },
+        "total_instructions": report.total_instructions,
+        "complete": report.complete,
+        "images": report.images,
+        "history": {
+            name: {str(s): list(c) for s, c in slices.items()}
+            for name, slices in ledger.history.items()
+        },
+    }
+
+
+def tquad_from_dict(data: dict[str, Any]) -> TQuadReport:
+    if data.get("kind") != "tquad":
+        raise ValueError("not a serialised tQUAD report")
+    opt = data["options"]
+    options = TQuadOptions(
+        slice_interval=opt["slice_interval"],
+        stack=StackPolicy(opt["stack"]),
+        exclude_libraries=opt["exclude_libraries"],
+        kernels=tuple(opt["kernels"]) if opt["kernels"] is not None else None)
+    ledger = BandwidthLedger(options.slice_interval)
+    ledger.history = {
+        name: {int(s): tuple(c) for s, c in slices.items()}
+        for name, slices in data["history"].items()
+    }
+    ledger.flushed = True
+    return TQuadReport(ledger=ledger, options=options,
+                       total_instructions=data["total_instructions"],
+                       images=dict(data.get("images", {})),
+                       complete=data.get("complete", True))
+
+
+def tquad_to_json(report: TQuadReport, **json_kwargs) -> str:
+    return json.dumps(tquad_to_dict(report), **json_kwargs)
+
+
+def tquad_from_json(text: str) -> TQuadReport:
+    return tquad_from_dict(json.loads(text))
+
+
+# ---------------------------------------------------------------- gprof
+def flat_to_dict(profile: FlatProfile) -> dict[str, Any]:
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "flat",
+        "total_instructions": profile.total_instructions,
+        "machine": {
+            "frequency_hz": profile.machine.frequency_hz,
+            "ipc": profile.machine.ipc,
+            "name": profile.machine.name,
+        },
+        "rows": [
+            {"name": r.name, "self": r.self_instructions,
+             "cumulative": r.cumulative_instructions, "calls": r.calls}
+            for r in profile.rows
+        ],
+        "edges": [
+            {"caller": caller, "callee": callee, "count": count}
+            for (caller, callee), count in profile.edges.items()
+        ],
+    }
+
+
+def flat_from_dict(data: dict[str, Any]) -> FlatProfile:
+    if data.get("kind") != "flat":
+        raise ValueError("not a serialised flat profile")
+    machine = MachineModel(frequency_hz=data["machine"]["frequency_hz"],
+                           ipc=data["machine"]["ipc"],
+                           name=data["machine"]["name"])
+    rows = [FlatRow(name=r["name"], self_instructions=r["self"],
+                    cumulative_instructions=r["cumulative"],
+                    calls=r["calls"]) for r in data["rows"]]
+    edges = {(e["caller"], e["callee"]): e["count"]
+             for e in data.get("edges", [])}
+    return FlatProfile(rows=rows,
+                       total_instructions=data["total_instructions"],
+                       machine=machine, edges=edges)
+
+
+def flat_to_json(profile: FlatProfile, **json_kwargs) -> str:
+    return json.dumps(flat_to_dict(profile), **json_kwargs)
+
+
+def flat_from_json(text: str) -> FlatProfile:
+    return flat_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------- QUAD
+def quad_to_dict(report: QuadReport) -> dict[str, Any]:
+    """Export-only: UnMA *sets* collapse to their sizes (Table II needs only
+    the cardinalities; the raw sets can be gigabytes)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "quad",
+        "total_instructions": report.total_instructions,
+        "images": report.images,
+        "kernels": {
+            name: {
+                "in_incl": io.in_bytes_incl, "in_excl": io.in_bytes_excl,
+                "out_incl": io.out_bytes_incl, "out_excl": io.out_bytes_excl,
+                "in_unma_incl": len(io.in_unma_incl),
+                "in_unma_excl": len(io.in_unma_excl),
+                "out_unma_incl": len(io.out_unma_incl),
+                "out_unma_excl": len(io.out_unma_excl),
+                "reads": io.reads, "writes": io.writes,
+                "reads_nonstack": io.reads_nonstack,
+                "writes_nonstack": io.writes_nonstack,
+            }
+            for name, io in report.kernels.items()
+        },
+        "bindings": [
+            {"producer": p, "consumer": c, "bytes_incl": v[0],
+             "bytes_excl": v[1]}
+            for (p, c), v in report.bindings.items()
+        ],
+    }
+
+
+def quad_to_json(report: QuadReport, **json_kwargs) -> str:
+    return json.dumps(quad_to_dict(report), **json_kwargs)

@@ -1,0 +1,14 @@
+"""Static program analysis over compiled guests: CFG construction and WCET
+bound estimation — the static-analysis counterpart the paper's §II
+contrasts tQUAD's dynamic approach against."""
+
+from .cfg import (BasicBlock, CallSite, CFGError, Loop, RoutineCFG,
+                  build_cfg)
+from .wcet import (InstructionCosts, LoopInfo, WCETAnalyzer, WCETError,
+                   WCETResult, estimate_wcet)
+
+__all__ = [
+    "build_cfg", "RoutineCFG", "BasicBlock", "Loop", "CallSite", "CFGError",
+    "estimate_wcet", "WCETAnalyzer", "WCETResult", "WCETError",
+    "InstructionCosts", "LoopInfo",
+]

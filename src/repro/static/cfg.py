@@ -1,0 +1,222 @@
+"""Control-flow graph construction over compiled programs.
+
+WCET tools "first construct the Control-Flow Graph … used to determine the
+possible program paths" (paper §II).  This module rebuilds per-routine CFGs
+from the binary: basic blocks, intra-routine edges, call sites, dominators
+and natural loops — everything the static-bound calculator in
+:mod:`repro.static.wcet` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa import opcodes as oc
+from ..vm.layout import pc_to_index
+from ..vm.program import Program, Routine
+
+
+@dataclass
+class CallSite:
+    """A call instruction inside a block."""
+
+    index: int               #: instruction index of the jal/jalr
+    callee: str | None       #: routine name, or None for indirect calls
+
+
+@dataclass
+class BasicBlock:
+    id: int
+    start: int               #: first instruction index (inclusive)
+    end: int                 #: one past the last instruction
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BB{self.id}[{self.start}:{self.end}] "
+                f"-> {self.succs}")
+
+
+@dataclass
+class Loop:
+    """A natural loop: header block + body block ids (header included)."""
+
+    header: int
+    body: frozenset[int]
+    back_edges: tuple[tuple[int, int], ...]
+
+    @property
+    def depth_key(self) -> int:
+        return len(self.body)
+
+    def contains(self, other: "Loop") -> bool:
+        return other.body < self.body
+
+
+class CFGError(Exception):
+    """Raised on irreducible or malformed control flow."""
+
+
+class RoutineCFG:
+    """The CFG of one routine."""
+
+    def __init__(self, program: Program, routine: Routine):
+        self.program = program
+        self.routine = routine
+        self.blocks: list[BasicBlock] = []
+        self._block_of: dict[int, int] = {}  # leader index -> block id
+        self._build()
+
+    # ------------------------------------------------------------- building
+    def _target_index(self, imm: int) -> int:
+        return pc_to_index(imm)
+
+    def _build(self) -> None:
+        r = self.routine
+        instrs = self.program.instrs
+        leaders: set[int] = {r.start}
+        for i in range(r.start, r.end):
+            info = instrs[i].info
+            if info.is_branch or instrs[i].op == oc.J:
+                t = self._target_index(instrs[i].imm)
+                if r.start <= t < r.end:
+                    leaders.add(t)
+                if i + 1 < r.end:
+                    leaders.add(i + 1)
+            elif info.is_call or info.is_ret or instrs[i].op == oc.HALT:
+                if i + 1 < r.end:
+                    leaders.add(i + 1)
+        ordered = sorted(leaders)
+        for bid, start in enumerate(ordered):
+            end = ordered[bid + 1] if bid + 1 < len(ordered) else r.end
+            block = BasicBlock(id=bid, start=start, end=end)
+            self.blocks.append(block)
+            self._block_of[start] = bid
+        for block in self.blocks:
+            self._link(block)
+        for block in self.blocks:
+            for s in block.succs:
+                self.blocks[s].preds.append(block.id)
+
+    def _link(self, block: BasicBlock) -> None:
+        instrs = self.program.instrs
+        r = self.routine
+        last = block.end - 1
+        ins = instrs[last]
+        info = ins.info
+
+        def block_at(index: int) -> int:
+            bid = self._block_of.get(index)
+            if bid is None:
+                raise CFGError(
+                    f"jump into the middle of a block at index {index} "
+                    f"in {r.name}")
+            return bid
+
+        # calls inside the block (only the terminator can be one, since a
+        # call ends a block)
+        for i in range(block.start, block.end):
+            cins = instrs[i]
+            if cins.info.is_call:
+                callee = None
+                if cins.op == oc.JAL:
+                    t = self._target_index(cins.imm)
+                    target_rtn = self.program.routine_at(t)
+                    if target_rtn is not None and t == target_rtn.start:
+                        callee = target_rtn.name
+                block.calls.append(CallSite(index=i, callee=callee))
+
+        if info.is_branch:
+            t = self._target_index(ins.imm)
+            if r.start <= t < r.end:
+                block.succs.append(block_at(t))
+            if last + 1 < r.end:
+                block.succs.append(block_at(last + 1))
+        elif ins.op == oc.J:
+            t = self._target_index(ins.imm)
+            if r.start <= t < r.end:
+                block.succs.append(block_at(t))
+            # a j out of the routine is a tail jump: treated as an exit
+        elif info.is_ret or ins.op == oc.HALT:
+            pass
+        else:  # falls through (including calls and ecall)
+            if last + 1 < r.end:
+                block.succs.append(block_at(last + 1))
+
+    # -------------------------------------------------------------- queries
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        return [b for b in self.blocks if not b.succs]
+
+    def block_of_index(self, index: int) -> BasicBlock | None:
+        for b in self.blocks:
+            if b.start <= index < b.end:
+                return b
+        return None
+
+    # ----------------------------------------------------------- dominators
+    def dominators(self) -> list[set[int]]:
+        """dom[b] = set of blocks dominating b (including b)."""
+        n = len(self.blocks)
+        full = set(range(n))
+        dom: list[set[int]] = [full.copy() for _ in range(n)]
+        dom[0] = {0}
+        changed = True
+        # reverse post-order would converge faster; n is small
+        while changed:
+            changed = False
+            for b in range(1, n):
+                preds = self.blocks[b].preds
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds))
+                else:
+                    new = set()  # unreachable block dominates nothing real
+                new = new | {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        return dom
+
+    # ---------------------------------------------------------------- loops
+    def natural_loops(self) -> list[Loop]:
+        """Loops from back edges (u -> v with v dominating u), merged per
+        header, ordered innermost first."""
+        dom = self.dominators()
+        per_header: dict[int, tuple[set[int], list[tuple[int, int]]]] = {}
+        for u, block in enumerate(self.blocks):
+            for v in block.succs:
+                if v in dom[u]:
+                    body, edges = per_header.setdefault(v, (set(), []))
+                    edges.append((u, v))
+                    body |= self._loop_body(u, v)
+        loops = [Loop(header=h, body=frozenset(body),
+                      back_edges=tuple(edges))
+                 for h, (body, edges) in per_header.items()]
+        loops.sort(key=lambda lp: lp.depth_key)
+        return loops
+
+    def _loop_body(self, latch: int, header: int) -> set[int]:
+        body = {header, latch}
+        stack = [latch]
+        while stack:
+            b = stack.pop()
+            if b == header:
+                continue
+            for p in self.blocks[b].preds:
+                if p not in body:
+                    body.add(p)
+                    stack.append(p)
+        return body
+
+
+def build_cfg(program: Program, routine_name: str) -> RoutineCFG:
+    """Build the CFG of a named routine."""
+    return RoutineCFG(program, program.routine(routine_name))

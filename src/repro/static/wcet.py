@@ -1,0 +1,233 @@
+"""Static worst-case execution time (WCET) bound calculation.
+
+The paper's related work (§II) is dominated by static WCET tools (aiT,
+Bound-T, Chronos, …): construct the CFG, model per-instruction costs, bound
+the loops, and compute the longest path.  This module implements that
+pipeline over our ISA so the dynamic measurements tQUAD produces can be
+compared against static bounds — including reproducing the paper's central
+criticism that "static WCET analysis can deliver an over-pessimistic timing
+estimation".
+
+Method: per-routine CFGs with natural-loop detection; loops are collapsed
+innermost-first into super-nodes costing ``bound × longest-acyclic-body
+path``; the remaining DAG's longest entry→exit path is the bound.  Call
+sites add the callee's (recursively computed) bound.  The result is sound:
+``WCET ≥ executed instructions`` whenever the provided loop bounds are true
+upper bounds (a property the test suite checks against gprof-sim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.opcodes import OpInfo
+from ..vm.program import Program
+from .cfg import CFGError, RoutineCFG, build_cfg
+
+
+class WCETError(Exception):
+    """Unbounded or unanalysable control flow."""
+
+
+@dataclass(frozen=True)
+class InstructionCosts:
+    """Cycles charged per instruction category.
+
+    Defaults of 1 everywhere make the WCET unit *instructions*, directly
+    comparable with the VM's retired-instruction counts (and convertible to
+    seconds with a :class:`~repro.core.machine_model.MachineModel`, like
+    every other number in this reproduction).
+    """
+
+    base: float = 1.0
+    memory: float = 1.0
+    float_op: float = 1.0
+    branch: float = 1.0
+    call: float = 1.0
+
+    def of(self, info: OpInfo) -> float:
+        if info.mem_read or info.mem_write:
+            return self.memory
+        if info.is_branch:
+            return self.branch
+        if info.is_call or info.is_ret:
+            return self.call
+        if info.is_float:
+            return self.float_op
+        return self.base
+
+
+@dataclass
+class LoopInfo:
+    """One analysed loop (reported in source order)."""
+
+    ordinal: int
+    header_index: int       #: first instruction index of the header block
+    bound: int
+    body_cost: float        #: per-iteration worst-case cost
+
+
+@dataclass
+class WCETResult:
+    routine: str
+    bound: float                       #: worst-case cost (instruction units)
+    loops: list[LoopInfo] = field(default_factory=list)
+    callees: dict[str, float] = field(default_factory=dict)
+
+    def seconds(self, machine) -> float:
+        return machine.seconds(self.bound)
+
+
+class WCETAnalyzer:
+    """Whole-program analyser with memoised per-routine bounds."""
+
+    def __init__(self, program: Program, *,
+                 loop_bounds: dict[str, list[int]] | None = None,
+                 costs: InstructionCosts | None = None):
+        self.program = program
+        self.loop_bounds = loop_bounds or {}
+        self.costs = costs or InstructionCosts()
+        self._memo: dict[str, WCETResult] = {}
+        self._in_progress: list[str] = []
+
+    # ------------------------------------------------------------- public
+    def analyze(self, routine_name: str) -> WCETResult:
+        if routine_name in self._memo:
+            return self._memo[routine_name]
+        if routine_name in self._in_progress:
+            cycle = " -> ".join(self._in_progress + [routine_name])
+            raise WCETError(f"recursion is unbounded: {cycle}")
+        self._in_progress.append(routine_name)
+        try:
+            result = self._analyze_one(routine_name)
+        finally:
+            self._in_progress.pop()
+        self._memo[routine_name] = result
+        return result
+
+    def loops_of(self, routine_name: str) -> list[int]:
+        """Header instruction indices in source order — what the per-routine
+        ``loop_bounds`` list must cover."""
+        cfg = build_cfg(self.program, routine_name)
+        loops = sorted(cfg.natural_loops(),
+                       key=lambda lp: cfg.blocks[lp.header].start)
+        return [cfg.blocks[lp.header].start for lp in loops]
+
+    # ------------------------------------------------------------ internals
+    def _analyze_one(self, name: str) -> WCETResult:
+        if not self.program.has_routine(name):
+            raise WCETError(f"unknown routine {name!r}")
+        cfg = build_cfg(self.program, name)
+        result = WCETResult(routine=name, bound=0.0)
+
+        # base block costs, including resolved call targets
+        cost: dict[int, float] = {}
+        for block in cfg.blocks:
+            c = sum(self.costs.of(self.program.instrs[i].info)
+                    for i in range(block.start, block.end))
+            for call in block.calls:
+                if call.callee is None:
+                    raise WCETError(
+                        f"{name}: indirect call at instruction "
+                        f"{call.index} cannot be bounded")
+                callee = self.analyze(call.callee)
+                result.callees[call.callee] = callee.bound
+                c += callee.bound
+            cost[block.id] = c
+
+        succs: dict[int, set[int]] = {b.id: set(b.succs)
+                                      for b in cfg.blocks}
+        alive: set[int] = set(succs)
+
+        # collapse loops innermost-first
+        loops = cfg.natural_loops()
+        bounds_list = self.loop_bounds.get(name, [])
+        source_order = sorted(loops, key=lambda lp: cfg.blocks[lp.header].start)
+        ordinal_of = {id(lp): i for i, lp in enumerate(source_order)}
+        for loop in loops:  # innermost first (by body size)
+            ordinal = ordinal_of[id(loop)]
+            if ordinal >= len(bounds_list):
+                raise WCETError(
+                    f"{name}: no bound for loop #{ordinal} (header at "
+                    f"instruction {cfg.blocks[loop.header].start}); "
+                    f"pass loop_bounds={{{name!r}: [...]}} covering "
+                    f"{len(source_order)} loop(s)")
+            bound = bounds_list[ordinal]
+            if bound < 0:
+                raise WCETError(f"{name}: negative loop bound")
+            body = {b for b in loop.body if b in alive}
+            back = {(u, v) for (u, v) in loop.back_edges}
+            body_cost = self._longest_path_within(
+                loop.header, body, succs, cost, exclude_edges=back)
+            result.loops.append(LoopInfo(
+                ordinal=ordinal,
+                header_index=cfg.blocks[loop.header].start,
+                bound=bound, body_cost=body_cost))
+            # collapse: header absorbs the whole loop.  The header runs
+            # bound+1 times (the final, failing condition check), hence the
+            # extra header-cost term.
+            exits: set[int] = set()
+            for b in body:
+                exits |= {s for s in succs[b] if s not in body}
+            cost[loop.header] = bound * body_cost + cost[loop.header]
+            succs[loop.header] = exits
+            for b in body - {loop.header}:
+                alive.discard(b)
+                succs.pop(b, None)
+            # redirect edges that entered collapsed nodes (shouldn't exist
+            # for natural loops, which are single-entry) and self edges
+            for b in alive:
+                succs[b] = {loop.header if s in body else s
+                            for s in succs[b] if s in alive or s in body}
+            succs[loop.header].discard(loop.header)
+
+        result.loops.sort(key=lambda li: li.ordinal)
+        result.bound = self._longest_path_within(
+            cfg.entry.id if cfg.entry.id in alive else
+            next(iter(alive)), alive, succs, cost, exclude_edges=set())
+        return result
+
+    @staticmethod
+    def _longest_path_within(start: int, nodes: set[int],
+                             succs: dict[int, set[int]],
+                             cost: dict[int, float],
+                             exclude_edges: set[tuple[int, int]]) -> float:
+        """Longest node-weighted path from ``start`` inside ``nodes``."""
+        # Kahn's topological sort restricted to the node set
+        indeg = {n: 0 for n in nodes}
+        for u in nodes:
+            for v in succs.get(u, ()):
+                if v in nodes and (u, v) not in exclude_edges:
+                    indeg[v] += 1
+        order = [n for n in nodes if indeg[n] == 0]
+        i = 0
+        while i < len(order):
+            u = order[i]
+            i += 1
+            for v in succs.get(u, ()):
+                if v in nodes and (u, v) not in exclude_edges:
+                    indeg[v] -= 1
+                    if indeg[v] == 0:
+                        order.append(v)
+        if len(order) != len(nodes):
+            raise CFGError("irreducible control flow (cycle after loop "
+                           "collapsing)")
+        best = {n: float("-inf") for n in nodes}
+        best[start] = cost.get(start, 0.0)
+        for u in order:
+            if best[u] == float("-inf"):
+                continue
+            for v in succs.get(u, ()):
+                if v in nodes and (u, v) not in exclude_edges:
+                    candidate = best[u] + cost.get(v, 0.0)
+                    if candidate > best[v]:
+                        best[v] = candidate
+        return max(v for v in best.values() if v != float("-inf"))
+
+
+def estimate_wcet(program: Program, routine: str, *,
+                  loop_bounds: dict[str, list[int]] | None = None,
+                  costs: InstructionCosts | None = None) -> WCETResult:
+    """One-call WCET bound for ``routine``."""
+    return WCETAnalyzer(program, loop_bounds=loop_bounds,
+                        costs=costs).analyze(routine)

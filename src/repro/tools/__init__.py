@@ -1,0 +1,16 @@
+"""Extra pintools built on the Pin-workalike API.
+
+The paper positions tQUAD inside a *dynamic profiling framework* of
+cooperating tools (QUAD, tQUAD, gprof).  This package adds the classic
+companion every DBI framework ships: a data-cache simulator
+(:mod:`~repro.tools.dcache`), which turns tQUAD's platform-independent
+bandwidth numbers into architecture-specific locality estimates — the
+vTune/CodeAnalyst capability §II contrasts tQUAD against."""
+
+from .dcache import (CacheConfig, CacheModel, CacheStats, DCacheTool,
+                     run_dcache)
+from .imix import CATEGORIES, ImixTool, Mix, categorize, run_imix
+
+__all__ = ["CacheConfig", "CacheModel", "CacheStats", "DCacheTool",
+           "run_dcache", "ImixTool", "Mix", "run_imix", "categorize",
+           "CATEGORIES"]

@@ -1,0 +1,208 @@
+"""Set-associative data-cache simulation as a pintool.
+
+tQUAD deliberately reports architecture-independent bytes/instruction; tools
+like vTune report cache behaviour instead (paper §II).  ``DCacheTool``
+bridges the two: it replays every data access through a configurable
+set-associative LRU cache and attributes hits/misses to kernels via the same
+internal call stack tQUAD uses, so locality and bandwidth can be compared
+side by side for the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.callstack import CallStack
+from ..pin import IARG, INS, IPOINT, PinEngine, RTN
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+    name: str = "L1D"
+
+    def __post_init__(self) -> None:
+        if self.line_bytes & (self.line_bytes - 1) or self.line_bytes < 4:
+            raise ValueError("line size must be a power of two >= 4")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("size must divide evenly into sets")
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_bytes.bit_length() - 1
+
+
+class CacheModel:
+    """A set-associative LRU cache over line addresses."""
+
+    __slots__ = ("config", "_sets", "_set_mask", "_shift", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        # each set: dict line_tag -> stamp; dict preserves insertion order,
+        # and move-to-end on hit gives O(1) amortised LRU
+        self._sets: list[dict[int, None]] = [dict()
+                                             for _ in range(config.n_sets)]
+        self._set_mask = config.n_sets - 1
+        self._shift = config.line_shift
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, addr: int) -> bool:
+        """Touch one address; returns True on hit."""
+        line = addr >> self._shift
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            # LRU update: move to the back
+            del s[line]
+            s[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.config.ways:
+            s.pop(next(iter(s)))
+            self.evictions += 1
+        s[line] = None
+        return False
+
+    def access_range(self, addr: int, size: int) -> int:
+        """Touch ``[addr, addr+size)``; returns the number of misses."""
+        first = addr >> self._shift
+        last = (addr + size - 1) >> self._shift
+        misses = 0
+        for line in range(first, last + 1):
+            if not self.access(line << self._shift):
+                misses += 1
+        return misses
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+@dataclass
+class CacheStats:
+    """Per-kernel cache behaviour."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class DCacheTool:
+    """Pintool: replay data accesses through a cache, attribute per kernel."""
+
+    def __init__(self, config: CacheConfig | None = None):
+        self.config = config or CacheConfig()
+        self.cache = CacheModel(self.config)
+        self.callstack = CallStack()
+        self.per_kernel: dict[str, CacheStats] = {}
+        self._machine = None
+        self._instructions_at_fini = 0
+        self.finished = False
+
+    def attach(self, engine: PinEngine) -> "DCacheTool":
+        if self._machine is not None:
+            raise RuntimeError("tool already attached")
+        self._machine = engine.machine
+        engine.INS_AddInstrumentFunction(self._instrument)
+        engine.RTN_AddInstrumentFunction(self._instrument_rtn)
+        engine.AddFiniFunction(self._fini)
+        return self
+
+    def _instrument(self, ins: INS) -> None:
+        if ins.IsPrefetch():
+            # prefetches *do* warm the cache, but are not demand accesses
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_prefetch,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+            return
+        if ins.IsMemoryRead() or ins.IsMemoryWrite():
+            ins.InsertPredicatedCall(IPOINT.BEFORE, self._on_access,
+                                     IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self.callstack.on_ret)
+
+    def _instrument_rtn(self, rtn: RTN) -> None:
+        rtn.InsertCall(IPOINT.BEFORE, self.callstack.enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+    def _on_access(self, ea: int, size: int) -> None:
+        misses = self.cache.access_range(ea, size)
+        lines = ((ea + size - 1) >> self.config.line_shift) \
+            - (ea >> self.config.line_shift) + 1
+        name = self.callstack.current_kernel or "?"
+        stats = self.per_kernel.get(name)
+        if stats is None:
+            stats = self.per_kernel[name] = CacheStats()
+        stats.accesses += lines
+        stats.misses += misses
+        stats.hits += lines - misses
+
+    def _on_prefetch(self, ea: int, size: int) -> None:
+        self.cache.access_range(ea, size)
+
+    def _fini(self, exit_code: int) -> None:
+        self._instructions_at_fini = self._machine.icount
+        self.finished = True
+
+    # ------------------------------------------------------------- results
+    def stats(self, kernel: str) -> CacheStats:
+        return self.per_kernel.get(kernel, CacheStats())
+
+    def total(self) -> CacheStats:
+        out = CacheStats()
+        for s in self.per_kernel.values():
+            out.accesses += s.accesses
+            out.hits += s.hits
+            out.misses += s.misses
+        return out
+
+    def mpki(self, kernel: str | None = None) -> float:
+        """Misses per thousand instructions (whole run denominator)."""
+        if not self._instructions_at_fini:
+            return 0.0
+        misses = (self.total().misses if kernel is None
+                  else self.stats(kernel).misses)
+        return 1000.0 * misses / self._instructions_at_fini
+
+    def format_table(self, *, top: int | None = None) -> str:
+        head = (f"{self.config.name}: {self.config.size_bytes // 1024} KiB, "
+                f"{self.config.ways}-way, {self.config.line_bytes} B lines")
+        cols = (f"{'kernel':<26}{'accesses':>11}{'misses':>10}"
+                f"{'miss rate':>11}{'MPKI':>8}")
+        lines = [head, cols, "-" * len(cols)]
+        items = sorted(self.per_kernel.items(),
+                       key=lambda kv: kv[1].misses, reverse=True)
+        if top is not None:
+            items = items[:top]
+        for name, s in items:
+            lines.append(f"{name:<26}{s.accesses:>11}{s.misses:>10}"
+                         f"{s.miss_rate:>11.4f}{self.mpki(name):>8.2f}")
+        t = self.total()
+        lines.append(f"{'TOTAL':<26}{t.accesses:>11}{t.misses:>10}"
+                     f"{t.miss_rate:>11.4f}{self.mpki():>8.2f}")
+        return "\n".join(lines)
+
+
+def run_dcache(program, *, config: CacheConfig | None = None, fs=None,
+               max_instructions: int | None = None) -> DCacheTool:
+    """Convenience: simulate the cache over a full run."""
+    engine = PinEngine(program, fs=fs)
+    tool = DCacheTool(config).attach(engine)
+    engine.run(max_instructions=max_instructions)
+    return tool

@@ -1,0 +1,136 @@
+"""Instruction-mix profiler (the canonical second Pin example tool).
+
+Counts dynamically executed instructions per category and per kernel.  The
+mix explains *why* a kernel's bytes/instruction number is what it is: a
+kernel at 0.5 B/ins could be doing 8-byte accesses every 16th instruction
+or 1-byte accesses every other one — with opposite implications for the
+hardware mapping decisions the Delft WorkBench makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.callstack import CallStack
+from ..isa.opcodes import OpInfo
+from ..pin import INS, IPOINT, IARG, PinEngine, RTN
+
+CATEGORIES = ("load", "store", "branch", "call", "ret", "float", "alu",
+              "system", "prefetch")
+
+
+def categorize(info: OpInfo) -> str:
+    if info.is_prefetch:
+        return "prefetch"
+    if info.mem_read:
+        return "load"
+    if info.mem_write:
+        return "store"
+    if info.is_branch:
+        return "branch"
+    if info.is_call:
+        return "call"
+    if info.is_ret:
+        return "ret"
+    if info.name in ("ecall", "halt", "nop"):
+        return "system"
+    if info.is_float:
+        return "float"
+    return "alu"
+
+
+@dataclass
+class Mix:
+    """Per-kernel dynamic instruction counts by category."""
+
+    counts: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CATEGORIES})
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fraction(self, category: str) -> float:
+        t = self.total
+        return self.counts[category] / t if t else 0.0
+
+    @property
+    def memory_fraction(self) -> float:
+        """Share of instructions touching memory — the denominator insight
+        behind bytes/instruction."""
+        return self.fraction("load") + self.fraction("store")
+
+
+class ImixTool:
+    """Counts executed instructions per category, attributed per kernel."""
+
+    def __init__(self):
+        self.callstack = CallStack()
+        self.per_kernel: dict[str, Mix] = {}
+        self.finished = False
+
+    def attach(self, engine: PinEngine) -> "ImixTool":
+        engine.INS_AddInstrumentFunction(self._instrument)
+        engine.RTN_AddInstrumentFunction(self._instrument_rtn)
+        engine.AddFiniFunction(self._fini)
+        return self
+
+    def _instrument(self, ins: INS) -> None:
+        category = categorize(ins.ins.info)
+        # one closure per static instruction; category resolved statically
+        ins.InsertCall(IPOINT.BEFORE, self._make_counter(category))
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self.callstack.on_ret)
+
+    def _make_counter(self, category: str):
+        per_kernel = self.per_kernel
+        callstack = self.callstack
+
+        def count() -> None:
+            name = callstack.current_kernel or "?"
+            mix = per_kernel.get(name)
+            if mix is None:
+                mix = per_kernel[name] = Mix()
+            mix.counts[category] += 1
+        return count
+
+    def _instrument_rtn(self, rtn: RTN) -> None:
+        rtn.InsertCall(IPOINT.BEFORE, self.callstack.enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+    def _fini(self, exit_code: int) -> None:
+        self.finished = True
+
+    # ------------------------------------------------------------- results
+    def mix(self, kernel: str) -> Mix:
+        return self.per_kernel.get(kernel, Mix())
+
+    def total(self) -> Mix:
+        out = Mix()
+        for mix in self.per_kernel.values():
+            for c, n in mix.counts.items():
+                out.counts[c] += n
+        return out
+
+    def format_table(self, *, top: int | None = None) -> str:
+        cols = (f"{'kernel':<26}{'instr':>10}" +
+                "".join(f"{c:>9}" for c in CATEGORIES) + f"{'mem%':>7}")
+        lines = [cols, "-" * len(cols)]
+        items = sorted(self.per_kernel.items(),
+                       key=lambda kv: kv[1].total, reverse=True)
+        if top is not None:
+            items = items[:top]
+        for name, mix in items:
+            lines.append(
+                f"{name:<26}{mix.total:>10}"
+                + "".join(f"{mix.counts[c]:>9}" for c in CATEGORIES)
+                + f"{100 * mix.memory_fraction:>6.1f}%")
+        return "\n".join(lines)
+
+
+def run_imix(program, *, fs=None,
+             max_instructions: int | None = None) -> ImixTool:
+    engine = PinEngine(program, fs=fs)
+    tool = ImixTool().attach(engine)
+    engine.run(max_instructions=max_instructions)
+    return tool

@@ -1,0 +1,38 @@
+"""VM error types."""
+
+from __future__ import annotations
+
+
+class VMError(Exception):
+    """Base class for guest execution faults."""
+
+    def __init__(self, message: str, *, pc: int | None = None,
+                 icount: int | None = None):
+        self.pc = pc
+        self.icount = icount
+        ctx = ""
+        if pc is not None:
+            ctx += f" at pc={pc:#x}"
+        if icount is not None:
+            ctx += f" icount={icount}"
+        super().__init__(message + ctx)
+
+
+class MemoryFault(VMError):
+    """Out-of-range or null-page data access."""
+
+
+class IllegalInstruction(VMError):
+    """Jump outside the code segment or malformed instruction."""
+
+
+class ArithmeticFault(VMError):
+    """Division by zero and friends."""
+
+
+class SyscallError(VMError):
+    """Malformed syscall (bad number or arguments)."""
+
+
+class InstructionBudgetExceeded(VMError):
+    """The run exceeded ``max_instructions`` (runaway-guest backstop)."""

@@ -1,0 +1,109 @@
+"""In-memory guest filesystem.
+
+The hArtes wfs application runs "off-line": audio comes from files rather
+than devices (paper §V).  The guest therefore needs open/read/write/seek.
+``GuestFS`` is a flat, in-memory namespace of byte files shared between the
+host (which seeds inputs and inspects outputs) and the guest (which accesses
+it through syscalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+O_RDONLY = 0
+O_WRONLY = 1  #: create/truncate for writing
+
+#: Reserved descriptors.
+FD_STDIN = 0
+FD_STDOUT = 1
+FD_STDERR = 2
+_FIRST_FILE_FD = 3
+
+
+@dataclass
+class _OpenFile:
+    name: str
+    pos: int = 0
+    writable: bool = False
+
+
+@dataclass
+class GuestFS:
+    """A tiny in-memory filesystem: path -> bytearray."""
+
+    files: dict[str, bytearray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._fds: dict[int, _OpenFile] = {}
+        self._next_fd = _FIRST_FILE_FD
+
+    # -- host-side API --------------------------------------------------------
+    def put(self, name: str, data: bytes) -> None:
+        """Create or replace a file from the host side."""
+        self.files[name] = bytearray(data)
+
+    def get(self, name: str) -> bytes:
+        """Read a file's full contents from the host side."""
+        return bytes(self.files[name])
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    # -- guest-side API (driven by syscalls) -----------------------------------
+    def open(self, name: str, flags: int) -> int:
+        """Open ``name``; returns a descriptor, or -1 on failure."""
+        if flags == O_RDONLY:
+            if name not in self.files:
+                return -1
+        elif flags == O_WRONLY:
+            self.files[name] = bytearray()
+        else:
+            return -1
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = _OpenFile(name=name, writable=(flags == O_WRONLY))
+        return fd
+
+    def close(self, fd: int) -> int:
+        return 0 if self._fds.pop(fd, None) is not None else -1
+
+    def read(self, fd: int, n: int) -> bytes | None:
+        """Read up to ``n`` bytes; ``None`` signals a bad descriptor."""
+        of = self._fds.get(fd)
+        if of is None or n < 0:
+            return None
+        data = self.files[of.name]
+        chunk = bytes(data[of.pos:of.pos + n])
+        of.pos += len(chunk)
+        return chunk
+
+    def write(self, fd: int, data: bytes) -> int:
+        """Write at the current position (extending the file); -1 on error."""
+        of = self._fds.get(fd)
+        if of is None or not of.writable:
+            return -1
+        buf = self.files[of.name]
+        end = of.pos + len(data)
+        if end > len(buf):
+            buf.extend(b"\0" * (end - len(buf)))
+        buf[of.pos:end] = data
+        of.pos = end
+        return len(data)
+
+    def seek(self, fd: int, pos: int) -> int:
+        of = self._fds.get(fd)
+        if of is None or pos < 0:
+            return -1
+        of.pos = pos
+        return pos
+
+    def size(self, fd: int) -> int:
+        of = self._fds.get(fd)
+        if of is None:
+            return -1
+        return len(self.files[of.name])
+
+    def open_count(self) -> int:
+        """Number of currently open descriptors (leak checking in tests)."""
+        return len(self._fds)

@@ -1,0 +1,100 @@
+"""The :class:`Program` container — the output of the assembler.
+
+A ``Program`` is the analogue of a linked binary: decoded instructions, an
+initialised data segment, a symbol table and a routine table.  The routine
+table carries the *image* each routine belongs to (``"main"`` for application
+code, any other name for library images), which is what lets the Pin
+workalike and tQUAD distinguish application kernels from library routines.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..isa import INSTR_BYTES, Instr, encode_program
+from .layout import CODE_BASE, DATA_BASE, index_to_pc
+
+MAIN_IMAGE = "main"
+
+
+@dataclass(frozen=True)
+class Routine:
+    """One function in the binary: a contiguous range of instructions."""
+
+    name: str
+    start: int           #: first instruction index (inclusive)
+    end: int             #: one past the last instruction index
+    image: str = MAIN_IMAGE
+
+    @property
+    def start_pc(self) -> int:
+        return index_to_pc(self.start)
+
+    @property
+    def end_pc(self) -> int:
+        return index_to_pc(self.end)
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+
+@dataclass
+class Program:
+    """A loadable guest binary."""
+
+    instrs: list[Instr]
+    data: bytes = b""                       #: image of the data segment
+    symbols: dict[str, int] = field(default_factory=dict)  #: name -> address
+    routines: list[Routine] = field(default_factory=list)
+    entry: int = 0                          #: entry instruction index
+    source: str = ""                        #: assembly source, if available
+
+    def __post_init__(self) -> None:
+        self.routines = sorted(self.routines, key=lambda r: r.start)
+        self._starts = [r.start for r in self.routines]
+        self._by_name = {r.name: r for r in self.routines}
+
+    # -- queries ------------------------------------------------------------
+    def routine_at(self, index: int) -> Routine | None:
+        """Return the routine containing instruction ``index``, if any."""
+        pos = bisect.bisect_right(self._starts, index) - 1
+        if pos >= 0 and self.routines[pos].contains(index):
+            return self.routines[pos]
+        return None
+
+    def routine(self, name: str) -> Routine:
+        """Return the routine named ``name`` (KeyError if absent)."""
+        return self._by_name[name]
+
+    def has_routine(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def code_bytes(self) -> bytes:
+        """The encoded code segment (for size accounting / round trips)."""
+        return encode_program(self.instrs)
+
+    @property
+    def code_size(self) -> int:
+        return len(self.instrs) * INSTR_BYTES
+
+    @property
+    def entry_pc(self) -> int:
+        return index_to_pc(self.entry)
+
+    def data_end(self) -> int:
+        """First address past the initialised data segment."""
+        return DATA_BASE + len(self.data)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (f"Program: {len(self.instrs)} instructions "
+                f"({self.code_size} bytes @ {CODE_BASE:#x}), "
+                f"{len(self.data)} data bytes @ {DATA_BASE:#x}, "
+                f"{len(self.routines)} routines, entry "
+                f"{self.routine_at(self.entry).name if self.routine_at(self.entry) else self.entry}")

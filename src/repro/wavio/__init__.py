@@ -1,0 +1,12 @@
+"""Minimal RIFF/WAVE PCM16 codec and test-signal synthesis (host side).
+
+The hArtes wfs application runs off-line: "the input audio source is read
+from files instead of audio devices" (paper §V-A).  This module creates
+those input files and decodes the guest's output for validation.
+"""
+
+from .riff import WavData, read_wav, write_wav, WAV_HEADER_BYTES
+from .synth import sine, sine_sweep, white_noise
+
+__all__ = ["read_wav", "write_wav", "WavData", "WAV_HEADER_BYTES",
+           "sine", "sine_sweep", "white_noise"]

@@ -1,0 +1,69 @@
+"""RIFF/WAVE PCM16 reader/writer.
+
+Only the canonical 44-byte-header PCM16 layout is supported — the same
+layout the guest-side ``wav_load``/``wav_store`` kernels produce and consume.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+WAV_HEADER_BYTES = 44
+
+
+@dataclass
+class WavData:
+    sample_rate: int
+    channels: int
+    samples: np.ndarray        #: int16 array, shape (frames, channels)
+
+    @property
+    def frames(self) -> int:
+        return self.samples.shape[0]
+
+
+def write_wav(sample_rate: int, samples: np.ndarray) -> bytes:
+    """Encode int16 samples (frames,) or (frames, channels) to WAV bytes."""
+    arr = np.asarray(samples)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError("samples must be 1-D or 2-D")
+    if arr.dtype != np.int16:
+        if np.issubdtype(arr.dtype, np.floating):
+            arr = np.clip(np.rint(arr * 32767.0), -32768, 32767)
+        arr = arr.astype(np.int16)
+    frames, channels = arr.shape
+    data = arr.astype("<i2").tobytes()
+    byte_rate = sample_rate * channels * 2
+    block_align = channels * 2
+    header = b"RIFF" + struct.pack("<I", 36 + len(data)) + b"WAVE"
+    header += b"fmt " + struct.pack("<IHHIIHH", 16, 1, channels,
+                                    sample_rate, byte_rate, block_align, 16)
+    header += b"data" + struct.pack("<I", len(data))
+    assert len(header) == WAV_HEADER_BYTES
+    return header + data
+
+
+def read_wav(raw: bytes) -> WavData:
+    """Decode canonical PCM16 WAV bytes."""
+    if len(raw) < WAV_HEADER_BYTES or raw[0:4] != b"RIFF" \
+            or raw[8:12] != b"WAVE":
+        raise ValueError("not a RIFF/WAVE file")
+    if raw[12:16] != b"fmt ":
+        raise ValueError("missing fmt chunk at canonical offset")
+    (fmt_size, audio_fmt, channels, sample_rate, _byte_rate, _block_align,
+     bits) = struct.unpack_from("<IHHIIHH", raw, 16)
+    if fmt_size != 16 or audio_fmt != 1 or bits != 16:
+        raise ValueError("only canonical PCM16 is supported")
+    if raw[36:40] != b"data":
+        raise ValueError("missing data chunk at canonical offset")
+    (data_size,) = struct.unpack_from("<I", raw, 40)
+    body = raw[WAV_HEADER_BYTES:WAV_HEADER_BYTES + data_size]
+    arr = np.frombuffer(body, dtype="<i2").astype(np.int16)
+    frames = len(arr) // channels
+    return WavData(sample_rate=sample_rate, channels=channels,
+                   samples=arr[:frames * channels].reshape(frames, channels))

@@ -1,0 +1,30 @@
+"""Deterministic test-signal synthesis for the off-line audio inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sine(frames: int, *, freq_hz: float = 440.0,
+         sample_rate: int = 48000, amplitude: float = 0.5) -> np.ndarray:
+    """A pure tone as float64 in [-1, 1]."""
+    t = np.arange(frames) / sample_rate
+    return amplitude * np.sin(2.0 * np.pi * freq_hz * t)
+
+
+def sine_sweep(frames: int, *, f0: float = 100.0, f1: float = 4000.0,
+               sample_rate: int = 48000,
+               amplitude: float = 0.5) -> np.ndarray:
+    """A linear chirp — broadband, so every filter bin sees energy."""
+    t = np.arange(frames) / sample_rate
+    duration = frames / sample_rate
+    k = (f1 - f0) / max(duration, 1e-12)
+    phase = 2.0 * np.pi * (f0 * t + 0.5 * k * t * t)
+    return amplitude * np.sin(phase)
+
+
+def white_noise(frames: int, *, seed: int = 12345,
+                amplitude: float = 0.5) -> np.ndarray:
+    """Reproducible uniform noise."""
+    rng = np.random.default_rng(seed)
+    return amplitude * (2.0 * rng.random(frames) - 1.0)

@@ -1,0 +1,134 @@
+"""Second case study: the DCT image codec, end to end + profiler shapes."""
+
+import pytest
+
+from repro.apps.codec import (TINY_CODEC, build_codec_program,
+                              make_codec_workspace, reference_encode,
+                              synthetic_image)
+from repro.core import TQuadOptions, cluster_kernel_phases, run_tquad
+from repro.gprofsim import run_gprof
+from repro.vm import Machine
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_codec_program(TINY_CODEC)
+
+
+@pytest.fixture(scope="module")
+def encoded(program):
+    fs = make_codec_workspace(TINY_CODEC)
+    m = Machine(program, fs=fs)
+    m.run(max_instructions=50_000_000)
+    return m, fs.get("image.dct")
+
+
+class TestEndToEnd:
+    def test_exit_clean(self, encoded):
+        m, _ = encoded
+        assert m.exit_code == 0
+        assert m.fs.open_count() == 0
+
+    def test_bitstream_matches_reference(self, encoded):
+        _, out = encoded
+        assert out == reference_encode(TINY_CODEC)
+
+    def test_header(self, encoded):
+        _, out = encoded
+        assert out[:4] == b"DCT1"
+        assert int.from_bytes(out[4:6], "little") == TINY_CODEC.width
+        assert int.from_bytes(out[6:8], "little") == TINY_CODEC.height
+
+    def test_compresses(self, encoded):
+        _, out = encoded
+        assert len(out) < TINY_CODEC.pixels  # RLE beats raw on the chart
+
+    def test_image_deterministic(self):
+        import numpy as np
+
+        np.testing.assert_array_equal(synthetic_image(TINY_CODEC),
+                                      synthetic_image(TINY_CODEC))
+
+    def test_block_count_encoded(self, encoded):
+        _, out = encoded
+        bw, bh = TINY_CODEC.blocks
+        # every block ends with the (127, 0) marker
+        assert out.count(b"\x7f\x00") >= bw * bh
+
+    def test_bitstream_decodes_to_the_image(self, encoded):
+        """The guest's output is a real encoding: inverting it on the host
+        reconstructs the image with high fidelity."""
+        from repro.apps.codec import decode_stream, psnr, synthetic_image
+
+        _, out = encoded
+        recon = decode_stream(out)
+        quality = psnr(synthetic_image(TINY_CODEC), recon)
+        assert quality > 35.0   # dB
+
+    def test_decoder_rejects_garbage(self):
+        from repro.apps.codec import decode_stream
+
+        with pytest.raises(ValueError):
+            decode_stream(b"NOPE" + b"\x00" * 16)
+
+
+class TestProfileShape:
+    def test_dct_dominates(self, program):
+        flat = run_gprof(program, fs=make_codec_workspace(TINY_CODEC))
+        assert flat.top(1) == ["dct8_rows"]
+        assert flat.row("dct8_rows").calls == \
+            2 * TINY_CODEC.blocks[0] * TINY_CODEC.blocks[1]
+        assert flat.row("img_load").calls == 1
+        assert flat.row("build_zigzag").calls == 1
+
+    def test_phases(self, program):
+        rep = run_tquad(program, fs=make_codec_workspace(TINY_CODEC),
+                        options=TQuadOptions(slice_interval=2000))
+        pa = cluster_kernel_phases(rep, coarsen_blocks=32)
+        by_kernel = {k: p for p in pa for k in p.kernel_names()}
+        # init tables come before the block loop; load before transform
+        assert by_kernel["build_dct_matrix"].start_slice <= \
+            by_kernel["dct8_rows"].start_slice
+        assert by_kernel["img_load"].start_slice <= \
+            by_kernel["dct8_rows"].start_slice
+        # the transform engine spans most of the run
+        dct_phase = by_kernel["dct8_rows"]
+        assert dct_phase.span > 0.5 * rep.n_slices
+
+
+class TestGuestRoundtrip:
+    def test_encode_decode_in_guest(self):
+        """Full in-guest roundtrip: the decoder (a second MiniC program)
+        reconstructs the encoder's bitstream at high fidelity."""
+        import numpy as np
+
+        from repro.apps.codec import (decode_stream, psnr,
+                                      roundtrip_in_guest, synthetic_image)
+
+        recon, bits = roundtrip_in_guest(TINY_CODEC)
+        orig = synthetic_image(TINY_CODEC)
+        assert psnr(orig, recon) > 35.0
+        # the guest decoder agrees with the host decoder pixel for pixel
+        host = decode_stream(bits)
+        assert int(np.abs(recon.astype(int) - host.astype(int)).max()) <= 1
+
+    def test_decoder_rejects_wrong_dimensions(self):
+        from repro.apps.codec import (CodecConfig, build_decoder_program,
+                                      make_codec_workspace, reference_encode)
+        from repro.vm import Machine
+
+        other = CodecConfig(width=16, height=8)
+        fs = make_codec_workspace(TINY_CODEC)
+        fs.put("image.dct", reference_encode(other))
+        m = Machine(build_decoder_program(TINY_CODEC), fs=fs)
+        assert m.run(max_instructions=50_000_000) == 3  # dimension mismatch
+
+    def test_decoder_rejects_bad_magic(self):
+        from repro.apps.codec import build_decoder_program, \
+            make_codec_workspace
+        from repro.vm import Machine
+
+        fs = make_codec_workspace(TINY_CODEC)
+        fs.put("image.dct", b"JUNK" + b"\x00" * 64)
+        m = Machine(build_decoder_program(TINY_CODEC), fs=fs)
+        assert m.run(max_instructions=50_000_000) == 2

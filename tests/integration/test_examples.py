@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "stage_fill" in out
+        assert "B/ins" in out
+
+    def test_custom_pintool(self):
+        out = run_example("custom_pintool.py")
+        assert "scatter" in out
+        assert "heatmap" in out.lower()
+
+    def test_phase_partitioning(self):
+        out = run_example("phase_partitioning.py")
+        assert "produce" in out
+        assert "intra-cluster traffic kept: 100.0%" in out
+
+    def test_advanced_analysis(self):
+        out = run_example("advanced_analysis.py")
+        assert "byte totals consistent across passes: yes" in out
+        assert "match tQUAD's online ledger: yes" in out
+        assert "phases recomputed" in out
+
+    def test_locality_and_timing(self):
+        out = run_example("locality_and_timing.py")
+        assert "memory-bound" in out
+        assert "WCET" in out
+
+    @pytest.mark.slow
+    def test_wfs_case_study_tiny(self):
+        out = run_example("wfs_case_study.py", "tiny")
+        assert "Table I analogue" in out
+        assert "Table II analogue" in out
+        assert "Table III analogue" in out
+        assert "Figure 6 analogue" in out
+        assert "Figure 7 analogue" in out
+        assert "Table IV analogue" in out
+        assert "wav_store" in out

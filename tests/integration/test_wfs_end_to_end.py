@@ -1,0 +1,67 @@
+"""End-to-end validation of the WFS application against the host oracle."""
+
+import numpy as np
+import pytest
+
+from repro.apps.wfs import TINY, build_wfs_program, make_workspace, run_wfs
+from repro.refwfs import run_reference
+from repro.wavio import read_wav
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    return run_wfs(TINY)
+
+
+@pytest.fixture(scope="module")
+def tiny_ref():
+    return run_reference(TINY)
+
+
+class TestEndToEnd:
+    def test_exit_code(self, tiny_run):
+        assert tiny_run.exit_code == 0
+
+    def test_output_bytes_identical_to_reference(self, tiny_run, tiny_ref):
+        # compiler + VM + app vs pure-Python oracle: bit-exact IEEE doubles
+        assert tiny_run.output_wav == tiny_ref.wav_bytes
+
+    def test_output_wav_well_formed(self, tiny_run):
+        wav = read_wav(tiny_run.output_wav)
+        assert wav.channels == TINY.n_speakers
+        assert wav.frames == TINY.frames
+        assert wav.sample_rate == TINY.sample_rate
+
+    def test_output_not_silent(self, tiny_run):
+        wav = read_wav(tiny_run.output_wav)
+        assert np.abs(wav.samples).max() > 100
+
+    def test_no_descriptor_leaks(self, tiny_run):
+        assert tiny_run.machine.fs.open_count() == 0
+
+    def test_deterministic_across_runs(self, tiny_run):
+        again = run_wfs(TINY)
+        assert again.output_wav == tiny_run.output_wav
+        assert again.instructions == tiny_run.instructions
+
+    def test_speaker_channels_differ(self, tiny_run):
+        # different delays/gains per speaker: channels must not be copies
+        wav = read_wav(tiny_run.output_wav)
+        assert not np.array_equal(wav.samples[:, 0], wav.samples[:, 1])
+
+    def test_delays_scale_with_distance(self, tiny_ref):
+        # outer speakers are farther from the (centre-ish) source
+        delays = tiny_ref.delays
+        assert delays.max() > delays.min()
+        assert (delays >= 0).all()
+        assert delays.max() <= TINY.max_delay
+
+    def test_gains_positive_and_bounded(self, tiny_ref):
+        assert (tiny_ref.gains > 0).all()
+        assert (tiny_ref.gains < 10).all()
+
+    def test_scaled_config_still_matches_reference(self):
+        cfg = TINY.scaled(n_chunks=6, n_speakers=3, name="tiny3")
+        run = run_wfs(cfg)
+        ref = run_reference(cfg)
+        assert run.output_wav == ref.wav_bytes

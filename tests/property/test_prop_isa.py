@@ -1,0 +1,84 @@
+"""Property-based tests: instruction encoding and assembler round trips."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.asmkit import assemble
+from repro.isa import (NO_PRED, NUM_OPCODES, OPCODES, Fmt, Instr, decode,
+                       decode_program, encode, encode_program, format_instr)
+
+# finite doubles that survive struct round trip exactly
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+reg = st.integers(min_value=0, max_value=31)
+pred = st.one_of(st.just(NO_PRED), st.integers(min_value=0, max_value=31))
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.integers(min_value=0, max_value=NUM_OPCODES - 1))
+    info = OPCODES[op]
+    imm = draw(finite_floats) if info.fmt is Fmt.FRI else draw(i64)
+    return Instr(op=op, rd=draw(reg), rs1=draw(reg), rs2=draw(reg),
+                 imm=imm, pred=draw(pred))
+
+
+class TestEncodingProperties:
+    @given(instructions())
+    @settings(max_examples=300)
+    def test_roundtrip(self, ins):
+        assert decode(encode(ins)) == ins
+
+    @given(st.lists(instructions(), max_size=40))
+    def test_program_roundtrip(self, instrs):
+        assert decode_program(encode_program(instrs)) == instrs
+
+    @given(instructions())
+    def test_encoding_is_16_bytes(self, ins):
+        assert len(encode(ins)) == 16
+
+    @given(instructions(), instructions())
+    def test_encoding_injective(self, a, b):
+        if a != b:
+            # NaN immediates break bit-equality; excluded by strategy
+            assert encode(a) != encode(b) or a == b
+
+
+class TestDisasmAssemblerRoundtrip:
+    # Only label-free, structurally valid instructions can round trip
+    # through text (branch targets must land in the code segment).
+    SAFE_FMTS = {Fmt.RRR, Fmt.RRI, Fmt.RI, Fmt.FFF, Fmt.FF, Fmt.RFF,
+                 Fmt.FR, Fmt.RF, Fmt.MEM, Fmt.NONE, Fmt.FRI}
+
+    @st.composite
+    @staticmethod
+    def safe_instructions(draw):
+        ops = [i.code for i in OPCODES
+               if i.fmt in TestDisasmAssemblerRoundtrip.SAFE_FMTS]
+        op = draw(st.sampled_from(ops))
+        info = OPCODES[op]
+        if info.fmt is Fmt.FRI:
+            imm = draw(finite_floats)
+        elif info.fmt in (Fmt.RRI, Fmt.RI, Fmt.MEM):
+            imm = draw(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+        else:
+            imm = 0  # format has no immediate field in the text rendering
+        ins = Instr(op=op, rd=draw(reg), rs1=draw(reg), rs2=draw(reg),
+                    imm=imm, pred=draw(pred))
+        return ins
+
+    @given(st.lists(safe_instructions(), min_size=1, max_size=20))
+    @settings(max_examples=150)
+    def test_disassemble_reassemble(self, instrs):
+        text = ".text\n" + "\n".join(format_instr(i) for i in instrs)
+        program = assemble(text)
+        assert len(program.instrs) == len(instrs)
+        for orig, back in zip(instrs, program.instrs):
+            assert back.op == orig.op
+            assert back.pred == orig.pred
+            if OPCODES[orig.op].fmt is Fmt.FRI:
+                assert math.isclose(back.imm, orig.imm) or \
+                    back.imm == orig.imm
+            elif OPCODES[orig.op].fmt is not Fmt.NONE:
+                assert back.imm == orig.imm

@@ -1,0 +1,195 @@
+"""Property-based differential testing of the MiniC compiler.
+
+Random expression trees are compiled + executed on the VM and independently
+evaluated with C semantics in Python; results must agree.  This is the main
+correctness argument for the compiler backing every profiling experiment.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import run_minic
+
+I64_MIN = -(2**63)
+I64_MAX = 2**63 - 1
+
+
+def wrap64(v: int) -> int:
+    return ((v - I64_MIN) % 2**64) + I64_MIN
+
+
+def c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def c_rem(a: int, b: int) -> int:
+    return a - b * c_div(a, b)
+
+
+class Node:
+    """An expression tree that can render to MiniC and evaluate itself."""
+
+    def __init__(self, kind, *children):
+        self.kind = kind
+        self.children = children
+
+    def render(self) -> str:
+        k = self.kind
+        if k == "lit":
+            v = self.children[0]
+            return f"({v})" if v >= 0 else f"(0 - {-v})"
+        if k == "var":
+            return f"v{self.children[0]}"
+        if k == "neg":
+            return f"(-{self.children[0].render()})"
+        if k == "not":
+            return f"(~{self.children[0].render()})"
+        a, b = self.children
+        return f"({a.render()} {k} {b.render()})"
+
+    def evaluate(self, env) -> int:
+        k = self.kind
+        if k == "lit":
+            return self.children[0]
+        if k == "var":
+            return env[self.children[0]]
+        if k == "neg":
+            return wrap64(-self.children[0].evaluate(env))
+        if k == "not":
+            return wrap64(~self.children[0].evaluate(env))
+        a = self.children[0].evaluate(env)
+        b = self.children[1].evaluate(env)
+        if k == "+":
+            return wrap64(a + b)
+        if k == "-":
+            return wrap64(a - b)
+        if k == "*":
+            return wrap64(a * b)
+        if k == "/":
+            return wrap64(c_div(a, b)) if b != 0 else 0
+        if k == "%":
+            return wrap64(c_rem(a, b)) if b != 0 else 0
+        if k == "&":
+            return a & b
+        if k == "|":
+            return a | b
+        if k == "^":
+            return a ^ b
+        if k == "<":
+            return int(a < b)
+        if k == "<=":
+            return int(a <= b)
+        if k == "==":
+            return int(a == b)
+        if k == "!=":
+            return int(a != b)
+        raise AssertionError(k)
+
+
+_BINOPS = ["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="]
+
+small_int = st.integers(min_value=0, max_value=1000)
+big_int = st.integers(min_value=0, max_value=2**62)
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans(), label="leaf"):
+        if draw(st.booleans()):
+            return Node("lit", draw(st.one_of(small_int, big_int)))
+        return Node("var", draw(st.integers(min_value=0, max_value=3)))
+    kind = draw(st.sampled_from(_BINOPS + ["neg", "not"]))
+    if kind in ("neg", "not"):
+        return Node(kind, draw(expr_trees(depth=depth - 1)))
+    return Node(kind, draw(expr_trees(depth=depth - 1)),
+                draw(expr_trees(depth=depth - 1)))
+
+
+@st.composite
+def safe_div_trees(draw):
+    """Division/modulo with guaranteed non-zero literal divisors."""
+    op = draw(st.sampled_from(["/", "%"]))
+    num = draw(expr_trees(depth=2))
+    den_value = draw(st.integers(min_value=1, max_value=10**6))
+    if draw(st.booleans()):
+        den_value = -den_value
+    return Node(op, num, Node("lit", den_value))
+
+
+def run_tree(tree: Node, env: list[int]) -> int:
+    decls = "\n".join(
+        f"int v{i} = {v if v >= 0 else f'(0 - {-v})'};"
+        for i, v in enumerate(env))
+    src = f"""
+    int r;
+    int main() {{
+        {decls}
+        r = {tree.render()};
+        return 0;
+    }}
+    """
+    m = run_minic(src, max_instructions=3_000_000)
+    assert m.exit_code == 0
+    import repro.vm.layout as layout
+
+    # global r is the first global => first data slot (aligned)
+    return m.read_i64(layout.DATA_BASE)
+
+
+class TestDifferentialExecution:
+    @given(expr_trees(depth=3),
+           st.lists(st.integers(min_value=-10**9, max_value=10**9),
+                    min_size=4, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_expression_matches_c_semantics(self, tree, env):
+        assert run_tree(tree, env) == tree.evaluate(env)
+
+    @given(safe_div_trees(),
+           st.lists(st.integers(min_value=-10**6, max_value=10**6),
+                    min_size=4, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_division_matches_c_semantics(self, tree, env):
+        assert run_tree(tree, env) == tree.evaluate(env)
+
+
+class TestLoopProperties:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_loop(self, n):
+        m = run_minic(f"""
+        int main() {{
+            int s = 0;
+            int i;
+            for (i = 1; i <= {n}; i = i + 1) {{ s = s + i; }}
+            return s % 256;
+        }}
+        """)
+        assert m.exit_code == (n * (n + 1) // 2) % 256
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                    max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_array_max(self, values):
+        stores = "\n".join(f"a[{i}] = {v};" for i, v in enumerate(values))
+        m = run_minic(f"""
+        int a[32];
+        int main() {{
+            {stores}
+            int best = 0;
+            int i;
+            for (i = 0; i < {len(values)}; i = i + 1) {{
+                if (a[i] > best) {{ best = a[i]; }}
+            }}
+            return best;
+        }}
+        """)
+        assert m.exit_code == max(values)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126,
+                                          exclude_characters='"\\'),
+                   max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_strlen_matches(self, text):
+        m = run_minic(f'int main() {{ return strlen("{text}"); }}')
+        assert m.exit_code == len(text)

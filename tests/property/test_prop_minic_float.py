@@ -1,0 +1,127 @@
+"""Differential float testing: MiniC's double arithmetic must match host
+Python bit for bit (both are IEEE-754 binary64, same operation order)."""
+
+import math
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import run_minic
+from repro.vm.layout import DATA_BASE
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+
+
+class FNode:
+    def __init__(self, kind, *children):
+        self.kind = kind
+        self.children = children
+
+    def render(self) -> str:
+        k = self.kind
+        if k == "lit":
+            return f"({self.children[0]!r})"
+        if k == "var":
+            return f"f{self.children[0]}"
+        if k == "neg":
+            return f"(-{self.children[0].render()})"
+        if k in ("__sqrt", "__sin", "__cos", "__fabs"):
+            return f"{k}({self.children[0].render()})"
+        a, b = self.children
+        return f"({a.render()} {k} {b.render()})"
+
+    def evaluate(self, env) -> float:
+        k = self.kind
+        if k == "lit":
+            return self.children[0]
+        if k == "var":
+            return env[self.children[0]]
+        if k == "neg":
+            return -self.children[0].evaluate(env)
+        if k == "__fabs":
+            return abs(self.children[0].evaluate(env))
+        if k == "__sqrt":
+            v = self.children[0].evaluate(env)
+            return math.sqrt(v) if v >= 0.0 else math.nan
+        if k == "__sin":
+            return math.sin(self.children[0].evaluate(env))
+        if k == "__cos":
+            return math.cos(self.children[0].evaluate(env))
+        a = self.children[0].evaluate(env)
+        b = self.children[1].evaluate(env)
+        if k == "+":
+            return a + b
+        if k == "-":
+            return a - b
+        if k == "*":
+            return a * b
+        raise AssertionError(k)
+
+
+@st.composite
+def float_trees(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return FNode("lit", draw(finite))
+        return FNode("var", draw(st.integers(min_value=0, max_value=2)))
+    kind = draw(st.sampled_from(["+", "-", "*", "neg", "__sin", "__cos",
+                                 "__fabs"]))
+    if kind in ("neg", "__sin", "__cos", "__fabs"):
+        return FNode(kind, draw(float_trees(depth=depth - 1)))
+    return FNode(kind, draw(float_trees(depth=depth - 1)),
+                 draw(float_trees(depth=depth - 1)))
+
+
+def run_float_tree(tree: FNode, env) -> float:
+    decls = "\n".join(f"float f{i} = {v!r};" for i, v in enumerate(env))
+    src = f"""
+    float r;
+    int main() {{
+        {decls}
+        r = {tree.render()};
+        return 0;
+    }}
+    """
+    m = run_minic(src, max_instructions=3_000_000)
+    assert m.exit_code == 0
+    return m.read_f64(DATA_BASE)
+
+
+class TestFloatDifferential:
+    @given(float_trees(),
+           st.lists(finite, min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_exact(self, tree, env):
+        got = run_float_tree(tree, env)
+        want = tree.evaluate(env)
+        # bit-level comparison (handles -0.0 vs 0.0 distinctions too)
+        assert struct.pack("<d", got) == struct.pack("<d", want)
+
+    @given(st.lists(finite, min_size=1, max_size=16))
+    @settings(max_examples=25, deadline=None)
+    def test_summation_order_preserved(self, values):
+        # left-to-right accumulation, like the guest loop
+        adds = "\n".join(f"acc = acc + {v!r};" for v in values)
+        m = run_minic(f"""
+        float r;
+        int main() {{
+            float acc = 0.0;
+            {adds}
+            r = acc;
+            return 0;
+        }}
+        """)
+        acc = 0.0
+        for v in values:
+            acc = acc + v
+        assert m.read_f64(DATA_BASE) == acc
+
+    @given(finite)
+    @settings(max_examples=30, deadline=None)
+    def test_division_matches(self, v):
+        m = run_minic(f"""
+        float r;
+        int main() {{ r = {v!r} / 3.0; return 0; }}
+        """)
+        assert m.read_f64(DATA_BASE) == v / 3.0

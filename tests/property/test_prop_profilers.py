@@ -1,0 +1,206 @@
+"""Property-based profiler invariants ("conservation laws").
+
+For randomly generated guest programs:
+
+* tQUAD: Σ per-slice bytes equals the total bytes moved, independent of the
+  slice interval; stack-excluded ≤ stack-included everywhere.
+* QUAD: UnMA ≤ bytes; consumed output ≤ what an independent read counter saw.
+* gprof-sim: per-function self instruction counts partition the run exactly.
+* all tools observe identical totals when run simultaneously or separately.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TQuadOptions, TQuadTool, run_tquad
+from repro.gprofsim import GprofTool, run_gprof
+from repro.minic import build_program
+from repro.pin import IARG, IPOINT, PinEngine
+from repro.quad import QuadTool
+
+
+@st.composite
+def guest_programs(draw):
+    """A random multi-function MiniC program over small int arrays."""
+    n_funcs = draw(st.integers(min_value=1, max_value=4))
+    size = draw(st.sampled_from([8, 16, 32]))
+    funcs = []
+    calls = []
+    for f in range(n_funcs):
+        body = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            op = draw(st.sampled_from(["fill", "sum", "copy", "scale"]))
+            if op == "fill":
+                body.append(
+                    f"for (i = 0; i < {size}; i = i + 1) "
+                    f"{{ ga[i] = i * {draw(st.integers(1, 9))}; }}")
+            elif op == "sum":
+                body.append(
+                    f"for (i = 0; i < {size}; i = i + 1) "
+                    f"{{ acc = acc + ga[i]; }}")
+            elif op == "copy":
+                body.append(
+                    f"for (i = 0; i < {size}; i = i + 1) "
+                    f"{{ gb[i] = ga[i]; }}")
+            else:
+                body.append(
+                    f"for (i = 0; i < {size}; i = i + 1) "
+                    f"{{ gb[i] = gb[i] * {draw(st.integers(1, 5))}; }}")
+        funcs.append(
+            f"int f{f}() {{ int i; int acc = 0; "
+            + " ".join(body) + " return acc; }")
+        reps = draw(st.integers(min_value=1, max_value=2))
+        calls.extend([f"r = r + f{f}();"] * reps)
+    return (f"int ga[{size}]; int gb[{size}];\n"
+            + "\n".join(funcs)
+            + "\nint main() { int r = 0; " + " ".join(calls)
+            + " return r & 255; }")
+
+
+class _ByteCounter:
+    """Independent oracle: total bytes moved, via raw Pin instrumentation."""
+
+    def __init__(self):
+        self.read = 0
+        self.written = 0
+
+    def attach(self, engine):
+        def cb(ins):
+            if ins.IsMemoryRead():
+                ins.InsertPredicatedCall(IPOINT.BEFORE, self._r,
+                                         IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+            if ins.IsMemoryWrite():
+                ins.InsertPredicatedCall(IPOINT.BEFORE, self._w,
+                                         IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+
+        engine.INS_AddInstrumentFunction(cb)
+        return self
+
+    def _r(self, ea, size):
+        self.read += size
+
+    def _w(self, ea, size):
+        self.written += size
+
+
+class TestTQuadConservation:
+    @given(guest_programs(), st.sampled_from([7, 64, 1000, 10**6]))
+    @settings(max_examples=20, deadline=None)
+    def test_total_bytes_independent_of_interval(self, src, interval):
+        program = build_program(src)
+        engine = PinEngine(program)
+        counter = _ByteCounter().attach(engine)
+        tool = TQuadTool(TQuadOptions(slice_interval=interval)).attach(engine)
+        engine.run(max_instructions=5_000_000)
+        rep = tool.report()
+        assert rep.total_bytes(write=False,
+                               include_stack=True) == counter.read
+        assert rep.total_bytes(write=True,
+                               include_stack=True) == counter.written
+
+    @given(guest_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_excluded_never_exceeds_included(self, src):
+        rep = run_tquad(build_program(src),
+                        options=TQuadOptions(slice_interval=97),
+                        max_instructions=5_000_000)
+        for name in rep.ledger.kernels():
+            s = rep.series(name)
+            assert (s.read_excl <= s.read_incl).all()
+            assert (s.write_excl <= s.write_incl).all()
+
+    @given(guest_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_slices_cover_run(self, src):
+        rep = run_tquad(build_program(src),
+                        options=TQuadOptions(slice_interval=50),
+                        max_instructions=5_000_000)
+        for name in rep.ledger.kernels():
+            s = rep.series(name)
+            assert (s.slices >= 0).all()
+            assert (s.slices < rep.n_slices).all()
+
+
+class TestQuadInvariants:
+    @given(guest_programs())
+    @settings(max_examples=12, deadline=None)
+    def test_unma_at_most_bytes(self, src):
+        program = build_program(src)
+        engine = PinEngine(program)
+        tool = QuadTool().attach(engine)
+        engine.run(max_instructions=5_000_000)
+        rep = tool.report()
+        for name in rep.kernels:
+            row = rep.row(name)
+            assert row.in_unma_incl <= row.in_incl
+            assert row.in_unma_excl <= row.in_excl
+            assert row.in_unma_excl <= row.in_unma_incl
+            assert row.out_unma_excl <= row.out_unma_incl
+
+    @given(guest_programs())
+    @settings(max_examples=12, deadline=None)
+    def test_bindings_sum_to_out_bytes(self, src):
+        program = build_program(src)
+        engine = PinEngine(program)
+        tool = QuadTool().attach(engine)
+        engine.run(max_instructions=5_000_000)
+        rep = tool.report()
+        for name, io in rep.kernels.items():
+            consumed = sum(c[0] for (p, _), c in rep.bindings.items()
+                           if p == name)
+            assert consumed == io.out_bytes_incl
+
+    @given(guest_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_consumption_bounded_by_reads(self, src):
+        program = build_program(src)
+        engine = PinEngine(program)
+        counter = _ByteCounter().attach(engine)
+        tool = QuadTool().attach(engine)
+        engine.run(max_instructions=5_000_000)
+        rep = tool.report()
+        total_out = sum(io.out_bytes_incl for io in rep.kernels.values())
+        assert total_out <= counter.read
+
+
+class TestGprofPartition:
+    @given(guest_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_self_times_partition_the_run(self, src):
+        flat = run_gprof(build_program(src), main_image_only=False,
+                         max_instructions=5_000_000)
+        assert flat.profiled_instructions == flat.total_instructions
+
+    @given(guest_programs())
+    @settings(max_examples=10, deadline=None)
+    def test_cumulative_at_least_self(self, src):
+        flat = run_gprof(build_program(src), main_image_only=False,
+                         max_instructions=5_000_000)
+        for row in flat.rows:
+            assert row.cumulative_instructions >= row.self_instructions
+
+
+class TestToolComposition:
+    @given(guest_programs())
+    @settings(max_examples=8, deadline=None)
+    def test_tools_agree_when_composed(self, src):
+        program = build_program(src)
+        # separate runs
+        rep_alone = run_tquad(build_program(src),
+                              options=TQuadOptions(slice_interval=100),
+                              max_instructions=5_000_000)
+        flat_alone = run_gprof(build_program(src),
+                               max_instructions=5_000_000)
+        # one run, all three tools attached
+        engine = PinEngine(program)
+        tq = TQuadTool(TQuadOptions(slice_interval=100)).attach(engine)
+        gp = GprofTool().attach(engine)
+        qd = QuadTool().attach(engine)
+        engine.run(max_instructions=5_000_000)
+        rep_combo = tq.report()
+        flat_combo = gp.report()
+        assert rep_combo.total_bytes(write=True, include_stack=True) == \
+            rep_alone.total_bytes(write=True, include_stack=True)
+        for row in flat_alone.rows:
+            assert flat_combo.row(row.name).self_instructions == \
+                row.self_instructions
+        assert qd.finished

@@ -1,0 +1,139 @@
+"""Property tests: WCET soundness and cache-model invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gprofsim import run_gprof
+from repro.minic import build_program
+from repro.static import estimate_wcet
+from repro.tools import CacheConfig, CacheModel
+
+
+@st.composite
+def loop_programs(draw):
+    """A random nest/sequence of counted loops with known trip counts.
+
+    Returns (source, loop_bounds_for_main).
+    """
+    n_top = draw(st.integers(min_value=1, max_value=3))
+    body_lines = []
+    bounds: list[int] = []
+    for _ in range(n_top):
+        outer = draw(st.integers(min_value=0, max_value=12))
+        bounds.append(outer)
+        nested = draw(st.booleans())
+        if nested:
+            inner = draw(st.integers(min_value=0, max_value=8))
+            bounds.append(inner)
+            body_lines.append(f"""
+            for (i = 0; i < {outer}; i++) {{
+                for (j = 0; j < {inner}; j++) {{ s += i * j + 1; }}
+            }}""")
+        else:
+            body_lines.append(f"""
+            for (i = 0; i < {outer}; i++) {{ s += i; }}""")
+        if draw(st.booleans()):
+            body_lines.append("s += helper(3);")
+    src = f"""
+    int helper(int n) {{
+        int k; int t = 0;
+        for (k = 0; k < n; k++) {{ t += k; }}
+        return t;
+    }}
+    int main() {{
+        int i; int j; int s = 0;
+        {''.join(body_lines)}
+        return s & 255;
+    }}
+    """
+    return src, bounds
+
+
+class TestWCETSoundness:
+    @given(loop_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_bound_dominates_measurement(self, case):
+        src, bounds = case
+        prog = build_program(src)
+        flat = run_gprof(prog)
+        res = estimate_wcet(prog, "main",
+                            loop_bounds={"main": bounds, "helper": [3]})
+        measured = flat.row("main").cumulative_instructions
+        assert res.bound >= measured
+
+    @given(loop_programs())
+    @settings(max_examples=15, deadline=None)
+    def test_bound_is_tight_for_counted_loops(self, case):
+        # with exact trip counts and no data-dependent branches the bound
+        # should be within 25% of the actual execution
+        src, bounds = case
+        prog = build_program(src)
+        flat = run_gprof(prog)
+        res = estimate_wcet(prog, "main",
+                            loop_bounds={"main": bounds, "helper": [3]})
+        measured = flat.row("main").cumulative_instructions
+        assert res.bound <= measured * 1.25 + 50
+
+    @given(loop_programs(), st.integers(min_value=2, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_bound_monotone_in_loop_bounds(self, case, factor):
+        src, bounds = case
+        prog = build_program(src)
+        base = estimate_wcet(prog, "main",
+                             loop_bounds={"main": bounds, "helper": [3]})
+        slack = estimate_wcet(
+            prog, "main",
+            loop_bounds={"main": [b * factor for b in bounds],
+                         "helper": [3 * factor]})
+        assert slack.bound >= base.bound
+
+
+addresses = st.lists(st.integers(min_value=0, max_value=1 << 20),
+                     min_size=1, max_size=400)
+
+
+class TestCacheInvariants:
+    @given(addresses)
+    @settings(max_examples=60, deadline=None)
+    def test_counts_consistent(self, addrs):
+        c = CacheModel(CacheConfig(size_bytes=2048, line_bytes=64, ways=2))
+        for a in addrs:
+            c.access(a)
+        assert c.hits + c.misses == len(addrs)
+        assert c.resident_lines() <= 2048 // 64
+
+    @given(addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_lru_inclusion_property(self, addrs):
+        """More ways with the same sets can never miss more (LRU stack
+        property per set)."""
+        small = CacheModel(CacheConfig(size_bytes=2 * 64 * 16,
+                                       line_bytes=64, ways=2))
+        big = CacheModel(CacheConfig(size_bytes=8 * 64 * 16,
+                                     line_bytes=64, ways=8))
+        for a in addrs:
+            small.access(a)
+            big.access(a)
+        assert big.misses <= small.misses
+
+    @given(addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_repeat_pass_all_hits_if_fits(self, addrs):
+        cfg = CacheConfig(size_bytes=1 << 20, line_bytes=64, ways=16)
+        c = CacheModel(cfg)
+        for a in addrs:
+            c.access(a)
+        before = c.misses
+        for a in addrs:
+            c.access(a)
+        assert c.misses == before  # everything fits: second pass is free
+
+    @given(addresses)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, addrs):
+        def run():
+            c = CacheModel(CacheConfig(size_bytes=2048, line_bytes=64,
+                                       ways=2))
+            for a in addrs:
+                c.access(a)
+            return (c.hits, c.misses, c.evictions)
+        assert run() == run()

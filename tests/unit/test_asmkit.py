@@ -1,0 +1,216 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.asmkit import AsmError, assemble, tokenize
+from repro.isa import opcodes as oc
+from repro.isa import NO_PRED
+from repro.vm import CODE_BASE, DATA_BASE
+from repro.vm.layout import index_to_pc
+
+
+class TestLexer:
+    def test_comments_and_blank_lines(self):
+        lines = tokenize("# full comment\n\n  add a0, a1, a2  # trailing\n")
+        assert len(lines) == 1
+        assert lines[0].op == "add"
+        assert lines[0].operands == ["a0", "a1", "a2"]
+
+    def test_label_only_line(self):
+        (line,) = tokenize("foo:")
+        assert line.label == "foo" and line.op is None
+
+    def test_label_and_instruction(self):
+        (line,) = tokenize("foo: addi sp, sp, -8")
+        assert line.label == "foo"
+        assert line.op == "addi"
+        assert line.operands == ["sp", "sp", "-8"]
+
+    def test_string_with_comma_and_hash(self):
+        (line,) = tokenize('msg: .asciz "a, b # c"')
+        assert line.operands == ['"a, b # c"']
+
+    def test_semicolon_comment(self):
+        (line,) = tokenize("nop ; comment")
+        assert line.op == "nop" and not line.operands
+
+    def test_mem_operand_not_split(self):
+        (line,) = tokenize("ld a0, 8(sp)")
+        assert line.operands == ["a0", "8(sp)"]
+
+
+class TestDirectives:
+    def test_data_layout(self):
+        p = assemble("""
+            .data
+        a:  .i64 1, 2
+        b:  .f64 3.5
+        c:  .byte 1, 2, 3
+        d:  .align 8
+        e:  .space 16
+        s:  .asciz "hi\\n"
+            .text
+            nop
+        """)
+        assert p.symbols["a"] == DATA_BASE
+        assert p.symbols["b"] == DATA_BASE + 16
+        assert p.symbols["c"] == DATA_BASE + 24
+        assert p.symbols["e"] == DATA_BASE + 32  # aligned to 8
+        assert p.symbols["s"] == DATA_BASE + 48
+        assert p.data[24:27] == b"\x01\x02\x03"
+        assert p.data[48:52] == b"hi\n\x00"
+
+    def test_func_routines(self):
+        p = assemble("""
+            .text
+            .func f
+        f:  nop
+            ret
+            .endfunc
+            .image libc
+            .func g
+        g:  ret
+            .endfunc
+        """)
+        f = p.routine("f")
+        g = p.routine("g")
+        assert (f.start, f.end, f.image) == (0, 2, "main")
+        assert (g.start, g.end, g.image) == (2, 3, "libc")
+        assert p.routine_at(1) is f
+        assert p.routine_at(2) is g
+
+    def test_entry_selection(self):
+        p = assemble(".text\nmain: nop\n_start: nop\n")
+        assert p.entry == 1  # _start preferred
+        p2 = assemble(".text\nmain: nop\n")
+        assert p2.entry == 0
+
+    def test_global_overrides_entry(self):
+        p = assemble(".global top\n.text\nmain: nop\ntop: nop\n")
+        assert p.entry == 1
+
+    def test_data_directive_in_text_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n.i64 5\n")
+
+    def test_nested_func_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n.func a\n.func b\n")
+
+    def test_unterminated_func_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n.func a\nnop\n")
+
+
+class TestInstructions:
+    def test_formats(self):
+        p = assemble("""
+            .text
+            add  a0, a1, a2
+            addi a0, a1, -5
+            li   t0, 0x10
+            fli  fa0, 1.5
+            fadd fa0, fa1, fa2
+            fneg fa0, fa1
+            feq  t0, fa0, fa1
+            fcvt.f.i fa0, a0
+            fcvt.i.f a0, fa0
+            ld   a0, 8(sp)
+            fsd  fa0, -8(fp)
+            ecall
+        """)
+        names = [i.info.name for i in p.instrs]
+        assert names == ["add", "addi", "li", "fli", "fadd", "fneg", "feq",
+                         "fcvt.f.i", "fcvt.i.f", "ld", "fsd", "ecall"]
+        assert p.instrs[1].imm == -5
+        assert p.instrs[3].imm == 1.5
+        assert p.instrs[9].imm == 8
+        assert p.instrs[10].imm == -8
+
+    def test_labels_resolve_to_byte_pcs(self):
+        p = assemble("""
+            .text
+        top:
+            beq a0, a1, top
+            j   top
+            jal ra, top
+            call top
+        """)
+        for ins in p.instrs:
+            assert ins.imm == CODE_BASE
+
+    def test_pseudo_expansion(self):
+        p = assemble("""
+            .text
+            mv   a0, a1
+            neg  a0, a1
+            not  a0, a1
+            subi a0, a1, 4
+            beqz a0, 0x1000
+            bnez a0, 0x1000
+        """)
+        names = [i.info.name for i in p.instrs]
+        assert names == ["addi", "sub", "xori", "addi", "beq", "bne"]
+        assert p.instrs[3].imm == -4
+
+    def test_la_resolves_data_symbol(self):
+        p = assemble(".data\nbuf: .space 8\n.text\nla t0, buf\n")
+        assert p.instrs[0].op == oc.LI
+        assert p.instrs[0].imm == DATA_BASE
+
+    def test_symbol_arithmetic(self):
+        p = assemble(".data\nbuf: .space 32\n.text\nla t0, buf+16\n")
+        assert p.instrs[0].imm == DATA_BASE + 16
+
+    def test_predicate_suffix(self):
+        p = assemble(".text\nld a0, 0(sp) ?t1\nld a0, 0(sp)\n")
+        assert p.instrs[0].pred == 14  # t1 == x14
+        assert p.instrs[1].pred == NO_PRED
+
+    def test_bare_paren_mem_operand(self):
+        p = assemble(".text\nld a0, (sp)\n")
+        assert p.instrs[0].imm == 0
+
+    def test_jal_one_operand_links_ra(self):
+        p = assemble(".text\nf: jal f\n")
+        assert p.instrs[0].rd == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nfrobnicate a0\n")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nj nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nx: nop\nx: nop\n")
+
+    def test_func_label_same_address_ok(self):
+        p = assemble(".text\n.func f\nf: ret\n.endfunc\n")
+        assert p.symbols["f"] == index_to_pc(0)
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble(".text\nadd a0, a1, fa0\n")
+
+
+class TestProgramQueries:
+    def test_routine_at_gaps(self):
+        p = assemble("""
+            .text
+            nop
+            .func f
+        f:  ret
+            .endfunc
+            nop
+        """)
+        assert p.routine_at(0) is None
+        assert p.routine_at(1).name == "f"
+        assert p.routine_at(2) is None
+
+    def test_code_bytes_size(self):
+        p = assemble(".text\nnop\nnop\n")
+        assert p.code_size == 32
+        assert len(p.code_bytes) == 32

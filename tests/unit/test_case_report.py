@@ -1,0 +1,60 @@
+"""Tests for the one-call case-study report generator and its CLI hook."""
+
+import pytest
+
+from repro.analysis import case_study_report
+from repro.cli import main
+from repro.minic import build_program
+
+APP = """
+int buf[64];
+int produce() { int i; for (i=0;i<64;i++) { buf[i] = i * 3; } return 0; }
+int consume() { int i; int s=0; for (i=0;i<64;i++) { s += buf[i]; } return s; }
+int main() { produce(); return consume() & 31; }
+"""
+
+
+class TestCaseStudyReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return case_study_report(build_program(APP), title="pipeline",
+                                 slice_interval=500)
+
+    def test_all_sections_present(self, result):
+        md = result.markdown
+        for section in ("Flat profile", "Data communication",
+                        "Instrumented profile", "Temporal read bandwidth",
+                        "Execution phases"):
+            assert section in md, section
+
+    def test_kernels_mentioned(self, result):
+        assert "produce" in result.markdown
+        assert "consume" in result.markdown
+
+    def test_intermediate_results_exposed(self, result):
+        assert result.flat.row("produce").calls == 1
+        assert result.quad.communication("produce", "consume") == 64 * 8
+        assert result.tquad.total_instructions > 0
+        assert len(result.phases) >= 1
+
+    def test_title_used(self, result):
+        assert result.markdown.startswith("# pipeline")
+
+    def test_kernel_filter(self):
+        res = case_study_report(build_program(APP),
+                                kernels=["produce", "consume"],
+                                slice_interval=500)
+        names = {k for p in res.phases for k in p.kernel_names()}
+        assert names <= {"produce", "consume"}
+
+
+class TestCliReport:
+    def test_wfs_report_flag(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["wfs", "--preset", "tiny", "--interval", "4000",
+                   "--report", str(out)])
+        assert rc == 0
+        text = out.read_text()
+        assert text.startswith("# hArtes-wfs case study")
+        assert "wav_store" in text
+        assert "Execution phases" in text

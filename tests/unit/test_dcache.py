@@ -1,0 +1,148 @@
+"""Data-cache simulator tests."""
+
+import pytest
+
+from repro.minic import build_program
+from repro.tools import CacheConfig, CacheModel, DCacheTool, run_dcache
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8)
+        assert cfg.n_sets == 64
+        assert cfg.line_shift == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line_bytes=48)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)
+
+
+class TestCacheModel:
+    def test_cold_miss_then_hit(self):
+        c = CacheModel(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        assert not c.access(0x1000)
+        assert c.access(0x1000)
+        assert c.access(0x103F)   # same line
+        assert not c.access(0x1040)  # next line
+        assert c.hits == 2 and c.misses == 2
+
+    def test_lru_eviction(self):
+        # 2-way, map three lines to one set: A B A C -> C evicts B
+        cfg = CacheConfig(size_bytes=2 * 64, line_bytes=64, ways=2)
+        assert cfg.n_sets == 1
+        c = CacheModel(cfg)
+        A, B, C = 0, 64, 128
+        c.access(A)
+        c.access(B)
+        c.access(A)          # A becomes MRU
+        c.access(C)          # evicts B (LRU)
+        assert c.evictions == 1
+        assert c.access(A)   # still resident
+        assert not c.access(B)  # was evicted
+
+    def test_access_range_spanning_lines(self):
+        c = CacheModel(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        misses = c.access_range(60, 8)   # straddles two lines
+        assert misses == 2
+        assert c.access_range(60, 8) == 0
+
+    def test_resident_lines(self):
+        c = CacheModel(CacheConfig(size_bytes=1024, line_bytes=64, ways=2))
+        for i in range(5):
+            c.access(i * 64)
+        assert c.resident_lines() == 5
+
+
+STREAM_VS_SCATTER = """
+int table[8192];
+int stream() {
+    int i; int s = 0;
+    for (i = 0; i < 4096; i++) { s += table[i]; }
+    return s;
+}
+int scatter() {
+    int i; int s = 0; int x = 7;
+    for (i = 0; i < 4096; i++) {
+        x = (x * 1103515245 + 12345) % 1048576;
+        s += table[x % 8192];
+    }
+    return s;
+}
+int main() { return (stream() + scatter()) & 255; }
+"""
+
+
+class TestDCacheTool:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        return run_dcache(build_program(STREAM_VS_SCATTER),
+                          config=CacheConfig(size_bytes=4096, line_bytes=64,
+                                             ways=4))
+
+    def test_streaming_beats_scatter(self, tool):
+        assert tool.stats("stream").miss_rate < \
+            tool.stats("scatter").miss_rate
+
+    def test_streaming_miss_rate_matches_theory(self, tool):
+        # sequential 8-byte reads through 64-byte lines: ~1 global miss per
+        # 8 accesses, plus hits on locals
+        s = tool.stats("stream")
+        assert 0.0 < s.miss_rate < 0.2
+
+    def test_totals_consistent(self, tool):
+        t = tool.total()
+        assert t.accesses == t.hits + t.misses
+        assert t.accesses == sum(s.accesses
+                                 for s in tool.per_kernel.values())
+
+    def test_mpki_positive(self, tool):
+        assert tool.mpki() > 0
+        assert tool.mpki("scatter") > tool.mpki("stream")
+
+    def test_format_table(self, tool):
+        text = tool.format_table()
+        assert "scatter" in text and "miss rate" in text and "TOTAL" in text
+
+    def test_unknown_kernel_stats_empty(self, tool):
+        assert tool.stats("nope").accesses == 0
+        assert tool.stats("nope").miss_rate == 0.0
+
+    def test_bigger_cache_fewer_misses(self):
+        small = run_dcache(build_program(STREAM_VS_SCATTER),
+                           config=CacheConfig(size_bytes=1024,
+                                              line_bytes=64, ways=2))
+        big = run_dcache(build_program(STREAM_VS_SCATTER),
+                         config=CacheConfig(size_bytes=128 * 1024,
+                                            line_bytes=64, ways=8))
+        assert big.total().misses < small.total().misses
+
+    def test_double_attach_rejected(self):
+        from repro.pin import PinEngine
+
+        engine = PinEngine(build_program(STREAM_VS_SCATTER))
+        tool = DCacheTool().attach(engine)
+        with pytest.raises(RuntimeError):
+            tool.attach(engine)
+
+    def test_prefetch_warms_cache(self):
+        src = """
+        int data[512];
+        int main() {
+            int i;
+            for (i = 0; i < 512; i++) { data[i] = i; }   // fill
+            for (i = 0; i < 512; i++) { __prefetch(&data[i]); }
+            int s = 0;
+            for (i = 0; i < 512; i++) { s += data[i]; }
+            return s & 7;
+        }
+        """
+        # tiny cache: the fill evicts itself, but the prefetch pass reloads
+        # everything it can; demand misses in the sum loop must be fewer
+        # than a no-prefetch variant
+        cfg = CacheConfig(size_bytes=8 * 1024, line_bytes=64, ways=8)
+        with_pf = run_dcache(build_program(src), config=cfg)
+        no_pf = run_dcache(build_program(src.replace(
+            "__prefetch(&data[i]);", "")), config=cfg)
+        assert with_pf.total().misses <= no_pf.total().misses

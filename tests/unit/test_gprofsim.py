@@ -1,0 +1,137 @@
+"""gprof-sim tests: exact attribution, recursion, sampling emulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine_model import MachineModel
+from repro.gprofsim import FlatProfile, FlatRow, run_gprof
+from repro.minic import build_program
+
+THREE_STAGE = """
+int work(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+}
+int light() { return work(10); }
+int heavy() { return work(1000); }
+int main() { return (light() + heavy()) & 255; }
+"""
+
+
+class TestExactAttribution:
+    def test_call_counts(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        assert flat.row("work").calls == 2
+        assert flat.row("light").calls == 1
+        assert flat.row("main").calls == 1
+
+    def test_self_time_ordering(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        assert flat.rank("work") == 1
+        assert flat.percent("work") > 80
+
+    def test_cumulative_includes_descendants(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        heavy = flat.row("heavy")
+        assert heavy.cumulative_instructions > heavy.self_instructions
+        main = flat.row("main")
+        assert main.cumulative_instructions >= \
+            flat.row("heavy").cumulative_instructions
+
+    def test_self_instructions_sum_close_to_total(self):
+        flat = run_gprof(build_program(THREE_STAGE), main_image_only=False)
+        # every instruction between first routine entry and exit is
+        # attributed to exactly one routine
+        assert flat.profiled_instructions == flat.total_instructions
+
+    def test_recursion_cumulative_counted_once(self):
+        src = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(10) % 251; }
+        """
+        flat = run_gprof(build_program(src))
+        fact = flat.row("fact")
+        assert fact.calls == 10
+        # cumulative counts only the outermost activation: it must be less
+        # than calls * (self per call) * depth would naively give
+        assert fact.cumulative_instructions <= flat.total_instructions
+
+    def test_ms_per_call_derivation(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        row = flat.row("work")
+        expected = flat.machine.milliseconds(row.self_instructions) / 2
+        assert flat.self_ms_per_call("work") == pytest.approx(expected)
+        assert flat.total_ms_per_call("work") >= flat.self_ms_per_call("work")
+
+    def test_call_graph_edges(self):
+        flat = run_gprof(build_program(THREE_STAGE), main_image_only=False)
+        assert flat.edges[("light", "work")] == 1
+        assert flat.edges[("heavy", "work")] == 1
+        assert flat.edges[("main", "light")] == 1
+        assert flat.callers_of("work") == {"light": 1, "heavy": 1}
+        assert set(flat.callees_of("main")) == {"light", "heavy"}
+
+    def test_library_filter(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        assert "_start" not in flat
+        full = run_gprof(build_program(THREE_STAGE), main_image_only=False)
+        assert "_start" in full
+
+
+class TestSampling:
+    def _profile(self):
+        rows = [FlatRow("hot", 90_000, 90_000, 3),
+                FlatRow("warm", 9_000, 9_000, 2),
+                FlatRow("cold", 1_000, 1_000, 1)]
+        return FlatProfile(rows=rows, total_instructions=100_000)
+
+    def test_deterministic_sampling_preserves_big_functions(self):
+        flat = self._profile()
+        sampled = flat.sampled(1000)
+        assert sampled.rank("hot") == 1
+        assert sampled.row("hot").self_instructions == 90_000
+
+    def test_sampling_quantises_small_functions(self):
+        flat = self._profile()
+        sampled = flat.sampled(10_000)
+        # cold has 1k instr < one sample period: rounds to zero
+        assert sampled.row("cold").self_instructions == 0
+
+    def test_random_sampling_reproducible(self):
+        flat = self._profile()
+        a = flat.sampled(1000, rng=np.random.default_rng(7))
+        b = flat.sampled(1000, rng=np.random.default_rng(7))
+        assert [r.self_instructions for r in a.rows] == \
+            [r.self_instructions for r in b.rows]
+
+    def test_random_sampling_noise_shrinks_with_period(self):
+        flat = self._profile()
+        rng = np.random.default_rng(3)
+        fine = flat.sampled(10, rng=rng)
+        err = abs(fine.row("warm").self_instructions - 9_000)
+        assert err < 2_000
+
+    def test_sampling_validates_period(self):
+        with pytest.raises(ValueError):
+            self._profile().sampled(0)
+
+
+class TestMachineModelIntegration:
+    def test_custom_machine_scales_seconds(self):
+        rows = [FlatRow("f", 2_830_000, 2_830_000, 1)]
+        slow = FlatProfile(rows=rows, total_instructions=2_830_000,
+                           machine=MachineModel(frequency_hz=1e6, ipc=1.0))
+        fast = FlatProfile(rows=rows, total_instructions=2_830_000,
+                           machine=MachineModel(frequency_hz=1e9, ipc=1.0))
+        assert slow.self_seconds("f") == pytest.approx(2.83)
+        assert fast.self_seconds("f") == pytest.approx(0.00283)
+
+    def test_format_table(self):
+        flat = run_gprof(build_program(THREE_STAGE))
+        text = flat.format_table(top=3)
+        assert "%time" in text
+        assert "work" in text

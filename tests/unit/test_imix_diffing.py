@@ -1,0 +1,136 @@
+"""Tests for the instruction-mix tool, report diffing and QDU DOT export."""
+
+import pytest
+
+from repro.analysis import diff_flat_profiles, diff_reports
+from repro.core import TQuadOptions, run_tquad
+from repro.gprofsim import run_gprof
+from repro.isa import BY_NAME
+from repro.minic import build_program
+from repro.quad import run_quad
+from repro.tools import CATEGORIES, Mix, categorize, run_imix
+
+SRC = """
+float v[128];
+int fill() { int i; for (i=0;i<128;i++) { v[i] = __sin((float)i); } return 0; }
+float total() { int i; float s=0.0; for (i=0;i<128;i++) { s += v[i]; } return s; }
+int main() { fill(); return (int)total() & 7; }
+"""
+
+
+class TestCategorize:
+    @pytest.mark.parametrize("mnemonic,category", [
+        ("ld", "load"), ("lbu", "load"), ("fld", "load"),
+        ("sd", "store"), ("sb", "store"), ("fsd", "store"),
+        ("beq", "branch"), ("bgt", "branch"),
+        ("jal", "call"), ("jalr", "call"), ("ret", "ret"),
+        ("fadd", "float"), ("fsin", "float"), ("fcvt.i.f", "float"),
+        ("add", "alu"), ("li", "alu"), ("slli", "alu"),
+        ("ecall", "system"), ("halt", "system"), ("nop", "system"),
+        ("prefetch", "prefetch"),
+    ])
+    def test_category(self, mnemonic, category):
+        assert categorize(BY_NAME[mnemonic]) == category
+
+    def test_every_opcode_categorised(self):
+        from repro.isa import OPCODES
+
+        for info in OPCODES:
+            assert categorize(info) in CATEGORIES
+
+
+class TestImixTool:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        return run_imix(build_program(SRC))
+
+    def test_total_matches_machine(self, tool):
+        total = tool.total().total
+        # every retired instruction is counted exactly once
+        assert total > 0
+        engine_total = sum(m.total for m in tool.per_kernel.values())
+        assert total == engine_total
+
+    def test_fill_is_float_heavy(self, tool):
+        fill = tool.mix("fill")
+        assert fill.counts["float"] > 100     # one fsin + converts per elem
+        assert fill.counts["store"] >= 128
+
+    def test_memory_fraction(self, tool):
+        m = tool.mix("total")
+        assert 0.2 < m.memory_fraction < 0.8
+
+    def test_unknown_kernel_empty(self, tool):
+        assert tool.mix("ghost").total == 0
+
+    def test_format_table(self, tool):
+        text = tool.format_table(top=3)
+        assert "mem%" in text and "fill" in text
+
+
+class TestReportDiff:
+    def _reports(self):
+        a = run_tquad(build_program(SRC),
+                      options=TQuadOptions(slice_interval=500))
+        b = run_tquad(build_program(SRC.replace("128", "64")),
+                      options=TQuadOptions(slice_interval=500))
+        return a, b
+
+    def test_shrunk_workload_improves(self):
+        a, b = self._reports()
+        diff = diff_reports(a, b)
+        fill = diff.delta("fill")
+        assert fill.status == "improved"
+        assert fill.bytes_after < fill.bytes_before
+        assert diff.instructions_ratio < 1.0
+
+    def test_identity_diff_unchanged(self):
+        a = run_tquad(build_program(SRC),
+                      options=TQuadOptions(slice_interval=500))
+        b = run_tquad(build_program(SRC),
+                      options=TQuadOptions(slice_interval=500))
+        diff = diff_reports(a, b)
+        assert all(d.status == "unchanged" for d in diff.deltas)
+        assert diff.instructions_ratio == 1.0
+        assert diff.regressions() == []
+
+    def test_new_and_gone_kernels(self):
+        a = run_tquad(build_program(SRC),
+                      options=TQuadOptions(slice_interval=500))
+        other = SRC.replace("fill", "refill")
+        b = run_tquad(build_program(other),
+                      options=TQuadOptions(slice_interval=500))
+        diff = diff_reports(a, b)
+        assert diff.delta("fill").status == "gone"
+        assert diff.delta("refill").status == "new"
+        assert diff.delta("refill").bytes_ratio == float("inf")
+
+    def test_format_table(self):
+        a, b = self._reports()
+        text = diff_reports(a, b).format_table()
+        assert "improved" in text and "total instructions" in text
+
+    def test_flat_profile_diff(self):
+        a = run_gprof(build_program(SRC))
+        b = run_gprof(build_program(SRC.replace(
+            "s += v[i];", "s += v[i] * v[i] + 1.0;")))
+        moves = diff_flat_profiles(a, b)
+        by_kernel = {m.kernel: m for m in moves}
+        assert by_kernel["total"].percent_after > \
+            by_kernel["total"].percent_before
+
+
+class TestQduDot:
+    def test_dot_structure(self):
+        quad = run_quad(build_program(SRC))
+        dot = quad.qdu_to_dot()
+        assert dot.startswith("digraph QDU {")
+        assert dot.endswith("}")
+        assert '"fill" -> "total"' in dot
+        assert "penwidth=" in dot
+
+    def test_min_bytes_filter(self):
+        quad = run_quad(build_program(SRC))
+        full = quad.qdu_to_dot(min_bytes=1)
+        filtered = quad.qdu_to_dot(min_bytes=10**9)
+        assert full.count("->") > filtered.count("->")

@@ -1,0 +1,153 @@
+"""Unit tests for the ISA: opcode table, instruction predicates, encoding."""
+
+import pytest
+
+from repro.isa import (BY_NAME, INSTR_BYTES, NO_PRED, NUM_OPCODES, OPCODES,
+                       EncodingError, Fmt, Instr, decode, decode_program,
+                       encode, encode_program, format_instr, validate, xreg,
+                       freg)
+from repro.isa import opcodes as oc
+
+
+class TestOpcodeTable:
+    def test_codes_are_dense_and_consistent(self):
+        for i, info in enumerate(OPCODES):
+            assert info.code == i
+            assert BY_NAME[info.name] is info
+
+    def test_memory_properties(self):
+        assert OPCODES[oc.LD].mem_read == 8
+        assert OPCODES[oc.LW].mem_read == 4
+        assert OPCODES[oc.LB].mem_read == 1
+        assert OPCODES[oc.SD].mem_write == 8
+        assert OPCODES[oc.SH].mem_write == 2
+        assert OPCODES[oc.FLD].mem_read == 8
+        assert OPCODES[oc.FSD].mem_write == 8
+
+    def test_control_flow_properties(self):
+        assert OPCODES[oc.JAL].is_call
+        assert OPCODES[oc.JALR].is_call
+        assert OPCODES[oc.RET].is_ret
+        assert OPCODES[oc.BEQ].is_branch
+        assert not OPCODES[oc.J].is_call
+
+    def test_prefetch_is_flagged(self):
+        info = OPCODES[oc.PREFETCH]
+        assert info.is_prefetch
+        assert info.mem_read > 0  # it has a memory operand...
+
+    def test_prefetch_not_counted_as_memory_read(self):
+        # ...but the instrumentation predicate must reject it (paper:
+        # "analysis routines return immediately upon detection of a
+        # prefetch state").
+        ins = Instr(oc.PREFETCH, rd=5, rs1=6, imm=0)
+        assert not ins.is_memory_read()
+        assert ins.is_prefetch()
+
+    def test_float_opcodes_marked(self):
+        assert OPCODES[oc.FADD].is_float
+        assert OPCODES[oc.FLD].is_float
+        assert not OPCODES[oc.LD].is_float
+
+
+class TestRegisters:
+    def test_aliases(self):
+        assert xreg("zero") == xreg("x0") == 0
+        assert xreg("ra") == 1
+        assert xreg("sp") == 2
+        assert xreg("a0") == 5
+        assert freg("fa0") == 0
+        assert freg("ft0") == 8
+        assert freg("fs0") == 20
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(ValueError):
+            xreg("q7")
+        with pytest.raises(ValueError):
+            freg("a0")  # integer alias is not a float register
+
+
+class TestInstrPredicates:
+    def test_memory_read_write(self):
+        ld = Instr(oc.LD, rd=5, rs1=6, imm=8)
+        sd = Instr(oc.SD, rd=5, rs1=6, imm=8)
+        assert ld.is_memory_read() and not ld.is_memory_write()
+        assert sd.is_memory_write() and not sd.is_memory_read()
+        assert ld.memory_read_size() == 8
+        assert sd.memory_write_size() == 8
+
+    def test_predication_flag(self):
+        plain = Instr(oc.LD, rd=5, rs1=6)
+        pred = Instr(oc.LD, rd=5, rs1=6, pred=13)
+        assert not plain.is_predicated()
+        assert pred.is_predicated()
+
+    def test_validate_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            validate(Instr(op=NUM_OPCODES))
+        with pytest.raises(ValueError):
+            validate(Instr(oc.ADD, rd=32))
+        with pytest.raises(ValueError):
+            validate(Instr(oc.FLI, rd=1, imm=3))     # int imm on fli
+        with pytest.raises(ValueError):
+            validate(Instr(oc.ADDI, rd=1, imm=1.5))  # float imm on addi
+        with pytest.raises(ValueError):
+            validate(Instr(oc.ADDI, rd=1, imm=2**63))
+
+    def test_validate_accepts_good(self):
+        validate(Instr(oc.ADD, rd=1, rs1=2, rs2=3))
+        validate(Instr(oc.FLI, rd=1, imm=2.5))
+        validate(Instr(oc.LD, rd=1, rs1=2, imm=-8, pred=13))
+
+
+class TestEncoding:
+    CASES = [
+        Instr(oc.ADD, rd=1, rs1=2, rs2=3),
+        Instr(oc.ADDI, rd=31, rs1=0, imm=-(2**63)),
+        Instr(oc.LI, rd=7, imm=2**63 - 1),
+        Instr(oc.FLI, rd=9, imm=-0.5),
+        Instr(oc.LD, rd=5, rs1=2, imm=-16, pred=13),
+        Instr(oc.RET),
+        Instr(oc.PREFETCH, rd=0, rs1=6, imm=64),
+    ]
+
+    @pytest.mark.parametrize("ins", CASES, ids=lambda i: i.info.name)
+    def test_roundtrip(self, ins):
+        raw = encode(ins)
+        assert len(raw) == INSTR_BYTES
+        back = decode(raw)
+        assert back == ins
+
+    def test_program_roundtrip(self):
+        raw = encode_program(self.CASES)
+        assert decode_program(raw) == self.CASES
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(EncodingError):
+            decode(b"\x00" * 8)  # truncated
+        bad = bytearray(encode(Instr(oc.ADD)))
+        bad[0] = 0xFF
+        bad[1] = 0xFF
+        with pytest.raises(EncodingError):
+            decode(bytes(bad))
+
+    def test_decode_program_rejects_misaligned(self):
+        with pytest.raises(EncodingError):
+            decode_program(b"\x00" * 17)
+
+
+class TestDisasm:
+    def test_formats_do_not_crash(self):
+        # Every opcode format renders.
+        seen_fmts = set()
+        for info in OPCODES:
+            ins = Instr(info.code, rd=1, rs1=2, rs2=3,
+                        imm=1.5 if info.fmt is Fmt.FRI else 16)
+            text = format_instr(ins)
+            assert info.name.split(".")[0] in text
+            seen_fmts.add(info.fmt)
+        assert seen_fmts == set(Fmt)
+
+    def test_predicate_rendered(self):
+        ins = Instr(oc.LD, rd=5, rs1=6, imm=8, pred=13)
+        assert "?t0" in format_instr(ins)

@@ -1,0 +1,216 @@
+"""MiniC front-end tests: lexer, parser, type errors."""
+
+import pytest
+
+from repro.minic import MiniCError, compile_unit, parse
+from repro.minic import ast
+from repro.minic.lexer import Token, tokenize, unescape_string
+from repro.minic.types import (ArrayType, CHAR, FLOAT, INT, PtrType, VOID,
+                               assignable, binary_result)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [(t.kind, t.text) for t in toks]
+        assert kinds == [("kw", "int"), ("ident", "x"), ("op", "="),
+                         ("int", "42"), ("op", ";"), ("eof", "")]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 0.25 2e3 .5")
+        assert [t.kind for t in toks[:-1]] == ["float"] * 4
+
+    def test_hex_literal(self):
+        (t, _) = tokenize("0xFF")
+        assert t.kind == "int" and int(t.text, 0) == 255
+
+    def test_comments_stripped(self):
+        toks = tokenize("a // line\n /* block\nblock */ b")
+        idents = [t.text for t in toks if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_line_numbers_track_newlines(self):
+        toks = tokenize("a\n\nb /* x\ny */ c")
+        a, b, c = (t for t in toks if t.kind == "ident")
+        assert (a.line, b.line, c.line) == (1, 3, 4)
+
+    def test_two_char_operators(self):
+        toks = tokenize("<< >> <= >= == != && ||")
+        assert [t.text for t in toks if t.kind == "op"] == \
+            ["<<", ">>", "<=", ">=", "==", "!=", "&&", "||"]
+
+    def test_string_and_char(self):
+        toks = tokenize(r'"a\nb" ' + r"'x'")
+        assert toks[0].kind == "string"
+        assert toks[1].kind == "char"
+
+    def test_bad_character(self):
+        with pytest.raises(MiniCError):
+            tokenize("int $x;")
+
+    def test_unescape(self):
+        assert unescape_string(r"a\n\t\0\\\"") == "a\n\t\0\\\""
+        with pytest.raises(MiniCError):
+            unescape_string(r"\q")
+
+
+class TestParser:
+    def test_function_structure(self):
+        unit = parse("int f(int a, float b) { return a; }")
+        (f,) = unit.functions
+        assert f.name == "f" and f.ret == INT
+        assert [p.type for p in f.params] == [INT, FLOAT]
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_extern_declaration(self):
+        unit = parse("extern int g(char* s);")
+        (f,) = unit.functions
+        assert f.extern and f.body is None
+        assert f.params[0].type == PtrType(CHAR)
+
+    def test_globals(self):
+        unit = parse("int a = 3; float b; char msg[8] = \"hi\"; int arr[4];")
+        types = {g.name: g.type for g in unit.globals}
+        assert types["a"] == INT
+        assert types["b"] == FLOAT
+        assert types["msg"] == ArrayType(CHAR, 8)
+        assert types["arr"] == ArrayType(INT, 4)
+
+    def test_pointer_types(self):
+        unit = parse("int f(float** p) { return 0; }")
+        assert unit.functions[0].params[0].type == PtrType(PtrType(FLOAT))
+
+    def test_precedence(self):
+        unit = parse("int f() { return 1 + 2 * 3; }")
+        ret = unit.functions[0].body.body[0]
+        assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+        assert isinstance(ret.value.rhs, ast.Binary)
+        assert ret.value.rhs.op == "*"
+
+    def test_cast_vs_paren(self):
+        unit = parse("int f(float x) { return (int)x + (1 + 2); }")
+        ret = unit.functions[0].body.body[0]
+        assert isinstance(ret.value.lhs, ast.Cast)
+
+    def test_for_with_decl_init(self):
+        unit = parse("int f() { int s = 0;"
+                     " for (int i = 0; i < 3; i = i + 1) { s = s + i; }"
+                     " return s; }")
+        stmt = unit.functions[0].body.body[1]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+
+    def test_if_without_braces(self):
+        unit = parse("int f(int x) { if (x) return 1; else return 2; }")
+        stmt = unit.functions[0].body.body[0]
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_assignment_targets(self):
+        parse("int f(int* p) { *p = 1; p[2] = 3; return 0; }")
+        with pytest.raises(MiniCError):
+            parse("int f() { 1 = 2; return 0; }")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniCError):
+            parse("int f() { return 0 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(MiniCError):
+            parse("int f() { return 0;")
+
+    def test_global_initializer_must_be_literal(self):
+        with pytest.raises(MiniCError):
+            parse("int a = 1 + 2;")
+
+    def test_negative_global_initializer(self):
+        unit = parse("int a = -5; float b = -1.5;")
+        assert unit.globals[0].init.value == -5
+        assert unit.globals[1].init.value == -1.5
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(MiniCError):
+            parse("int f() { int a[3] = 1; return 0; }")
+
+    def test_break_continue(self):
+        unit = parse("int f() { while (1) { break; continue; } return 0; }")
+        body = unit.functions[0].body.body[0].body.body
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+
+class TestTypes:
+    def test_sizeof(self):
+        assert INT.sizeof() == 8
+        assert FLOAT.sizeof() == 8
+        assert CHAR.sizeof() == 1
+        assert PtrType(INT).sizeof() == 8
+        assert ArrayType(FLOAT, 10).sizeof() == 80
+
+    def test_decay(self):
+        assert ArrayType(INT, 4).decay() == PtrType(INT)
+        assert INT.decay() == INT
+
+    def test_binary_result_promotion(self):
+        assert binary_result("+", INT, FLOAT) == FLOAT
+        assert binary_result("+", INT, CHAR) == INT
+        assert binary_result("<", FLOAT, FLOAT) == INT
+
+    def test_pointer_arithmetic_rules(self):
+        p = PtrType(FLOAT)
+        assert binary_result("+", p, INT) == p
+        assert binary_result("+", INT, p) == p
+        assert binary_result("-", p, p) == INT
+        with pytest.raises(MiniCError):
+            binary_result("+", p, p)
+        with pytest.raises(MiniCError):
+            binary_result("*", p, INT)
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(MiniCError):
+            binary_result("%", FLOAT, INT)
+
+    def test_assignable(self):
+        assert assignable(FLOAT, INT)
+        assert assignable(INT, FLOAT)
+        assert assignable(PtrType(INT), PtrType(INT))
+        assert assignable(INT, PtrType(INT))
+        assert not assignable(ArrayType(INT, 3), PtrType(INT))
+        assert not assignable(VOID, INT)
+
+
+class TestCompileErrors:
+    @pytest.mark.parametrize("src,fragment", [
+        ("int f() { return x; }", "undeclared"),
+        ("int f() { y = 1; return 0; }", "undeclared"),
+        ("int f() { g(); return 0; }", "undeclared function"),
+        ("int f(int a) { int a; return a; }", "redeclaration"),
+        ("int f() { int a; float* p = &a; return 0; }", "convert"),
+        ("int f() { break; return 0; }", "break outside"),
+        ("int f() { continue; return 0; }", "continue outside"),
+        ("int f() { return; }", "without value"),
+        ("void f() { return 1; }", "void function"),
+        ("int f() { int x; return *x; }", "dereference"),
+        ("int f() { int a[3]; a = 0; return 0; }", "array"),
+        ("int f(float x) { return 1 % x; }", "integer operands"),
+        ("int f() { }", "no return"),
+        ("int f(int a, int b) { return f(a); }", "expects 2 arguments"),
+        ("float f() { return __sqrt(1.0, 2.0); }", "one argument"),
+        ("int f() { __prefetch(3); return 0; }", "pointer"),
+        ("int f(float x) { return ~x; }", "integer"),
+    ])
+    def test_error_messages(self, src, fragment):
+        with pytest.raises(MiniCError) as exc:
+            compile_unit(src)
+        assert fragment in str(exc.value)
+
+    def test_conflicting_signatures(self):
+        with pytest.raises(MiniCError):
+            compile_unit("extern int f(int a);\nfloat f(int a) {return 1.0;}")
+
+    def test_duplicate_global(self):
+        with pytest.raises(MiniCError):
+            compile_unit("int a; float a;")

@@ -1,0 +1,376 @@
+"""MiniC execution semantics: compile + run on the VM, check results."""
+
+import pytest
+
+from repro.minic import run_minic
+from repro.vm import ArithmeticFault
+
+
+def run_main(body: str, prelude: str = "") -> int:
+    """Compile a program whose main executes ``body`` and exits with its
+    return value."""
+    m = run_minic(prelude + "\nint main() {" + body + "}")
+    return m.exit_code
+
+
+def stdout_of(src: str) -> str:
+    return run_minic(src).stdout_text()
+
+
+class TestIntegerSemantics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 3", 3),
+        ("-10 / 3", -3),
+        ("10 % 3", 1),
+        ("-10 % 3", -1),
+        ("1 << 10", 1024),
+        ("-64 >> 3", -8),
+        ("12 & 10", 8),
+        ("12 | 10", 14),
+        ("12 ^ 10", 6),
+        ("~0 & 255", 255),
+        ("5 < 5", 0),
+        ("5 <= 5", 1),
+        ("5 > 4", 1),
+        ("5 >= 6", 0),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("!0", 1),
+        ("!7", 0),
+        ("-(3 + 4)", -7),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 3", 1),
+        ("0 || 0", 0),
+    ])
+    def test_expressions(self, expr, expected):
+        assert run_main(f"return {expr};") == expected
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            run_main("int z = 0; return 5 / z;")
+
+    def test_short_circuit_skips_side_effects(self):
+        src = """
+        int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int main() {
+            int a = 0 && bump();
+            int b = 1 || bump();
+            return hits * 10 + a + b;
+        }
+        """
+        assert run_minic(src).exit_code == 1  # hits==0, a==0, b==1
+
+    def test_char_is_unsigned(self):
+        assert run_main("char c = (char)200; return (int)c;") == 200
+
+    def test_char_truncation(self):
+        assert run_main("char c = (char)257; return (int)c;") == 1
+
+
+class TestFloatSemantics:
+    def test_arithmetic_and_conversion(self):
+        out = stdout_of("""
+        int main() {
+            float x = 1.5;
+            float y = x * 4.0 + 1.0;   // 7.0
+            print_float(y); print_str(" ");
+            print_int((int)(y / 2.0)); print_str(" ");   // 3 (trunc)
+            print_float((float)7 / 2.0); print_str("\\n");
+            return 0;
+        }
+        """)
+        assert out == "7.000000 3 3.500000\n"
+
+    def test_mixed_promotion(self):
+        assert run_main("float f = 2.5; return (int)(f * 2);") == 5
+
+    def test_negative_trunc_toward_zero(self):
+        assert run_main("float f = -2.9; return (int)f;") == -2
+
+    def test_intrinsics(self):
+        out = stdout_of("""
+        int main() {
+            print_float(__sqrt(16.0)); print_str(" ");
+            print_float(__fabs(-2.5)); print_str(" ");
+            print_float(__cos(0.0)); print_str("\\n");
+            return 0;
+        }
+        """)
+        assert out == "4.000000 2.500000 1.000000\n"
+
+    def test_float_compare_in_branch(self):
+        assert run_main(
+            "float a = 0.1; float b = 0.2; if (a < b) { return 1; } "
+            "return 0;") == 1
+
+    def test_float_truthiness(self):
+        assert run_main("float z = 0.0; if (z) { return 1; } return 2;") == 2
+        assert run_main("float z = 0.5; return !z;") == 0
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run_main("""
+            int n = 0; int s = 0;
+            while (n < 10) { n = n + 1; s = s + n; }
+            return s;""") == 55
+
+    def test_for_with_break_continue(self):
+        assert run_main("""
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) { continue; }
+                if (i > 10) { break; }
+                s = s + i;
+            }
+            return s;""") == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops(self):
+        assert run_main("""
+            int s = 0;
+            for (int i = 0; i < 4; i = i + 1) {
+                for (int j = 0; j < 4; j = j + 1) {
+                    if (j == 2) { break; }
+                    s = s + 1;
+                }
+            }
+            return s;""") == 8
+
+    def test_dangling_else(self):
+        assert run_main("""
+            int x = 1; int y = 0;
+            if (x) if (y) return 1; else return 2;
+            return 3;""") == 2
+
+    def test_recursion(self):
+        src = """
+        int ack(int m, int n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main() { return ack(2, 3); }
+        """
+        assert run_minic(src).exit_code == 9
+
+    def test_scoping_and_shadowing(self):
+        assert run_main("""
+            int x = 1;
+            { int x = 2; { int x = 3; } x = x + 10; }
+            return x;""") == 1
+
+    def test_for_scope_leaves_no_variable(self):
+        # the loop variable of a for-decl is scoped to the loop
+        src = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i = i + 1) { s = s + i; }
+            int i = 100;
+            return s + i;
+        }
+        """
+        assert run_minic(src).exit_code == 103
+
+
+class TestPointersAndArrays:
+    def test_global_array_rw(self):
+        assert run_main("""
+            int i;
+            for (i = 0; i < 10; i = i + 1) { g[i] = i * i; }
+            return g[7];""", prelude="int g[10];") == 49
+
+    def test_local_array(self):
+        assert run_main("""
+            int a[8];
+            int i;
+            for (i = 0; i < 8; i = i + 1) { a[i] = i + 1; }
+            int s = 0;
+            for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+            return s;""") == 36
+
+    def test_pointer_deref_and_addressof(self):
+        assert run_main("""
+            int x = 5;
+            int* p = &x;
+            *p = *p + 37;
+            return x;""") == 42
+
+    def test_pointer_arithmetic(self):
+        assert run_main("""
+            int a[4];
+            a[0] = 10; a[1] = 20; a[2] = 30; a[3] = 40;
+            int* p = a;
+            p = p + 2;
+            return *p + *(p - 1);""") == 50
+
+    def test_pointer_difference(self):
+        assert run_main("""
+            float a[16];
+            float* p = a + 12;
+            float* q = a + 2;
+            return p - q;""") == 10
+
+    def test_pointer_args_mutate_caller(self):
+        src = """
+        void swap(int* a, int* b) {
+            int t = *a; *a = *b; *b = t;
+        }
+        int main() {
+            int x = 3; int y = 4;
+            swap(&x, &y);
+            return x * 10 + y;
+        }
+        """
+        assert run_minic(src).exit_code == 43
+
+    def test_char_pointer_walk(self):
+        src = """
+        int count(char* s) {
+            int n = 0;
+            while (*s != (char)0) { n = n + 1; s = s + 1; }
+            return n;
+        }
+        int main() { return count("hello"); }
+        """
+        assert run_minic(src).exit_code == 5
+
+    def test_array_element_addressof(self):
+        assert run_main("""
+            int a[4];
+            a[2] = 7;
+            int* p = &a[2];
+            return *p;""") == 7
+
+    def test_matrix_flattened(self):
+        assert run_main("""
+            int m[12];
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 4; j = j + 1) {
+                    m[i * 4 + j] = i * 10 + j;
+                }
+            }
+            return m[2 * 4 + 3];""") == 23
+
+
+class TestFunctionsAndCalls:
+    def test_many_args_both_banks(self):
+        src = """
+        float mix(int a, float x, int b, float y, int c, float z) {
+            return (float)(a + b + c) + x + y + z;
+        }
+        int main() {
+            return (int)mix(1, 0.5, 2, 0.25, 3, 0.25);
+        }
+        """
+        assert run_minic(src).exit_code == 7
+
+    def test_call_in_expression_preserves_temps(self):
+        # The spill-around-call machinery: outer temps must survive.
+        src = """
+        int g(int x) { return x * 2; }
+        int main() { return 100 + g(3) + g(4) * 10; }
+        """
+        assert run_minic(src).exit_code == 100 + 6 + 80
+
+    def test_nested_calls_as_arguments(self):
+        src = """
+        int add(int a, int b) { return a + b; }
+        int main() { return add(add(1, 2), add(add(3, 4), 5)); }
+        """
+        assert run_minic(src).exit_code == 15
+
+    def test_float_return_through_calls(self):
+        src = """
+        float half(float x) { return x / 2.0; }
+        int main() { return (int)(half(10.0) + half(half(8.0))); }
+        """
+        assert run_minic(src).exit_code == 7
+
+    def test_void_function_falls_through(self):
+        src = """
+        int g;
+        void set(int v) { g = v; }
+        int main() { set(9); return g; }
+        """
+        assert run_minic(src).exit_code == 9
+
+    def test_early_return_in_void(self):
+        src = """
+        int g;
+        void f(int v) { if (v < 0) { return; } g = v; }
+        int main() { f(-1); f(5); return g; }
+        """
+        assert run_minic(src).exit_code == 5
+
+
+class TestGlobalsAndStrings:
+    def test_global_initializers(self):
+        src = """
+        int a = -7;
+        float b = 2.5;
+        char c = 'A';
+        int main() { return a + (int)b + (int)c; }
+        """
+        assert run_minic(src).exit_code == -7 + 2 + 65
+
+    def test_char_array_string_init(self):
+        src = """
+        char msg[16] = "hi there";
+        int main() {
+            print_str(msg);
+            return (int)msg[3];
+        }
+        """
+        m = run_minic(src)
+        assert m.stdout_text() == "hi there"
+        assert m.exit_code == ord("t")
+
+    def test_string_literal_in_expression(self):
+        src = """
+        int main() { return strlen("four"); }
+        """
+        assert run_minic(src).exit_code == 4
+
+    def test_runtime_memory_functions(self):
+        src = """
+        char buf[32];
+        int main() {
+            memset(buf, 7, 10);
+            char dst[32];
+            memcpy(dst, buf, 10);
+            int s = 0;
+            int i;
+            for (i = 0; i < 12; i = i + 1) { s = s + (int)dst[i]; }
+            return s;   // 10 sevens + 2 uninitialised zeros
+        }
+        """
+        assert run_minic(src).exit_code == 70
+
+    def test_malloc(self):
+        src = """
+        int main() {
+            int* p = (int*)malloc(80);
+            int i;
+            for (i = 0; i < 10; i = i + 1) { p[i] = i; }
+            return p[9];
+        }
+        """
+        assert run_minic(src).exit_code == 9
+
+
+class TestPrefetchIntrinsic:
+    def test_prefetch_compiles_and_runs(self):
+        src = """
+        int a[8];
+        int main() {
+            __prefetch(a);
+            a[0] = 5;
+            return a[0];
+        }
+        """
+        assert run_minic(src).exit_code == 5

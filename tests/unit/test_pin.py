@@ -1,0 +1,272 @@
+"""Pin-workalike engine tests: instrumentation, IARGs, predication."""
+
+import pytest
+
+from repro.asmkit import assemble
+from repro.minic import build_program
+from repro.pin import IARG, IPOINT, PinEngine
+from repro.vm import CODE_BASE, DATA_BASE
+
+
+def simple_program():
+    return assemble(f"""
+        .text
+        .func main
+    main:
+        li   t0, {DATA_BASE}
+        li   t1, 7
+        sd   t1, 0(t0)
+        ld   t2, 0(t0)
+        halt
+        .endfunc
+    """)
+
+
+class TestInsPredicates:
+    def test_instruction_views(self):
+        seen = {}
+
+        def cb(ins):
+            seen[ins.Mnemonic()] = (ins.IsMemoryRead(), ins.IsMemoryWrite(),
+                                    ins.MemoryReadSize(),
+                                    ins.MemoryWriteSize(), ins.Address())
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert seen["sd"][:4] == (False, True, 0, 8)
+        assert seen["ld"][:4] == (True, False, 8, 0)
+        assert seen["li"][:4] == (False, False, 0, 0)
+        assert seen["ld"][4] == CODE_BASE + 3 * 16
+
+    def test_routine_lookup_from_ins(self):
+        names = set()
+
+        def cb(ins):
+            rtn = ins.Routine()
+            names.add(rtn.Name() if rtn else None)
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert names == {"main"}
+
+
+class TestAnalysisCalls:
+    def test_memory_args(self):
+        events = []
+
+        def on_mem(ea, size, sp):
+            events.append((ea, size))
+
+        def cb(ins):
+            if ins.IsMemoryRead() or ins.IsMemoryWrite():
+                ins.InsertPredicatedCall(IPOINT.BEFORE, on_mem,
+                                         IARG.MEMORY_EA, IARG.MEMORY_SIZE,
+                                         IARG.REG_SP)
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert events == [(DATA_BASE, 8), (DATA_BASE, 8)]
+
+    def test_static_args_resolved_once(self):
+        ips = []
+
+        def on_any(ip):
+            ips.append(ip)
+
+        def cb(ins):
+            if ins.Mnemonic() == "halt":
+                ins.InsertCall(IPOINT.BEFORE, on_any, IARG.INST_PTR)
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert ips == [CODE_BASE + 4 * 16]
+
+    def test_icount_arg(self):
+        counts = []
+
+        def cb(ins):
+            ins.InsertCall(IPOINT.BEFORE, counts.append, IARG.ICOUNT)
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert counts == [1, 2, 3, 4, 5]
+
+    def test_no_args_call(self):
+        hits = []
+
+        def cb(ins):
+            ins.InsertCall(IPOINT.BEFORE, lambda: hits.append(1))
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert len(hits) == 5
+
+    def test_analysis_called_per_execution_not_per_compile(self):
+        prog = assemble("""
+            .text
+        main:
+            li t0, 10
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            halt
+        """)
+        hits = []
+
+        def cb(ins):
+            if ins.Mnemonic() == "addi":
+                ins.InsertCall(IPOINT.BEFORE, lambda: hits.append(1))
+
+        eng = PinEngine(prog)
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert len(hits) == 10
+        # the instruction was compiled (and instrumented) exactly once
+        assert eng.machine.compile_count == 4
+
+    def test_only_before_supported(self):
+        def cb(ins):
+            with pytest.raises(ValueError):
+                ins.InsertCall("after", lambda: None)
+
+        eng = PinEngine(simple_program())
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+
+
+class TestPredication:
+    def _program(self, guard: int):
+        return assemble(f"""
+            .text
+        main:
+            li   t0, {DATA_BASE}
+            li   t1, 9
+            li   t2, {guard}
+            sd   t1, 0(t0) ?t2
+            halt
+        """)
+
+    def test_predicated_call_skipped_when_guard_false(self):
+        events = []
+
+        def cb(ins):
+            if ins.IsMemoryWrite():
+                ins.InsertPredicatedCall(IPOINT.BEFORE,
+                                         lambda ea, sz: events.append(ea),
+                                         IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+
+        eng = PinEngine(self._program(0))
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert events == []
+        assert eng.machine.read_i64(DATA_BASE) == 0  # store squashed
+
+    def test_predicated_call_runs_when_guard_true(self):
+        events = []
+
+        def cb(ins):
+            if ins.IsMemoryWrite():
+                ins.InsertPredicatedCall(IPOINT.BEFORE,
+                                         lambda ea, sz: events.append(ea),
+                                         IARG.MEMORY_EA, IARG.MEMORY_SIZE)
+
+        eng = PinEngine(self._program(1))
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert events == [DATA_BASE]
+        assert eng.machine.read_i64(DATA_BASE) == 9
+
+    def test_plain_insertcall_runs_even_when_guard_false(self):
+        events = []
+
+        def cb(ins):
+            if ins.IsMemoryWrite():
+                ins.InsertCall(IPOINT.BEFORE, lambda: events.append("x"))
+
+        eng = PinEngine(self._program(0))
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert events == ["x"]
+
+    def test_instruction_retires_but_has_no_effect(self):
+        eng = PinEngine(self._program(0))
+        eng.INS_AddInstrumentFunction(lambda ins: None)
+        eng.run()
+        assert eng.machine.icount == 5  # predicated store still counted
+
+
+class TestRtnInstrumentation:
+    def test_entry_calls_with_names_and_images(self):
+        src = """
+        int helper() { return 1; }
+        int main() { return helper() + helper(); }
+        """
+        prog = build_program(src)
+        entries = []
+
+        def cb(rtn):
+            rtn.InsertCall(IPOINT.BEFORE, lambda n, i: entries.append((n, i)),
+                           IARG.RTN_NAME, IARG.RTN_IMAGE)
+
+        eng = PinEngine(prog)
+        eng.RTN_AddInstrumentFunction(cb)
+        eng.run()
+        assert entries[0] == ("_start", "libc")
+        assert entries[1] == ("main", "main")
+        assert entries.count(("helper", "main")) == 2
+
+    def test_rtn_metadata(self):
+        infos = {}
+
+        def cb(rtn):
+            infos[rtn.Name()] = (rtn.ImageName(), rtn.IsMainImage(),
+                                 rtn.Size())
+
+        eng = PinEngine(build_program("int main() { return 0; }"))
+        eng.RTN_AddInstrumentFunction(cb)
+        eng.run()
+        assert infos["main"][0] == "main"
+        assert infos["main"][1] is True
+        assert infos["main"][2] > 0
+        assert infos["_start"][1] is False
+
+
+class TestEngineLifecycle:
+    def test_fini_receives_exit_code(self):
+        codes = []
+        eng = PinEngine(build_program("int main() { return 42; }"))
+        eng.AddFiniFunction(codes.append)
+        assert eng.run() == 42
+        assert codes == [42]
+
+    def test_uninstrumented_run_matches(self):
+        prog = build_program("int main() { return 3 + 4; }")
+        eng = PinEngine(prog)
+        assert eng.run() == 7
+
+    def test_double_attach_rejected(self):
+        from repro.core import TQuadTool
+
+        eng = PinEngine(simple_program())
+        tool = TQuadTool()
+        eng.add_tool(tool)
+        with pytest.raises(RuntimeError):
+            tool.attach(eng)
+
+    def test_analysis_calls_inserted_counter(self):
+        eng = PinEngine(simple_program())
+
+        def cb(ins):
+            if ins.IsMemoryRead():
+                ins.InsertPredicatedCall(IPOINT.BEFORE, lambda ea: None,
+                                         IARG.MEMORY_EA)
+
+        eng.INS_AddInstrumentFunction(cb)
+        eng.run()
+        assert eng.analysis_calls_inserted == 1

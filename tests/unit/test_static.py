@@ -1,0 +1,274 @@
+"""CFG construction and WCET bound tests."""
+
+import pytest
+
+from repro.asmkit import assemble
+from repro.gprofsim import run_gprof
+from repro.minic import build_program
+from repro.static import (CFGError, InstructionCosts, WCETAnalyzer,
+                          WCETError, build_cfg, estimate_wcet)
+
+
+class TestCFG:
+    def test_straight_line_single_block(self):
+        prog = build_program("int main() { return 1 + 2; }")
+        cfg = build_cfg(prog, "main")
+        # prologue..epilogue may split at the ret-label join, but there are
+        # no branches: every block chains to the next
+        assert cfg.natural_loops() == []
+        assert len(cfg.exit_blocks()) == 1
+
+    def test_if_else_diamond(self):
+        prog = build_program("""
+        int f(int x) {
+            if (x > 0) { return 1; }
+            return 2;
+        }
+        int main() { return f(1); }
+        """)
+        cfg = build_cfg(prog, "f")
+        branching = [b for b in cfg.blocks if len(b.succs) == 2]
+        assert len(branching) >= 1
+        assert cfg.natural_loops() == []
+
+    def test_loop_detection(self):
+        prog = build_program("""
+        int f(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) { s += i; }
+            return s;
+        }
+        int main() { return f(3); }
+        """)
+        cfg = build_cfg(prog, "f")
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        (loop,) = loops
+        assert len(loop.body) >= 2
+        assert loop.header in loop.body
+
+    def test_nested_loops_ordered_innermost_first(self):
+        prog = build_program("""
+        int f() {
+            int s = 0;
+            int i; int j;
+            for (i = 0; i < 4; i++) {
+                for (j = 0; j < 4; j++) { s += 1; }
+            }
+            return s;
+        }
+        int main() { return f(); }
+        """)
+        cfg = build_cfg(prog, "f")
+        loops = cfg.natural_loops()
+        assert len(loops) == 2
+        inner, outer = loops
+        assert inner.body < outer.body
+
+    def test_do_while_loop(self):
+        prog = build_program("""
+        int f() {
+            int n = 0;
+            do { n++; } while (n < 5);
+            return n;
+        }
+        int main() { return f(); }
+        """)
+        assert len(build_cfg(prog, "f").natural_loops()) == 1
+
+    def test_call_sites_resolved(self):
+        prog = build_program("""
+        int leaf() { return 1; }
+        int f() { return leaf() + leaf(); }
+        int main() { return f(); }
+        """)
+        cfg = build_cfg(prog, "f")
+        calls = [c for b in cfg.blocks for c in b.calls]
+        assert [c.callee for c in calls] == ["leaf", "leaf"]
+
+    def test_dominators_entry_dominates_all(self):
+        prog = build_program("""
+        int f(int x) {
+            int s = 0;
+            while (x > 0) { s += x; x--; }
+            return s;
+        }
+        int main() { return f(2); }
+        """)
+        cfg = build_cfg(prog, "f")
+        dom = cfg.dominators()
+        for b in range(len(cfg.blocks)):
+            if cfg.blocks[b].preds or b == 0:
+                assert 0 in dom[b]
+
+    def test_preds_consistent_with_succs(self):
+        prog = build_program("""
+        int f(int x) { if (x) { return 1; } return 2; }
+        int main() { return f(0); }
+        """)
+        cfg = build_cfg(prog, "f")
+        for b in cfg.blocks:
+            for s in b.succs:
+                assert b.id in cfg.blocks[s].preds
+
+
+class TestWCET:
+    def _flat_and_prog(self, src):
+        prog = build_program(src)
+        return prog, run_gprof(prog)
+
+    def test_straight_line_exact(self):
+        prog, flat = self._flat_and_prog("int main() { return 3 * 4; }")
+        res = estimate_wcet(prog, "main")
+        assert res.bound == flat.row("main").cumulative_instructions
+
+    def test_branch_takes_longest_path(self):
+        src = """
+        int f(int x) {
+            if (x) {
+                int a = 1; int b = 2; int c = 3;
+                return a + b + c;
+            }
+            return 0;
+        }
+        int main() { return f(0); }
+        """
+        prog, flat = self._flat_and_prog(src)
+        res = estimate_wcet(prog, "f")
+        # the run took the short path; the bound covers the long one
+        assert res.bound > flat.row("f").cumulative_instructions
+
+    def test_loop_bound_exact_for_counted_loop(self):
+        src = """
+        int main() {
+            int s = 0;
+            int i;
+            for (i = 0; i < 37; i++) { s += i; }
+            return s & 255;
+        }
+        """
+        prog, flat = self._flat_and_prog(src)
+        res = estimate_wcet(prog, "main", loop_bounds={"main": [37]})
+        assert res.bound == flat.row("main").cumulative_instructions
+
+    def test_nested_loops_and_calls_sound(self):
+        src = """
+        int inner(int n) {
+            int i; int s = 0;
+            for (i = 0; i < n; i++) { s += i; }
+            return s;
+        }
+        int main() {
+            int j; int t = 0;
+            for (j = 0; j < 6; j++) { t += inner(9); }
+            return t & 255;
+        }
+        """
+        prog, flat = self._flat_and_prog(src)
+        res = estimate_wcet(prog, "main",
+                            loop_bounds={"main": [6], "inner": [9]})
+        measured = flat.row("main").cumulative_instructions
+        assert res.bound >= measured
+        assert res.bound <= measured * 1.2   # and not wildly pessimistic
+        assert "inner" in res.callees
+
+    def test_missing_loop_bound_reported(self):
+        prog = build_program("""
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 4; i++) { s += i; }
+            return s;
+        }
+        """)
+        with pytest.raises(WCETError) as err:
+            estimate_wcet(prog, "main")
+        assert "loop_bounds" in str(err.value)
+
+    def test_recursion_rejected(self):
+        prog = build_program("""
+        int f(int n) { if (n <= 0) { return 0; } return f(n - 1); }
+        int main() { return f(3); }
+        """)
+        with pytest.raises(WCETError) as err:
+            estimate_wcet(prog, "main")
+        assert "recursion" in str(err.value)
+
+    def test_indirect_call_rejected(self):
+        prog = assemble("""
+            .text
+            .func main
+        main:
+            la   t0, main
+            addi sp, sp, -8
+            sd   ra, 0(sp)
+            jalr ra, t0, 0
+            ld   ra, 0(sp)
+            addi sp, sp, 8
+            halt
+            .endfunc
+        """)
+        with pytest.raises(WCETError) as err:
+            estimate_wcet(prog, "main")
+        assert "indirect" in str(err.value)
+
+    def test_unknown_routine(self):
+        prog = build_program("int main() { return 0; }")
+        with pytest.raises(WCETError):
+            estimate_wcet(prog, "ghost")
+
+    def test_loops_of_listing(self):
+        prog = build_program("""
+        int main() {
+            int i; int j; int s = 0;
+            for (i = 0; i < 2; i++) { s += 1; }
+            for (j = 0; j < 3; j++) { s += 2; }
+            return s;
+        }
+        """)
+        analyzer = WCETAnalyzer(prog)
+        headers = analyzer.loops_of("main")
+        assert len(headers) == 2
+        assert headers == sorted(headers)
+
+    def test_cost_model_scales_bound(self):
+        prog = build_program("""
+        int g[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i++) { g[i] = i; }
+            return 0;
+        }
+        """)
+        cheap = estimate_wcet(prog, "main", loop_bounds={"main": [8]})
+        dear = estimate_wcet(prog, "main", loop_bounds={"main": [8]},
+                             costs=InstructionCosts(memory=10.0))
+        assert dear.bound > cheap.bound
+
+    def test_memoisation_shares_callee_results(self):
+        prog = build_program("""
+        int leaf() { return 1; }
+        int a() { return leaf(); }
+        int b() { return leaf(); }
+        int main() { return a() + b(); }
+        """)
+        analyzer = WCETAnalyzer(prog)
+        res = analyzer.analyze("main")
+        assert res.bound > 0
+        assert analyzer.analyze("leaf") is analyzer.analyze("leaf")
+
+    def test_over_pessimism_with_slack_bounds(self):
+        """The paper's §II criticism: static bounds with conservative loop
+        bounds become over-pessimistic, which is why dynamic analysis
+        matters for HW/SW partitioning."""
+        src = """
+        int main() {
+            int i; int s = 0;
+            for (i = 0; i < 10; i++) { s += i; }
+            return s;
+        }
+        """
+        prog, flat = self._flat_and_prog(src)
+        slack = estimate_wcet(prog, "main", loop_bounds={"main": [10000]})
+        measured = flat.row("main").cumulative_instructions
+        assert slack.bound > 100 * measured

@@ -1,0 +1,220 @@
+"""tQUAD profiler behaviour tests."""
+
+import pytest
+
+from repro.asmkit import assemble
+from repro.minic import build_program
+from repro.core import (PAPER_MACHINE, StackPolicy, TQuadOptions, TQuadTool,
+                        run_tquad)
+from repro.pin import PinEngine
+from repro.vm import DATA_BASE
+
+
+def profile_asm(src: str, **opt_kwargs):
+    options = TQuadOptions(**opt_kwargs)
+    return run_tquad(assemble(src), options=options)
+
+
+LOAD_STORE = f"""
+    .text
+    .func main
+main:
+    li   t0, {DATA_BASE}
+    li   t1, 5
+    sd   t1, 0(t0)       # 8B global write
+    ld   t2, 0(t0)       # 8B global read
+    addi t3, sp, -32
+    sd   t1, 0(t3)       # below sp: NOT a stack access by SP rule
+    sd   t1, 16(sp)      # stack write
+    ld   t4, 16(sp)      # stack read
+    lw   t5, 4(t0)       # 4B global read
+    halt
+    .endfunc
+"""
+
+
+class TestAttribution:
+    def test_byte_accounting(self):
+        rep = profile_asm(LOAD_STORE, slice_interval=1000)
+        s = rep.series("main")
+        assert s.total(write=False, include_stack=True) == 8 + 8 + 4
+        assert s.total(write=False, include_stack=False) == 8 + 4
+        assert s.total(write=True, include_stack=True) == 24
+        # the sd at sp-32 is below the stack pointer -> counted as non-stack
+        assert s.total(write=True, include_stack=False) == 16
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            TQuadOptions(slice_interval=0)
+
+    def test_kernel_filter(self):
+        src = """
+        int a[4];
+        int touch() { a[0] = 1; return a[0]; }
+        int main() { return touch(); }
+        """
+        prog = build_program(src)
+        rep = run_tquad(prog, options=TQuadOptions(
+            slice_interval=100, kernels=("touch",)))
+        assert rep.kernels() == ["touch"]
+
+    def test_library_attribution_to_caller_by_default(self):
+        src = """
+        char dst[64];
+        char srcb[64];
+        int main() { memcpy(dst, srcb, 64); return 0; }
+        """
+        rep = run_tquad(build_program(src),
+                        options=TQuadOptions(slice_interval=10**6))
+        s = rep.series("main")
+        # memcpy's 64+64 bytes land on main (the innermost main-image kernel)
+        assert s.total(write=True, include_stack=False) >= 64
+        assert s.total(write=False, include_stack=False) >= 64
+        assert "memcpy" not in rep.kernels()
+
+    def test_exclude_libraries_drops_their_traffic(self):
+        src = """
+        char dst[64];
+        char srcb[64];
+        int main() { memcpy(dst, srcb, 64); return 0; }
+        """
+        base = run_tquad(build_program(src),
+                         options=TQuadOptions(slice_interval=10**6))
+        excl = run_tquad(build_program(src),
+                         options=TQuadOptions(slice_interval=10**6,
+                                              exclude_libraries=True))
+        get = lambda r: r.series("main").total(write=True,
+                                               include_stack=False)
+        assert get(excl) < get(base)
+        assert get(excl) == get(base) - 64  # exactly memcpy's writes
+
+    def test_prefetch_returns_immediately(self):
+        src = f"""
+            .text
+            .func main
+        main:
+            li t0, {DATA_BASE}
+            prefetch t1, 0(t0)
+            prefetch t1, 8(t0)
+            ld t2, 0(t0)
+            halt
+            .endfunc
+        """
+        engine = PinEngine(assemble(src))
+        tool = TQuadTool(TQuadOptions(slice_interval=100)).attach(engine)
+        engine.run()
+        rep = tool.report()
+        # prefetches are intercepted but contribute no bytes
+        assert tool.prefetches_skipped == 2
+        assert rep.series("main").total(write=False,
+                                        include_stack=True) == 8
+
+
+class TestSlicing:
+    def _spin_program(self, n: int) -> str:
+        """A program doing one 8-byte global write every 4 instructions."""
+        return f"""
+            .text
+            .func main
+        main:
+            li   t0, {DATA_BASE}
+            li   t1, {n}
+        loop:
+            sd   t1, 0(t0)
+            addi t1, t1, -1
+            bnez t1, loop
+            halt
+            .endfunc
+        """
+
+    def test_slice_count_matches_icount(self):
+        rep = profile_asm(self._spin_program(100), slice_interval=50)
+        assert rep.n_slices == (rep.total_instructions - 1) // 50 + 1
+
+    def test_bytes_conserved_across_slice_sizes(self):
+        totals = set()
+        for interval in (7, 50, 1000, 10**6):
+            rep = profile_asm(self._spin_program(64),
+                              slice_interval=interval)
+            totals.add(rep.series("main").total(write=True,
+                                                include_stack=True))
+        assert totals == {64 * 8}
+
+    def test_fine_slices_expose_activity_detail(self):
+        fine = profile_asm(self._spin_program(64), slice_interval=10)
+        coarse = profile_asm(self._spin_program(64), slice_interval=10**6)
+        assert fine.series("main").activity_span()[2] > \
+            coarse.series("main").activity_span()[2]
+
+    def test_report_requires_finished_run(self):
+        engine = PinEngine(assemble(LOAD_STORE))
+        tool = TQuadTool().attach(engine)
+        with pytest.raises(RuntimeError):
+            tool.report()
+
+
+class TestReportQueries:
+    def _wfs_like(self):
+        src = """
+        int a[64];
+        int b[64];
+        int first() { int i; for (i=0;i<64;i=i+1) { a[i] = i; } return 0; }
+        int second() { int i; int s=0; for (i=0;i<64;i=i+1) { s = s + a[i]; b[i] = s; } return s; }
+        int main() { first(); return second() & 127; }
+        """
+        return run_tquad(build_program(src),
+                         options=TQuadOptions(slice_interval=200))
+
+    def test_top_kernels_order(self):
+        rep = self._wfs_like()
+        top = rep.top_kernels(2)
+        assert top[0] == "second"   # reads+writes > first's writes
+        assert set(top) == {"first", "second"}
+
+    def test_activity_ordering(self):
+        rep = self._wfs_like()
+        f = rep.series("first").activity_span()
+        s = rep.series("second").activity_span()
+        assert f[0] <= s[0] and f[1] <= s[1]
+
+    def test_matrix_shapes(self):
+        rep = self._wfs_like()
+        names, mat = rep.bandwidth_matrix(["first", "second"])
+        assert mat.shape == (2, rep.n_slices)
+        _, act = rep.activity_matrix(["first", "second"])
+        assert act.dtype == bool
+
+    def test_total_bytes(self):
+        rep = self._wfs_like()
+        total = rep.total_bytes(write=True, include_stack=True)
+        assert total == sum(
+            rep.series(k).total(write=True, include_stack=True)
+            for k in rep.ledger.kernels())
+
+    def test_seconds_conversion(self):
+        rep = self._wfs_like()
+        assert rep.seconds() == pytest.approx(
+            rep.total_instructions / PAPER_MACHINE.instructions_per_second)
+
+    def test_format_table_contains_kernels(self):
+        rep = self._wfs_like()
+        table = rep.format_table()
+        assert "first" in table and "second" in table
+        assert f"interval={rep.interval}" in table
+
+    def test_summary_fields(self):
+        rep = self._wfs_like()
+        summ = rep.summary("second")
+        assert summ.activity_span > 0
+        assert summ.avg_read_excl <= summ.avg_read_incl
+        assert summ.max_bw_excl <= summ.max_bw_incl
+        assert summ.total_bytes_excl <= summ.total_bytes_incl
+
+
+class TestStackPolicyEnum:
+    def test_track_flags(self):
+        assert TQuadOptions(stack=StackPolicy.BOTH).track_included
+        assert TQuadOptions(stack=StackPolicy.BOTH).track_excluded
+        assert TQuadOptions(stack=StackPolicy.INCLUDE).track_included
+        assert not TQuadOptions(stack=StackPolicy.INCLUDE).track_excluded
+        assert TQuadOptions(stack=StackPolicy.EXCLUDE).track_excluded

@@ -1,0 +1,99 @@
+"""MemoryTraceTool tests, including the tQUAD cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.core import TQuadOptions, TQuadTool
+from repro.minic import build_program
+from repro.pin import MemoryTrace, MemoryTraceTool, PinEngine
+
+SRC = """
+int a[64];
+int writer() { int i; for (i = 0; i < 64; i++) { a[i] = i; } return 0; }
+int reader() { int i; int s = 0; for (i = 0; i < 64; i++) { s += a[i]; }
+               return s; }
+int main() { writer(); return reader() & 255; }
+"""
+
+
+@pytest.fixture(scope="module")
+def traced():
+    engine = PinEngine(build_program(SRC))
+    tool = MemoryTraceTool().attach(engine)
+    tq = TQuadTool(TQuadOptions(slice_interval=500)).attach(engine)
+    engine.run()
+    return tool.trace(), tq.report()
+
+
+class TestTrace:
+    def test_trace_covers_all_bytes(self, traced):
+        trace, report = traced
+        assert trace.bytes_moved(write=False) == \
+            report.total_bytes(write=False, include_stack=True)
+        assert trace.bytes_moved(write=True) == \
+            report.total_bytes(write=True, include_stack=True)
+
+    def test_slice_totals_match_ledger(self, traced):
+        trace, report = traced
+        offline = trace.slice_totals(500, write=True)
+        online = sum(
+            (report.series(k).dense(report.n_slices, write=True,
+                                    include_stack=True)
+             for k in report.ledger.kernels()),
+            np.zeros(report.n_slices, dtype=np.int64))
+        np.testing.assert_array_equal(offline, online[:len(offline)])
+
+    def test_per_kernel_subtrace(self, traced):
+        trace, _ = traced
+        writer = trace.for_kernel("writer")
+        assert len(writer) > 0
+        assert (writer.kernel_id == trace.kernels.index("writer")).all()
+        assert writer.bytes_moved(write=True) >= 64 * 8
+
+    def test_stamps_monotonic(self, traced):
+        trace, _ = traced
+        assert (np.diff(trace.icount) >= 0).all()
+
+    def test_not_truncated(self, traced):
+        trace, _ = traced
+        assert not trace.truncated
+
+    def test_npz_roundtrip(self, traced, tmp_path):
+        trace, _ = traced
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        back = MemoryTrace.load_npz(path)
+        np.testing.assert_array_equal(back.icount, trace.icount)
+        np.testing.assert_array_equal(back.address, trace.address)
+        assert back.kernels == trace.kernels
+        assert back.truncated == trace.truncated
+
+
+class TestTruncation:
+    def test_limit_respected(self):
+        engine = PinEngine(build_program(SRC))
+        tool = MemoryTraceTool(limit=10).attach(engine)
+        engine.run()
+        trace = tool.trace()
+        assert len(trace) == 10
+        assert trace.truncated
+
+    def test_bad_limit(self):
+        with pytest.raises(ValueError):
+            MemoryTraceTool(limit=0)
+
+    def test_bad_interval(self):
+        engine = PinEngine(build_program(SRC))
+        tool = MemoryTraceTool(limit=100).attach(engine)
+        engine.run()
+        with pytest.raises(ValueError):
+            tool.trace().slice_totals(0)
+
+    def test_empty_trace(self):
+        engine = PinEngine(build_program("int main() { return 0; }"))
+        # only count accesses in a routine that never runs
+        tool = MemoryTraceTool(limit=5)
+        # don't attach: build an empty trace directly
+        trace = tool.trace()
+        assert len(trace) == 0
+        assert trace.slice_totals(10).size == 0

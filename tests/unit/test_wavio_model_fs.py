@@ -1,0 +1,153 @@
+"""Tests for wavio, the machine model and the guest filesystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.machine_model import MachineModel, PAPER_MACHINE
+from repro.vm.filesystem import GuestFS, O_RDONLY, O_WRONLY
+from repro.wavio import (WAV_HEADER_BYTES, read_wav, sine, sine_sweep,
+                         white_noise, write_wav)
+
+
+class TestWavCodec:
+    def test_roundtrip_mono(self):
+        samples = np.arange(-50, 50, dtype=np.int16)
+        raw = write_wav(48000, samples)
+        back = read_wav(raw)
+        assert back.sample_rate == 48000
+        assert back.channels == 1
+        np.testing.assert_array_equal(back.samples[:, 0], samples)
+
+    def test_roundtrip_multichannel(self):
+        samples = np.arange(24, dtype=np.int16).reshape(8, 3)
+        back = read_wav(write_wav(44100, samples))
+        assert back.channels == 3
+        assert back.frames == 8
+        np.testing.assert_array_equal(back.samples, samples)
+
+    def test_float_input_quantised(self):
+        raw = write_wav(8000, np.array([0.0, 0.5, -1.0, 1.0]))
+        back = read_wav(raw)
+        assert back.samples[0, 0] == 0
+        assert back.samples[1, 0] == 16384  # rint(0.5 * 32767)
+        assert back.samples[2, 0] == -32767
+        assert back.samples[3, 0] == 32767
+
+    def test_header_size(self):
+        raw = write_wav(8000, np.zeros(4, dtype=np.int16))
+        assert len(raw) == WAV_HEADER_BYTES + 8
+
+    def test_reject_garbage(self):
+        with pytest.raises(ValueError):
+            read_wav(b"not a wav file at all........................")
+
+    def test_reject_wrong_format(self):
+        raw = bytearray(write_wav(8000, np.zeros(4, dtype=np.int16)))
+        raw[20] = 3  # audio format != PCM
+        with pytest.raises(ValueError):
+            read_wav(bytes(raw))
+
+    def test_reject_bad_dims(self):
+        with pytest.raises(ValueError):
+            write_wav(8000, np.zeros((2, 2, 2)))
+
+
+class TestSynth:
+    def test_sine_bounds_and_period(self):
+        s = sine(48000, freq_hz=1000.0, amplitude=0.5)
+        assert np.abs(s).max() <= 0.5 + 1e-12
+        assert s[0] == 0.0
+
+    def test_sweep_is_deterministic_and_broadband(self):
+        a = sine_sweep(4096)
+        b = sine_sweep(4096)
+        np.testing.assert_array_equal(a, b)
+        spectrum = np.abs(np.fft.rfft(a))
+        # energy spread across many bins, not a single tone
+        assert (spectrum > spectrum.max() * 0.05).sum() > 20
+
+    def test_noise_reproducible(self):
+        np.testing.assert_array_equal(white_noise(100, seed=1),
+                                      white_noise(100, seed=1))
+        assert not np.array_equal(white_noise(100, seed=1),
+                                  white_noise(100, seed=2))
+
+
+class TestMachineModel:
+    def test_paper_machine(self):
+        assert PAPER_MACHINE.frequency_hz == pytest.approx(2.83e9)
+        assert PAPER_MACHINE.seconds(2.83e9) == pytest.approx(1.0)
+
+    def test_conversions(self):
+        m = MachineModel(frequency_hz=1e9, ipc=2.0)
+        assert m.instructions_per_second == 2e9
+        assert m.milliseconds(2e6) == pytest.approx(1.0)
+        assert m.cycles(10) == 5.0
+        assert m.bytes_per_second(2.0) == 4e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel(frequency_hz=0)
+        with pytest.raises(ValueError):
+            MachineModel(ipc=-1)
+
+
+class TestGuestFS:
+    def test_read_roundtrip(self):
+        fs = GuestFS()
+        fs.put("f", b"hello world")
+        fd = fs.open("f", O_RDONLY)
+        assert fs.read(fd, 5) == b"hello"
+        assert fs.read(fd, 100) == b" world"
+        assert fs.read(fd, 10) == b""
+        assert fs.close(fd) == 0
+
+    def test_open_missing(self):
+        fs = GuestFS()
+        assert fs.open("nope", O_RDONLY) == -1
+
+    def test_write_creates_and_truncates(self):
+        fs = GuestFS()
+        fs.put("f", b"old content")
+        fd = fs.open("f", O_WRONLY)
+        fs.write(fd, b"new")
+        fs.close(fd)
+        assert fs.get("f") == b"new"
+
+    def test_write_to_readonly_fd(self):
+        fs = GuestFS()
+        fs.put("f", b"x")
+        fd = fs.open("f", O_RDONLY)
+        assert fs.write(fd, b"y") == -1
+
+    def test_seek_and_size(self):
+        fs = GuestFS()
+        fs.put("f", b"0123456789")
+        fd = fs.open("f", O_RDONLY)
+        assert fs.size(fd) == 10
+        assert fs.seek(fd, 7) == 7
+        assert fs.read(fd, 10) == b"789"
+        assert fs.seek(fd, -1) == -1
+
+    def test_sparse_write_extends(self):
+        fs = GuestFS()
+        fd = fs.open("f", O_WRONLY)
+        fs.seek(fd, 4)
+        fs.write(fd, b"ab")
+        fs.close(fd)
+        assert fs.get("f") == b"\0\0\0\0ab"
+
+    def test_bad_descriptor_operations(self):
+        fs = GuestFS()
+        assert fs.read(99, 4) is None
+        assert fs.write(99, b"x") == -1
+        assert fs.close(99) == -1
+        assert fs.size(99) == -1
+
+    def test_open_count(self):
+        fs = GuestFS()
+        fs.put("f", b"x")
+        fd = fs.open("f", O_RDONLY)
+        assert fs.open_count() == 1
+        fs.close(fd)
+        assert fs.open_count() == 0
