@@ -8,6 +8,7 @@ library-exclusion option.  Shape to reproduce: a substantial (>2×) slowdown
 that varies with the options; finer slices never make it faster.
 """
 
+import json
 import time
 
 from conftest import save_artifact
@@ -75,3 +76,11 @@ def test_overhead_slowdown(benchmark, outdir):
         lines.append(f"{label:<28}{factor:>9.2f}x")
     lines.append("(paper, Pin on x86: 37.2x - 68.95x)")
     save_artifact(outdir, "overhead_slowdown.txt", "\n".join(lines))
+    payload = {
+        "benchmark": "overhead_slowdown",
+        "workload": "wfs(tiny)",
+        "native_seconds": native,
+        "slowdown": {k: round(v, 3) for k, v in slowdowns.items()},
+    }
+    (outdir / "BENCH_overhead_slowdown.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

@@ -29,15 +29,43 @@ class CallStack:
     """
 
     __slots__ = ("_frames", "current_kernel", "in_library",
-                 "max_depth", "underflows")
+                 "max_depth", "underflows", "exclude_library_accesses",
+                 "rec_id", "_intern_ids", "interned_names")
 
-    def __init__(self) -> None:
+    def __init__(self, *, exclude_library_accesses: bool = False) -> None:
         # each frame: (attributed kernel name, frame-is-library)
         self._frames: list[tuple[str, bool]] = []
         self.current_kernel: str | None = None
         self.in_library = False
         self.max_depth = 0
         self.underflows = 0
+        # Recording support: ``rec_id`` is the interned integer id of the
+        # kernel that a memory access *right now* should attribute to, or -1
+        # when it should be dropped (no kernel yet, or inside a library frame
+        # with ``exclude_library_accesses`` set).  Recording profilers embed
+        # ``rec_id`` into flat buffers instead of the name, keeping the hot
+        # path string-free; ``interned_names[id]`` recovers the name at
+        # flush time.
+        self.exclude_library_accesses = exclude_library_accesses
+        self.rec_id = -1
+        self._intern_ids: dict[str, int] = {}
+        self.interned_names: list[str] = []
+
+    def intern(self, name: str) -> int:
+        """The stable integer id for ``name`` (allocating on first use)."""
+        i = self._intern_ids.get(name)
+        if i is None:
+            i = self._intern_ids[name] = len(self.interned_names)
+            self.interned_names.append(name)
+        return i
+
+    def _refresh_rec_id(self) -> None:
+        name = self.current_kernel
+        if name is None or (self.in_library
+                            and self.exclude_library_accesses):
+            self.rec_id = -1
+        else:
+            self.rec_id = self.intern(name)
 
     def enter(self, name: str, image: str) -> None:
         """Routine-entry event (the paper's ``EnterFC`` analysis routine)."""
@@ -49,6 +77,7 @@ class CallStack:
         self._frames.append((kernel, is_lib))
         self.current_kernel = kernel
         self.in_library = is_lib
+        self._refresh_rec_id()
         depth = len(self._frames)
         if depth > self.max_depth:
             self.max_depth = depth
@@ -65,6 +94,7 @@ class CallStack:
         else:
             self.current_kernel = None
             self.in_library = False
+        self._refresh_rec_id()
 
     @property
     def depth(self) -> int:

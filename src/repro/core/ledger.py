@@ -67,6 +67,25 @@ class BandwidthLedger:
             self.advance(self.cur_slice + 1)
             self.flushed = True
 
+    def accumulate(self, name: str, slice_index: int, r_incl: int,
+                   r_excl: int, w_incl: int, w_excl: int) -> None:
+        """Merge pre-aggregated counts straight into ``history``.
+
+        Used by the buffered recording path (:mod:`repro.core.recording`),
+        which aggregates whole buffers of accesses with NumPy and lands the
+        per-(kernel, slice) sums here — bypassing ``cur``, so it composes
+        with out-of-order flushes and with the final :meth:`flush`.
+        """
+        hk = self.history.get(name)
+        if hk is None:
+            hk = self.history[name] = {}
+        c = hk.get(slice_index)
+        if c is None:
+            hk[slice_index] = (r_incl, r_excl, w_incl, w_excl)
+        else:
+            hk[slice_index] = (c[0] + r_incl, c[1] + r_excl,
+                               c[2] + w_incl, c[3] + w_excl)
+
     # -- queries --------------------------------------------------------------
     def kernels(self) -> list[str]:
         return sorted(self.history)

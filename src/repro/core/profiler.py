@@ -11,6 +11,18 @@ This module mirrors the paper's implementation section (§IV-C, Figures 3–5):
 * ``_instrument_routine`` is ``UpdateCallStack()``: it inserts ``EnterFC``
   at routine entries, passing the routine name and an image flag;
 * the analysis routines return immediately for prefetches.
+
+Two analysis implementations coexist:
+
+* the **buffered** path (default): memory accesses are recorded into flat
+  buffers and bulk-aggregated with NumPy at flush time
+  (:mod:`repro.core.recording`).  Inside superblocks the record append is
+  inlined into generated code — this is the fast path.
+* the **legacy** per-event path (``buffered=False``): one parameterized
+  analysis routine per direction, built by :meth:`_make_on_access`, doing
+  attribution work on every access exactly as the paper's pseudocode reads.
+  It is retained as the independent reference implementation that the
+  differential tests compare the buffered path against.
 """
 
 from __future__ import annotations
@@ -20,19 +32,28 @@ from ..vm.program import MAIN_IMAGE
 from .callstack import CallStack
 from .ledger import BandwidthLedger
 from .options import StackPolicy, TQuadOptions
+from .recording import RecordingSink, make_recorder
 from .report import TQuadReport
 
 
 class TQuadTool:
     """Temporal memory-bandwidth profiler (the paper's primary artifact)."""
 
-    def __init__(self, options: TQuadOptions | None = None):
+    def __init__(self, options: TQuadOptions | None = None, *,
+                 buffered: bool = True):
         self.options = options or TQuadOptions()
-        self.callstack = CallStack()
+        self.buffered = buffered
+        self.callstack = CallStack(
+            exclude_library_accesses=self.options.exclude_libraries)
         self.ledger = BandwidthLedger(self.options.slice_interval)
         self._engine: PinEngine | None = None
         self._machine = None
         self._images: dict[str, str] = {}
+        self._sink: RecordingSink | None = None
+        self._rec_read = None
+        self._rec_write = None
+        self._on_read = None
+        self._on_write = None
         self.prefetches_skipped = 0
         self.finished = False
 
@@ -44,6 +65,16 @@ class TQuadTool:
         self._engine = engine
         self._machine = engine.machine
         self._images = {r.name: r.image for r in engine.program.routines}
+        if self.buffered:
+            self._sink = RecordingSink(self.ledger, self.callstack,
+                                       self.options.stack)
+            self._rec_read = make_recorder(self._sink, engine.machine,
+                                           write=False)
+            self._rec_write = make_recorder(self._sink, engine.machine,
+                                            write=True)
+        else:
+            self._on_read = self._make_on_access(write=False)
+            self._on_write = self._make_on_access(write=True)
         engine.INS_AddInstrumentFunction(self._instrument_instruction)
         engine.RTN_AddInstrumentFunction(self._instrument_routine)
         engine.AddFiniFunction(self._fini)
@@ -52,22 +83,19 @@ class TQuadTool:
     def _instrument_instruction(self, ins: INS) -> None:
         """``Instruction()`` — see paper Fig. 4."""
         if ins.IsPrefetch():
-            # keep the full argument shape so the analysis routine performs
-            # the paper's "return immediately upon detection of a prefetch".
-            ins.InsertPredicatedCall(
-                IPOINT.BEFORE, self._increase_read,
-                IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP,
-                IARG.IS_PREFETCH)
+            # the paper's "return immediately upon detection of a prefetch";
+            # the legacy path keeps the full argument shape so the guard
+            # lives in the analysis routine itself.
+            if self.buffered:
+                ins.InsertPredicatedCall(IPOINT.BEFORE, self._count_prefetch)
+            else:
+                ins.InsertPredicatedCall(
+                    IPOINT.BEFORE, self._increase_read,
+                    IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP,
+                    IARG.IS_PREFETCH)
             return
-        # The paper's include/exclude-stack option selects the analysis
-        # routine variant; BOTH records the two views side by side.
-        policy = self.options.stack
-        if policy is StackPolicy.BOTH:
-            on_read, on_write = self._on_read, self._on_write
-        elif policy is StackPolicy.INCLUDE:
-            on_read, on_write = self._on_read_incl, self._on_write_incl
-        else:
-            on_read, on_write = self._on_read_excl, self._on_write_excl
+        on_read = self._rec_read if self.buffered else self._on_read
+        on_write = self._rec_write if self.buffered else self._on_write
         if ins.IsMemoryRead():
             ins.InsertPredicatedCall(
                 IPOINT.BEFORE, on_read,
@@ -85,6 +113,11 @@ class TQuadTool:
                        IARG.RTN_NAME, IARG.RTN_IMAGE)
 
     # ------------------------------------------------------ analysis routines
+    def _count_prefetch(self) -> None:
+        """Buffered-mode prefetch guard (static: the call is only inserted
+        on prefetch instructions)."""
+        self.prefetches_skipped += 1
+
     def _increase_read(self, ea: int, size: int, sp: int,
                        is_prefetch: bool) -> None:
         """``IncreaseRead`` with the prefetch guard of the paper."""
@@ -93,112 +126,50 @@ class TQuadTool:
             return
         self._on_read(ea, size, sp)
 
-    def _on_read(self, ea: int, size: int, sp: int) -> None:
-        cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
-        ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[0] += size
-        if ea < sp:          # below the live stack: global/heap access
-            c[1] += size
+    def _make_on_access(self, *, write: bool):
+        """Build the legacy per-event analysis routine for one direction.
 
-    def _on_write(self, ea: int, size: int, sp: int) -> None:
+        One parameterized closure replaces the paper's six near-identical
+        ``Increase{Read,Write}[{Incl,Excl}]`` variants: the stack policy
+        selects which of the four ledger counters get the bytes, and
+        whether stack accesses are discarded up front.
+        """
+        policy = self.options.stack
+        exclude_libs = self.options.exclude_libraries
         cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
         ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[2] += size
-        if ea < sp:
-            c[3] += size
+        machine = self._machine
+        incl_col = 2 if write else 0
+        excl_col = 3 if write else 1
+        track_incl = policy is not StackPolicy.EXCLUDE
+        track_excl = policy is not StackPolicy.INCLUDE
 
-    # --- single-sided variants (the paper's either/or option) -------------
-    def _on_read_incl(self, ea: int, size: int, sp: int) -> None:
-        cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
-        ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[0] += size
+        def on_access(ea: int, size: int, sp: int) -> None:
+            if not track_incl and ea >= sp:
+                return  # local stack area: discarded before any tracing work
+            if cs.in_library and exclude_libs:
+                return
+            name = cs.current_kernel
+            if name is None:
+                return
+            s = (machine.icount - 1) // ledger.interval
+            if s != ledger.cur_slice:
+                ledger.advance(s)
+            c = ledger.cur.get(name)
+            if c is None:
+                c = ledger.cur[name] = [0, 0, 0, 0]
+            if track_incl:
+                c[incl_col] += size
+            if track_excl and ea < sp:
+                c[excl_col] += size
+        return on_access
 
-    def _on_write_incl(self, ea: int, size: int, sp: int) -> None:
-        cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
-        ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[2] += size
-
-    def _on_read_excl(self, ea: int, size: int, sp: int) -> None:
-        if ea >= sp:
-            return  # local stack area: discarded before any tracing work
-        cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
-        ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[1] += size
-
-    def _on_write_excl(self, ea: int, size: int, sp: int) -> None:
-        if ea >= sp:
-            return
-        cs = self.callstack
-        if cs.in_library and self.options.exclude_libraries:
-            return
-        name = cs.current_kernel
-        if name is None:
-            return
-        ledger = self.ledger
-        s = (self._machine.icount - 1) // ledger.interval
-        if s != ledger.cur_slice:
-            ledger.advance(s)
-        c = ledger.cur.get(name)
-        if c is None:
-            c = ledger.cur[name] = [0, 0, 0, 0]
-        c[3] += size
+    def _flush_buffers(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
 
     def _fini(self, exit_code: int) -> None:
+        self._flush_buffers()
         self.ledger.flush()
         self.finished = True
 
@@ -215,6 +186,7 @@ class TQuadTool:
                 raise RuntimeError(
                     "run the engine before asking for the report "
                     "(or pass allow_partial=True after a guest crash)")
+            self._flush_buffers()
             self.ledger.flush()
         total = self._machine.icount
         return TQuadReport(ledger=self.ledger, options=self.options,
@@ -225,12 +197,13 @@ class TQuadTool:
 
 def run_tquad(program, *, options: TQuadOptions | None = None, fs=None,
               max_instructions: int | None = None,
-              mem_size: int | None = None) -> TQuadReport:
+              mem_size: int | None = None, buffered: bool = True,
+              jit: bool = True) -> TQuadReport:
     """Convenience: profile ``program`` with tQUAD and return the report."""
-    kwargs = {"fs": fs}
+    kwargs = {"fs": fs, "jit": jit}
     if mem_size is not None:
         kwargs["mem_size"] = mem_size
     engine = PinEngine(program, **kwargs)
-    tool = TQuadTool(options).attach(engine)
+    tool = TQuadTool(options, buffered=buffered).attach(engine)
     engine.run(max_instructions=max_instructions)
     return tool.report()

@@ -29,6 +29,7 @@ from ..vm.filesystem import GuestFS
 from ..vm.layout import DEFAULT_MEM_SIZE, index_to_pc
 from ..vm.machine import Machine, StepFn
 from ..vm.program import Program, Routine
+from ..vm.superblock import FALLBACK, InsPlan
 from .iargs import IARG, IPOINT, STATIC_IARGS
 
 
@@ -138,18 +139,29 @@ class RTN:
         self._calls.append(_AnalysisCall(fn, iargs, predicated=False))
 
 
+_UNPLANNED = object()
+
+
 class PinEngine:
     """Instruments and runs one guest program."""
 
     def __init__(self, program: Program, *, fs: GuestFS | None = None,
-                 mem_size: int = DEFAULT_MEM_SIZE):
+                 mem_size: int = DEFAULT_MEM_SIZE, jit: bool = True):
         self.program = program
-        self.machine = Machine(program, fs=fs, mem_size=mem_size)
+        self.machine = Machine(program, fs=fs, mem_size=mem_size, jit=jit)
         self.machine.instrument_hook = self._instrument
+        self.machine.block_instrumenter = self
         self._ins_cbs: list[Callable[[INS], None]] = []
         self._rtn_cbs: list[Callable[[RTN], None]] = []
         self._fini_cbs: list[Callable[[int], None]] = []
         self.analysis_calls_inserted = 0
+        # instrumentation results are memoized per static instruction so the
+        # callbacks run exactly once even when the index is visited both by
+        # the superblock builder (possibly via overlapping blocks) and by the
+        # per-instruction tier (budget tail / jit=False)
+        self._thunk_cache: dict[int, list[tuple[Callable[[], None],
+                                                _AnalysisCall]]] = {}
+        self._plan_cache: dict[int, object] = {}
 
     # ------------------------------------------------------------ Pin API
     def INS_AddInstrumentFunction(self, cb: Callable[[INS], None]) -> None:
@@ -237,33 +249,86 @@ class PinEngine:
         return lambda: fn(*[e() for e in extractors])
 
     # ------------------------------------------------------- the JIT hook
-    def _instrument(self, index: int, ins: Instr, base: StepFn) -> StepFn:
-        """Machine compile hook: wrap ``base`` with analysis calls."""
-        always: list[Callable[[], None]] = []
-        predicated: list[Callable[[], None]] = []
+    def _thunks_for(self, index: int, ins: Instr
+                    ) -> list[tuple[Callable[[], None], _AnalysisCall]]:
+        """Run the instrumentation callbacks for ``index`` (once, memoized)
+        and return the compiled analysis thunks in insertion order.
 
-        # Routine-entry instrumentation fires when the first instruction of
-        # a routine is compiled; its calls run before the instruction's own.
+        Routine-entry instrumentation fires when the first instruction of a
+        routine is compiled; its calls run before the instruction's own.
+        """
+        entry = self._thunk_cache.get(index)
+        if entry is not None:
+            return entry
+        calls: list[_AnalysisCall] = []
         rtn = self.program.routine_at(index)
         if rtn is not None and index == rtn.start and self._rtn_cbs:
             robj = RTN(rtn, self)
             for cb in self._rtn_cbs:
                 cb(robj)
-            for call in robj._calls:
-                always.append(self._build_thunk(call, index, ins))
-
+            calls.extend(robj._calls)
         if self._ins_cbs:
             iobj = INS(index, ins, self)
             for cb in self._ins_cbs:
                 cb(iobj)
-            for call in iobj._calls:
-                thunk = self._build_thunk(call, index, ins)
-                if call.predicated and ins.pred != NO_PRED:
-                    predicated.append(thunk)
-                else:
-                    always.append(thunk)
+            calls.extend(iobj._calls)
+        entry = [(self._build_thunk(c, index, ins), c) for c in calls]
+        self._thunk_cache[index] = entry
+        return entry
 
+    def _instrument(self, index: int, ins: Instr, base: StepFn) -> StepFn:
+        """Machine compile hook: wrap ``base`` with analysis calls."""
+        always: list[Callable[[], None]] = []
+        predicated: list[Callable[[], None]] = []
+        for thunk, call in self._thunks_for(index, ins):
+            if call.predicated and ins.pred != NO_PRED:
+                predicated.append(thunk)
+            else:
+                always.append(thunk)
         return self._compose(ins, base, always, predicated)
+
+    # ------------------------------------------------- the superblock hook
+    def plan(self, index: int, ins: Instr):
+        """Block-plan provider for :mod:`repro.vm.superblock`.
+
+        Returns ``None`` (no analysis on this instruction),
+        :data:`~repro.vm.superblock.FALLBACK` (per-instruction visibility
+        required — any analysis on a *predicated* instruction, where Pin's
+        guard semantics gate the calls), or an
+        :class:`~repro.vm.superblock.InsPlan` whose thunks/record sinks the
+        block compiler inlines.  Analysis thunks run with ``machine.icount``
+        restored to its exact per-instruction value, so arbitrary tools
+        (gprof-sim, QUAD, imix, …) stay fused.
+        """
+        plan = self._plan_cache.get(index, _UNPLANNED)
+        if plan is not _UNPLANNED:
+            return plan
+        thunks = self._thunks_for(index, ins)
+        if not thunks:
+            plan = None
+        elif ins.pred != NO_PRED:
+            plan = FALLBACK
+        else:
+            pre: list[Callable[[], None]] = []
+            read_sinks: list = []
+            write_sinks: list = []
+            rec_shape = (IARG.MEMORY_EA, IARG.MEMORY_SIZE, IARG.REG_SP)
+            for thunk, call in thunks:
+                sink = getattr(call.fn, "record_sink", None)
+                if sink is not None and call.iargs == rec_shape:
+                    kind = call.fn.record_kind
+                    if (kind == "read" and ins.info.mem_read
+                            and not ins.info.is_prefetch):
+                        read_sinks.append(sink)
+                        continue
+                    if kind == "write" and ins.info.mem_write:
+                        write_sinks.append(sink)
+                        continue
+                pre.append(thunk)
+            plan = InsPlan(tuple(pre), tuple(read_sinks),
+                           tuple(write_sinks))
+        self._plan_cache[index] = plan
+        return plan
 
     def _compose(self, ins: Instr, base: StepFn,
                  always: list[Callable[[], None]],

@@ -17,6 +17,16 @@ Contract for ``instrument_hook(index, ins, base_fn) -> fn``:
   false).  When no hook is installed the machine applies the guard itself.
 * closures take the current instruction index and return the next one;
   returning ``-1`` halts the machine.
+
+On top of the per-instruction tier sits the **superblock** tier
+(:mod:`repro.vm.superblock`, enabled by default via ``jit=True``):
+straight-line runs are fused into one generated function per block, with one
+dispatch and one ``icount`` update per block.  In fused mode the cached
+functions *advance ``icount`` themselves*; the run loop only dispatches.
+The per-instruction tier remains in use (a) when ``jit=False``, (b) when a
+raw ``instrument_hook`` is installed without a ``block_instrumenter`` that
+can describe its analysis needs for inlining, and (c) for the exact-budget
+tail, where the remaining allowance is smaller than the next block.
 """
 
 from __future__ import annotations
@@ -59,11 +69,12 @@ class Machine:
     __slots__ = (
         "program", "instrs", "x", "f", "mem", "mem_size", "fs", "stdout",
         "code", "pc_index", "icount", "halted", "exit_code", "brk",
-        "syscall", "instrument_hook", "compile_count",
+        "syscall", "instrument_hook", "compile_count", "jit",
+        "block_instrumenter", "code_len", "_compiled", "_tail_cache",
     )
 
     def __init__(self, program: Program, *, mem_size: int = DEFAULT_MEM_SIZE,
-                 fs: GuestFS | None = None):
+                 fs: GuestFS | None = None, jit: bool = True):
         if mem_size < HEAP_BASE + (1 << 20):
             raise ValueError("mem_size too small for the standard layout")
         self.program = program
@@ -87,20 +98,68 @@ class Machine:
         self.syscall = SyscallHandler(self)
         self.instrument_hook: Callable[[int, Instr, StepFn], StepFn] | None = None
         self.compile_count = 0
+        self.jit = jit
+        #: Optional block-plan provider (the Pin engine) consulted by the
+        #: superblock compiler; see :mod:`repro.vm.superblock`.
+        self.block_instrumenter = None
+        #: Per-head-index fused-block lengths (0 = not a materialized head).
+        self.code_len = [0] * len(program.instrs)
+        # compile_count counts *distinct static instructions* compiled,
+        # regardless of tier (and of block overlap), so it stays comparable
+        # between fused and unfused runs.
+        self._compiled = bytearray(len(program.instrs))
+        self._tail_cache: dict[int, StepFn] = {}
         # ABI entry state: sp 16-byte aligned just below the stack top.
         self.x[SP] = mem_size - 64
 
     # ------------------------------------------------------------------ run
     def run(self, max_instructions: int | None = None) -> int:
-        """Execute until the guest exits.  Returns the guest exit code."""
+        """Execute until the guest exits.  Returns the guest exit code.
+
+        ``max_instructions`` bounds the run *exactly*: at most that many
+        instructions retire, and :class:`InstructionBudgetExceeded` is raised
+        before the first instruction past the bound would execute.  A budget
+        of 0 therefore raises immediately; a negative budget is a
+        ``ValueError``.
+        """
         if self.halted:
             raise VMError("machine already halted")
+        if max_instructions is not None and max_instructions < 0:
+            raise ValueError("max_instructions must be >= 0")
+        # Fused (superblock) execution is used whenever it can preserve
+        # semantics: always for bare runs, and for instrumented runs when the
+        # instrumenter exposes a block plan.  A raw instrument_hook without a
+        # plan provider needs per-instruction dispatch.
+        fused = self.jit and (self.instrument_hook is None
+                              or self.block_instrumenter is not None)
         code = self.code
         pc = self.pc_index
         icount = self.icount
-        limit = (icount + max_instructions) if max_instructions else None
+        limit = (icount + max_instructions
+                 if max_instructions is not None else None)
         try:
-            if limit is None:
+            if fused and limit is None:
+                while pc >= 0:
+                    fn = code[pc]
+                    if fn is None:
+                        fn = self._materialize_block(pc)
+                    pc = fn(pc)
+            elif fused:
+                code_len = self.code_len
+                while pc >= 0:
+                    fn = code[pc]
+                    if fn is None:
+                        fn = self._materialize_block(pc)
+                    if self.icount + code_len[pc] > limit:
+                        pc = self._run_tail(pc, limit)
+                        if pc >= 0:
+                            raise InstructionBudgetExceeded(
+                                f"exceeded budget of {max_instructions} "
+                                "instructions",
+                                pc=index_to_pc(pc), icount=self.icount)
+                        continue
+                    pc = fn(pc)
+            elif limit is None:
                 while pc >= 0:
                     fn = code[pc]
                     if fn is None:
@@ -109,29 +168,49 @@ class Machine:
                     pc = fn(pc)
             else:
                 while pc >= 0:
+                    if icount >= limit:
+                        raise InstructionBudgetExceeded(
+                            f"exceeded budget of {max_instructions} "
+                            "instructions",
+                            pc=index_to_pc(pc), icount=icount)
                     fn = code[pc]
                     if fn is None:
                         fn = self._materialize(pc)
                     self.icount = icount = icount + 1
                     pc = fn(pc)
-                    if icount >= limit:
-                        raise InstructionBudgetExceeded(
-                            f"exceeded budget of {max_instructions} instructions",
-                            pc=index_to_pc(pc), icount=icount)
         except VMError as err:
             self.halted = True
             self.pc_index = pc
             if err.icount is None:
-                err.icount = icount
+                err.icount = self.icount
             raise
         except IndexError as err:
             self.halted = True
             raise IllegalInstruction(
                 f"jump outside code segment ({err})",
-                pc=index_to_pc(pc), icount=icount) from err
+                pc=index_to_pc(pc), icount=self.icount) from err
         self.halted = True
         self.pc_index = pc
         return self.exit_code if self.exit_code is not None else 0
+
+    def _run_tail(self, pc: int, limit: int) -> int:
+        """Per-instruction execution for the end of a budgeted fused run.
+
+        Entered when the next superblock could overrun the budget; steps
+        single instructions (through the classic tier, so instrumentation
+        still applies) until the guest halts or the budget is spent.
+        Returns the next pc — negative if the guest halted in time.
+        """
+        cache = self._tail_cache
+        while pc >= 0 and self.icount < limit:
+            fn = cache.get(pc)
+            if fn is None:
+                fn = self._compose_step(pc)
+                cache[pc] = fn
+                self._mark_compiled(pc, pc + 1)
+            self.icount += 1
+            pc = fn(pc)
+        return pc
 
     # ----------------------------------------------------------- utilities
     def pc_byte(self) -> int:
@@ -183,23 +262,52 @@ class Machine:
 
     # ------------------------------------------------------- compilation
     def _materialize(self, index: int) -> StepFn:
+        fn = self._compose_step(index)
+        self.code[index] = fn
+        self._mark_compiled(index, index + 1)
+        return fn
+
+    def _materialize_block(self, index: int) -> StepFn:
+        from .superblock import build_block
+        fn, indices = build_block(self, index)
+        self.code[index] = fn
+        # traces follow jumps, so their instructions need not be contiguous;
+        # code_len is the worst-case retire count used by the budget check
+        self.code_len[index] = len(indices)
+        comp = self._compiled
+        fresh = 0
+        for j in indices:
+            if not comp[j]:
+                comp[j] = 1
+                fresh += 1
+        self.compile_count += fresh
+        return fn
+
+    def _mark_compiled(self, lo: int, hi: int) -> None:
+        comp = self._compiled
+        fresh = 0
+        for j in range(lo, hi):
+            if not comp[j]:
+                comp[j] = 1
+                fresh += 1
+        self.compile_count += fresh
+
+    def _compose_step(self, index: int) -> StepFn:
+        """Per-instruction tier: bare closure + hook or predication guard."""
         ins = self.instrs[index]
         base = self._compile_instr(index, ins)
         hook = self.instrument_hook
         if hook is not None:
-            fn = hook(index, ins, base)
-        elif ins.pred != NO_PRED:
+            return hook(index, ins, base)
+        if ins.pred != NO_PRED:
             x = self.x
             pred = ins.pred
             nxt = index + 1
 
             def fn(pc, _base=base, _x=x, _pred=pred, _nxt=nxt):
                 return _base(pc) if _x[_pred] else _nxt
-        else:
-            fn = base
-        self.code[index] = fn
-        self.compile_count += 1
-        return fn
+            return fn
+        return base
 
     def _compile_instr(self, i: int, ins: Instr) -> StepFn:
         """Compile one instruction to a closure (no predication guard)."""
@@ -542,8 +650,9 @@ class Machine:
 
 def run_program(program: Program, *, fs: GuestFS | None = None,
                 mem_size: int = DEFAULT_MEM_SIZE,
-                max_instructions: int | None = None) -> Machine:
+                max_instructions: int | None = None,
+                jit: bool = True) -> Machine:
     """Convenience: build a machine, run it to completion, return it."""
-    m = Machine(program, fs=fs, mem_size=mem_size)
+    m = Machine(program, fs=fs, mem_size=mem_size, jit=jit)
     m.run(max_instructions=max_instructions)
     return m

@@ -1,0 +1,695 @@
+"""Superblock (trace) compiler — the VM's second JIT tier.
+
+The baseline tier compiles every instruction to one Python closure and pays
+one dispatch, one ``icount`` bump and one call per retired instruction
+(:mod:`repro.vm.machine`).  This module adds a *superblock* tier on top,
+mirroring the trace granularity of Pin's code cache (paper §IV-B): at
+materialization time a straight-line *trace* of instructions is fused into a
+single Python function whose source is generated and ``exec``-compiled.
+Executing a superblock costs one dispatch and one ``icount`` update for the
+whole trace.
+
+Superblock formation rules
+--------------------------
+
+Walking forward from the entry index, the trace grows until one of:
+
+* a **runtime-target** terminator — ``jalr``, ``ret``, ``ecall``, ``halt``;
+* a **predicated** instruction — it becomes a one-instruction guarded block
+  of its own (bare VM) or falls back to the per-instruction closure path
+  (instrumented run), keeping ``INS_InsertPredicatedCall`` semantics exact;
+* an attached block instrumenter answering :data:`FALLBACK` for it — the
+  engine demands per-instruction visibility, so the instruction is
+  materialized through the classic ``instrument_hook`` path;
+* a **conditional branch** — both successor indices are returned from the
+  generated function, so the branch is always the trace's last instruction
+  (following one direction speculatively would also compile instructions
+  the per-instruction tier never reaches, breaking ``compile_count``
+  equivalence — and measured slower: hot loop backedges become mid-trace
+  side exits that re-enter overlapping traces);
+* a **cycle** — the target of a ``j``/``jal``, or the fall-through index,
+  is already part of the trace;
+* the trace holds :data:`MAX_BLOCK` instructions.
+
+Unconditional jumps and calls (``j``, ``jal``) do *not* end a trace: the
+walk continues at their static target (for ``jal``, the return-address
+write is fused inline), so a call fuses straight into its callee.
+Traces are cached at their entry index only;
+a jump into the middle of an existing trace simply materializes a new
+(overlapping) trace starting there, and ``Machine.compile_count`` counts
+*distinct* static instructions, so overlap does not inflate it.
+
+Architectural-state equivalence
+-------------------------------
+
+Fused execution is observationally identical to the per-instruction tier:
+
+* ``icount`` is published in one update per trace exit, but every point
+  where guest-visible code can observe it mid-trace — a fault, a syscall,
+  or an inlined analysis thunk — first rewrites
+  ``machine.icount`` to the exact per-instruction value (``entry + k + 1``
+  for the trace's k-th instruction);
+* faults raise the same exception types with the same ``pc``/``icount``
+  attribution, and instructions before the faulting one have fully retired;
+* instrumentation inlined from a block plan runs in the same order and with
+  the same argument values as the per-instruction thunks would.
+
+Instrumentation inlining and record sinks
+-----------------------------------------
+
+A machine may carry a ``block_instrumenter`` (the Pin engine).  For every
+instruction the compiler asks ``plan(index, ins)`` which returns ``None``
+(plain fusion), :data:`FALLBACK`, or an :class:`InsPlan` holding zero-arg
+thunks to run before the instruction (``pre``, with ``machine.icount``
+restored first) plus *record sinks* for memory instructions.
+
+A record sink (see :class:`repro.core.recording.RecordingSink`) exposes:
+
+* ``read_buf`` / ``write_buf`` — flat ``array('q')`` buffers receiving
+  ``(icount, incl_bytes, excl_bytes, kernel_id)`` quads;
+* ``tag`` — an object with a ``rec_id`` attribute (the interned id of the
+  kernel accesses currently attribute to, or -1 to drop);
+* ``track_incl`` / ``track_excl`` — which byte columns the sink wants
+  (``excl`` only counts accesses below the stack pointer);
+* ``interval`` — the slice width in instructions;
+* ``cap`` — soft buffer capacity in *elements*, checked at trace entry;
+* ``flush_read`` / ``flush_write`` — aggregation callables.
+
+When every instruction of the trace provably lands in one time slice
+(checked with a single division at entry — true unless the trace straddles
+a slice boundary, i.e. almost always), the generated code accumulates byte
+counts in local variables and appends **one** quad per trace segment; the
+per-access quad emission is kept as the ``else`` branch for the straddling
+case, so aggregation is exact, not approximate.  Segments close before any
+analysis thunk runs (thunks may switch the attributed kernel) and before
+every exit.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable
+
+from ..isa import opcodes as oc
+from ..isa.instruction import NO_PRED, Instr
+from .errors import ArithmeticFault, IllegalInstruction, MemoryFault
+from .layout import CODE_BASE, NULL_GUARD, index_to_pc
+
+#: Hard cap on fused instructions per superblock.
+MAX_BLOCK = 128
+
+#: Sentinel returned by a block instrumenter's ``plan`` when the instruction
+#: must go through the per-instruction ``instrument_hook`` path.
+FALLBACK = "per-instruction-fallback"
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+_MASK64 = (1 << 64) - 1
+
+#: Opcodes whose target is only known at run time (or that leave the guest):
+#: these always end a trace.
+_HARD_ENDS = frozenset({oc.JALR, oc.RET, oc.ECALL, oc.HALT})
+
+#: Opcodes that emit a block-exit ``return`` when they are the trace's last
+#: instruction.
+_TERMINATORS = frozenset({
+    oc.BEQ, oc.BNE, oc.BLT, oc.BGE, oc.BLE, oc.BGT,
+    oc.JAL, oc.J, oc.JALR, oc.RET, oc.ECALL, oc.HALT,
+})
+
+_BRANCHES = {oc.BEQ: "==", oc.BNE: "!=", oc.BLT: "<", oc.BGE: ">=",
+             oc.BLE: "<=", oc.BGT: ">"}
+
+_UNPACK = {
+    oc.LD: struct.Struct("<q").unpack_from,
+    oc.LW: struct.Struct("<i").unpack_from,
+    oc.LWU: struct.Struct("<I").unpack_from,
+    oc.LH: struct.Struct("<h").unpack_from,
+    oc.LHU: struct.Struct("<H").unpack_from,
+    oc.LB: struct.Struct("<b").unpack_from,
+    oc.LBU: struct.Struct("<B").unpack_from,
+    oc.FLD: struct.Struct("<d").unpack_from,
+}
+
+_PACK = {
+    oc.SD: (struct.Struct("<q").pack_into, None),
+    oc.SW: (struct.Struct("<I").pack_into, 0xFFFFFFFF),
+    oc.SH: (struct.Struct("<H").pack_into, 0xFFFF),
+    oc.SB: (struct.Struct("<B").pack_into, 0xFF),
+    oc.FSD: (struct.Struct("<d").pack_into, None),
+}
+
+
+class InsPlan:
+    """Inline instrumentation for one instruction inside a superblock."""
+
+    __slots__ = ("pre", "read_sinks", "write_sinks")
+
+    def __init__(self, pre: tuple[Callable[[], None], ...] = (),
+                 read_sinks: tuple = (), write_sinks: tuple = ()):
+        self.pre = pre
+        self.read_sinks = read_sinks
+        self.write_sinks = write_sinks
+
+
+class _Emitter:
+    """Accumulates generated source lines plus the value environment that is
+    bound into the function via default arguments (locals are faster than
+    globals in CPython)."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.env: dict[str, object] = {}
+        self._by_id: dict[int, str] = {}
+        self._n = 0
+        self.indent = 1
+
+    def add(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def push(self) -> None:
+        self.indent += 1
+
+    def pop(self) -> None:
+        self.indent -= 1
+
+    def bind(self, prefix: str, value: object) -> str:
+        """Bind ``value`` under a fresh (or shared, if identical) name."""
+        key = id(value)
+        name = self._by_id.get(key)
+        if name is None:
+            name = f"_{prefix}{self._n}"
+            self._n += 1
+            self._by_id[key] = name
+            self.env[name] = value
+        return name
+
+
+def _wrap_assign(E: _Emitter, target: str, expr: str) -> None:
+    """Assign ``expr`` to ``target`` with inline 64-bit signed wrapping.
+
+    The in-range test is inlined so the common case costs no call; the
+    rare out-of-range result goes through the shared ``_wrap`` helper.
+    """
+    W = E.bind("W", _wrap)
+    E.add(f"v = {expr}")
+    E.add(f"{target} = v if {_I64_MIN} <= v <= {_I64_MAX} else {W}(v)")
+
+
+def _wrap(v: int) -> int:
+    if _I64_MIN <= v <= _I64_MAX:
+        return v
+    return ((v - _I64_MIN) & _MASK64) + _I64_MIN
+
+
+class _Records:
+    """Record-emission state for one generated body.
+
+    ``mode`` is ``"event"`` (one quad per access, exact icounts — always
+    correct) or ``"agg"`` (byte sums in locals, one quad per segment —
+    valid only when the whole trace shares one slice, which the caller
+    guards at run time).
+    """
+
+    def __init__(self, E: _Emitter, mode: str, x: str):
+        self.E = E
+        self.mode = mode
+        self.x = x
+        self._vars: dict[tuple[int, str], tuple[str, str, object]] = {}
+        self._dirty: list[tuple[int, str]] = []
+
+    def declare(self, pairs: list) -> None:
+        """Zero-init accumulator locals for every (sink, kind) in the body
+        (agg mode only)."""
+        E = self.E
+        for si, (sink, kind) in enumerate(pairs):
+            vI, vE = f"aI{si}", f"aE{si}"
+            self._vars[(id(sink), kind)] = (vI, vE, sink)
+            names = []
+            if sink.track_incl:
+                names.append(vI)
+            if sink.track_excl:
+                names.append(vE)
+            E.add(f"{' = '.join(names)} = 0")
+
+    def access(self, sink, kind: str, size: int, k: int) -> None:
+        """Emit the record for one memory access (``a`` holds the EA)."""
+        E, x = self.E, self.x
+        if self.mode == "agg":
+            vI, vE, _ = self._vars[(id(sink), kind)]
+            if sink.track_incl:
+                E.add(f"{vI} += {size}")
+            if sink.track_excl:
+                E.add(f"if a < {x}[2]: {vE} += {size}")
+            key = (id(sink), kind)
+            if key not in self._dirty:
+                self._dirty.append(key)
+            return
+        buf = E.bind("b", sink.read_buf if kind == "read"
+                     else sink.write_buf)
+        tag = E.bind("tag", sink.tag)
+        if sink.track_incl and sink.track_excl:
+            E.add(f"{buf}.extend((ic + {k + 1}, {size}, "
+                  f"{size} if a < {x}[2] else 0, {tag}.rec_id))")
+        elif sink.track_incl:
+            E.add(f"{buf}.extend((ic + {k + 1}, {size}, 0, {tag}.rec_id))")
+        else:
+            E.add(f"if a < {x}[2]: "
+                  f"{buf}.extend((ic + {k + 1}, 0, {size}, {tag}.rec_id))")
+
+    def _emit_close(self, key) -> None:
+        E = self.E
+        vI, vE, sink = self._vars[key]
+        kind = key[1]
+        buf = E.bind("b", sink.read_buf if kind == "read"
+                     else sink.write_buf)
+        tag = E.bind("tag", sink.tag)
+        primary = vI if sink.track_incl else vE
+        incl = vI if sink.track_incl else "0"
+        excl = vE if sink.track_excl else "0"
+        E.add(f"if {primary}:")
+        E.add(f"    K = {tag}.rec_id")
+        E.add(f"    if K >= 0: {buf}.extend((ic + 1, {incl}, {excl}, K))")
+        names = []
+        if sink.track_incl:
+            names.append(vI)
+        if sink.track_excl:
+            names.append(vE)
+        E.add(f"    {' = '.join(names)} = 0")
+
+    def close_segment(self) -> None:
+        """Flush dirty accumulators to the buffers and reset them.  Emitted
+        before analysis thunks (which may change ``tag.rec_id``) and before
+        the trace's final exit."""
+        for key in self._dirty:
+            self._emit_close(key)
+        self._dirty.clear()
+
+
+
+def build_block(machine, start: int):
+    """Materialize the superblock (trace) starting at instruction ``start``.
+
+    Returns ``(step_fn, indices)``.  ``step_fn`` follows the fused contract:
+    it updates ``machine.icount`` itself and returns the next instruction
+    index (or -1 to halt).  ``indices`` lists the static instructions fused
+    into the trace, in order (not necessarily contiguous).
+    """
+    instrs = machine.instrs
+    n_instr = len(instrs)
+    instrumenter = machine.block_instrumenter
+    items: list[tuple[int, Instr, InsPlan | None]] = []
+    trace: set[int] = set()
+    guarded = False
+    i = start
+    while i < n_instr:
+        ins = instrs[i]
+        if ins.pred != NO_PRED:
+            if instrumenter is not None:
+                if not items:
+                    return _fallback_singleton(machine, i), [i]
+                break
+            if not items:
+                items.append((i, ins, None))
+                guarded = True
+            break
+        plan = instrumenter.plan(i, ins) if instrumenter is not None else None
+        if plan is FALLBACK:
+            if not items:
+                return _fallback_singleton(machine, i), [i]
+            break
+        items.append((i, ins, plan))
+        trace.add(i)
+        op = ins.op
+        if len(items) >= MAX_BLOCK or op in _HARD_ENDS or op in _BRANCHES:
+            break
+        if op in (oc.J, oc.JAL):
+            tgt = machine._target_index(ins.imm, i)
+            if tgt in trace:
+                break
+            i = tgt
+            continue
+        if i + 1 in trace:
+            break
+        i += 1
+    fn = _compile_block(machine, items, guarded)
+    return fn, [idx for idx, _, _ in items]
+
+
+def _fallback_singleton(machine, index: int):
+    """One instruction through the classic closure path, wrapped to honour
+    the fused loop's self-bumping ``icount`` contract."""
+    inner = machine._compose_step(index)
+
+    def step(pc, _m=machine, _inner=inner):
+        _m.icount += 1
+        return _inner(pc)
+    return step
+
+
+def _record_pairs(items) -> list:
+    """All (sink, kind) pairs used anywhere in the trace, in first-use
+    order, deduplicated by sink identity."""
+    pairs: list = []
+    seen: set[tuple[int, str]] = set()
+    for _, _, plan in items:
+        if plan is None:
+            continue
+        for sink in plan.read_sinks:
+            if (id(sink), "read") not in seen:
+                seen.add((id(sink), "read"))
+                pairs.append((sink, "read"))
+        for sink in plan.write_sinks:
+            if (id(sink), "write") not in seen:
+                seen.add((id(sink), "write"))
+                pairs.append((sink, "write"))
+    return pairs
+
+
+def _compile_block(machine, items, guarded: bool):
+    n = len(items)
+    E = _Emitter()
+    m = E.bind("m", machine)
+    x = E.bind("x", machine.x)
+
+    pairs = _record_pairs(items)
+    # soft capacity check once, at trace entry: covers loops whose only
+    # exits are side exits (the buffers the trace appends to are bounded by
+    # cap + a few quads per execution)
+    for sink, kind in pairs:
+        buf = E.bind("b", sink.read_buf if kind == "read"
+                     else sink.write_buf)
+        fl = E.bind("fl", sink.flush_read if kind == "read"
+                    else sink.flush_write)
+        E.add(f"if len({buf}) > {int(sink.cap)}: {fl}()")
+
+    E.add(f"ic = {m}.icount")
+    if guarded:
+        # a predicated instruction retires whether or not its guard is set,
+        # so the bump happens before the guard test
+        E.add(f"{m}.icount = ic + 1")
+        E.add(f"if not {x}[{items[0][1].pred}]: return {items[0][0] + 1}")
+
+    intervals = {sink.interval for sink, _ in pairs}
+    if pairs and len(intervals) == 1 and min(intervals) >= n:
+        # The whole trace spans one slice unless a boundary falls inside it
+        # (possible only every `interval` instructions): aggregate in locals
+        # on the fast path, fall back to exact per-access quads on the rare
+        # straddling execution.
+        I = intervals.pop()
+        E.add(f"if ic // {I} == (ic + {n - 1}) // {I}:")
+        E.push()
+        _emit_body(E, machine, items, "agg", m, x)
+        E.pop()
+        E.add("else:")
+        E.push()
+        _emit_body(E, machine, items, "event", m, x)
+        E.pop()
+    else:
+        _emit_body(E, machine, items, "event" if pairs else "none", m, x)
+
+    src = "def step(pc, {args}):\n{body}\n".format(
+        args=", ".join(f"{k}={k}" for k in E.env),
+        body="\n".join(E.lines))
+    ns = dict(E.env)
+    exec(compile(src, f"<superblock@{items[0][0]}>", "exec"), ns)  # noqa: S102
+    return ns["step"]
+
+
+def _emit_body(E: _Emitter, machine, items, mode: str, m: str,
+               x: str) -> None:
+    n = len(items)
+    rec = _Records(E, mode, x)
+    if mode == "agg":
+        rec.declare(_record_pairs(items))
+    terminated = False
+    for k, (index, ins, plan) in enumerate(items):
+        if plan is not None and plan.pre:
+            rec.close_segment()
+            # restore the exact per-instruction count for analysis thunks
+            # (they may read machine.icount, e.g. gprof-sim and IARG.ICOUNT)
+            E.add(f"{m}.icount = ic + {k + 1}")
+            for thunk in plan.pre:
+                E.add(f"{E.bind('t', thunk)}()")
+        if k == n - 1 and ins.op in _TERMINATORS:
+            rec.close_segment()
+        terminated = _emit_instr(E, machine, index, ins, plan, k, n, rec,
+                                 m, x)
+    if not terminated:
+        rec.close_segment()
+        E.add(f"{m}.icount = ic + {n}")
+        E.add(f"return {items[-1][0] + 1}")
+
+
+def _emit_instr(E: _Emitter, machine, index: int, ins: Instr,
+                plan, k: int, n: int, rec: _Records, m: str,
+                x: str) -> bool:
+    """Emit one instruction's body.  Returns True when it emitted the
+    trace's final ``return``."""
+    op = ins.op
+    rd, rs1, rs2, imm = ins.rd, ins.rs1, ins.rs2, ins.imm
+    pc_byte = index_to_pc(index)
+    last = k == n - 1
+
+    if op == oc.NOP:
+        return False
+
+    def fault_fix() -> str:
+        return f"{m}.icount = ic + {k + 1}"
+
+    # --- memory (loads/stores share the address + bounds preamble) --------
+    if op in _UNPACK or op in _PACK or op == oc.PREFETCH:
+        size = ins.info.mem_read or ins.info.mem_write
+        if rs1 == 0:
+            E.add(f"a = {imm}")
+        elif imm:
+            E.add(f"a = {x}[{rs1}] + {imm}")
+        else:
+            E.add(f"a = {x}[{rs1}]")
+        if plan is not None:
+            if ins.info.mem_read and not ins.info.is_prefetch:
+                for sink in plan.read_sinks:
+                    rec.access(sink, "read", size, k)
+            if ins.info.mem_write:
+                for sink in plan.write_sinks:
+                    rec.access(sink, "write", size, k)
+        if op == oc.PREFETCH:
+            # a hint: no architectural effect, no bounds check (the baseline
+            # tier never dereferences it either)
+            return False
+        MF = E.bind("MF", MemoryFault)
+        E.add(f"if not {NULL_GUARD} <= a <= {machine.mem_size - size}:")
+        E.add(f"    {fault_fix()}")
+        E.add(f"    raise {MF}('bad access [%#x, +{size})' % a, "
+              f"pc={pc_byte})")
+        mem = E.bind("mem", machine.mem)
+        if op in _UNPACK:
+            up = E.bind("u", _UNPACK[op])
+            if op == oc.FLD:
+                fr = E.bind("f", machine.f)
+                E.add(f"{fr}[{rd}] = {up}({mem}, a)[0]")
+            elif rd:
+                E.add(f"{x}[{rd}] = {up}({mem}, a)[0]")
+        else:
+            pk, mask = _PACK[op]
+            pk_n = E.bind("p", pk)
+            if op == oc.FSD:
+                fr = E.bind("f", machine.f)
+                E.add(f"{pk_n}({mem}, a, {fr}[{rd}])")
+            elif mask is None:
+                E.add(f"{pk_n}({mem}, a, {x}[{rd}])")
+            else:
+                E.add(f"{pk_n}({mem}, a, {x}[{rd}] & {mask})")
+        return False
+
+    # --- integer ALU -------------------------------------------------------
+    _RR = {oc.ADD: "+", oc.SUB: "-", oc.MUL: "*"}
+    if op in _RR:
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]",
+                         f"{x}[{rs1}] {_RR[op]} {x}[{rs2}]")
+        return False
+    if op in (oc.DIV, oc.REM):
+        AF = E.bind("AF", ArithmeticFault)
+        E.add(f"va = {x}[{rs1}]; vb = {x}[{rs2}]")
+        E.add("if vb == 0:")
+        E.add(f"    {fault_fix()}")
+        E.add(f"    raise {AF}('division by zero', pc={pc_byte})")
+        if rd:
+            E.add("q = abs(va) // abs(vb)")
+            E.add("if (va < 0) != (vb < 0): q = -q")
+            _wrap_assign(E, f"{x}[{rd}]",
+                         "q" if op == oc.DIV else "va - vb * q")
+        return False
+    _BITS = {oc.AND: "&", oc.OR: "|", oc.XOR: "^"}
+    if op in _BITS:
+        if rd:
+            E.add(f"{x}[{rd}] = {x}[{rs1}] {_BITS[op]} {x}[{rs2}]")
+        return False
+    if op == oc.SLL:
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]",
+                         f"{x}[{rs1}] << ({x}[{rs2}] & 63)")
+        return False
+    if op == oc.SRL:
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]",
+                         f"({x}[{rs1}] & {_MASK64}) >> ({x}[{rs2}] & 63)")
+        return False
+    if op == oc.SRA:
+        if rd:
+            E.add(f"{x}[{rd}] = {x}[{rs1}] >> ({x}[{rs2}] & 63)")
+        return False
+    _CMP = {oc.SLT: "<", oc.SLE: "<=", oc.SEQ: "==", oc.SNE: "!="}
+    if op in _CMP:
+        if rd:
+            E.add(f"{x}[{rd}] = 1 if {x}[{rs1}] {_CMP[op]} {x}[{rs2}] "
+                  "else 0")
+        return False
+    if op in (oc.ADDI, oc.MULI):
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]",
+                         f"{x}[{rs1}] {'+' if op == oc.ADDI else '*'} "
+                         f"({imm})")
+        return False
+    _BITI = {oc.ANDI: "&", oc.ORI: "|", oc.XORI: "^"}
+    if op in _BITI:
+        if rd:
+            E.add(f"{x}[{rd}] = {x}[{rs1}] {_BITI[op]} ({imm})")
+        return False
+    if op == oc.SLLI:
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]", f"{x}[{rs1}] << {imm & 63}")
+        return False
+    if op == oc.SRLI:
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]",
+                         f"({x}[{rs1}] & {_MASK64}) >> {imm & 63}")
+        return False
+    if op == oc.SRAI:
+        if rd:
+            E.add(f"{x}[{rd}] = {x}[{rs1}] >> {imm & 63}")
+        return False
+    if op == oc.SLTI:
+        if rd:
+            E.add(f"{x}[{rd}] = 1 if {x}[{rs1}] < ({imm}) else 0")
+        return False
+    if op == oc.LI:
+        if rd:
+            E.add(f"{x}[{rd}] = {imm}")
+        return False
+
+    # --- floating point ----------------------------------------------------
+    f = E.bind("f", machine.f)
+    _FRR = {oc.FADD: "+", oc.FSUB: "-", oc.FMUL: "*"}
+    if op in _FRR:
+        E.add(f"{f}[{rd}] = {f}[{rs1}] {_FRR[op]} {f}[{rs2}]")
+        return False
+    if op == oc.FDIV:
+        inf = E.bind("inf", math.inf)
+        nan = E.bind("nan", math.nan)
+        E.add(f"vb = {f}[{rs2}]")
+        E.add("if vb == 0.0:")
+        E.add(f"    va = {f}[{rs1}]")
+        E.add(f"    {f}[{rd}] = {inf} if va > 0 else "
+              f"(-{inf} if va < 0 else {nan})")
+        E.add("else:")
+        E.add(f"    {f}[{rd}] = {f}[{rs1}] / vb")
+        return False
+    if op in (oc.FMIN, oc.FMAX):
+        fn = E.bind("mm", min if op == oc.FMIN else max)
+        E.add(f"{f}[{rd}] = {fn}({f}[{rs1}], {f}[{rs2}])")
+        return False
+    if op == oc.FNEG:
+        E.add(f"{f}[{rd}] = -{f}[{rs1}]")
+        return False
+    if op == oc.FABS:
+        ab = E.bind("abs", abs)
+        E.add(f"{f}[{rd}] = {ab}({f}[{rs1}])")
+        return False
+    if op == oc.FSQRT:
+        sq = E.bind("sqrt", math.sqrt)
+        nan = E.bind("nan", math.nan)
+        E.add(f"va = {f}[{rs1}]")
+        E.add(f"{f}[{rd}] = {sq}(va) if va >= 0.0 else {nan}")
+        return False
+    if op in (oc.FSIN, oc.FCOS):
+        fn = E.bind("trig", math.sin if op == oc.FSIN else math.cos)
+        E.add(f"{f}[{rd}] = {fn}({f}[{rs1}])")
+        return False
+    if op == oc.FMV:
+        E.add(f"{f}[{rd}] = {f}[{rs1}]")
+        return False
+    if op == oc.FLI:
+        c = E.bind("c", float(imm))
+        E.add(f"{f}[{rd}] = {c}")
+        return False
+    _FCMP = {oc.FEQ: "==", oc.FLT: "<", oc.FLE: "<="}
+    if op in _FCMP:
+        if rd:
+            E.add(f"{x}[{rd}] = 1 if {f}[{rs1}] {_FCMP[op]} {f}[{rs2}] "
+                  "else 0")
+        return False
+    if op == oc.FCVTFI:
+        E.add(f"{f}[{rd}] = float({x}[{rs1}])")
+        return False
+    if op == oc.FCVTIF:
+        AF = E.bind("AF", ArithmeticFault)
+        isfin = E.bind("fin", math.isfinite)
+        E.add(f"va = {f}[{rs1}]")
+        E.add(f"if not {isfin}(va):")
+        E.add(f"    {fault_fix()}")
+        E.add(f"    raise {AF}('float->int of non-finite value', "
+              f"pc={pc_byte})")
+        if rd:
+            _wrap_assign(E, f"{x}[{rd}]", "int(va)")
+        return False
+
+    # --- control flow ------------------------------------------------------
+    nxt = index + 1
+    if op in _BRANCHES:
+        assert last, "conditional branches always end a trace"
+        tgt = machine._target_index(imm, index)
+        E.add(f"{m}.icount = ic + {n}")
+        E.add(f"return {tgt} if {x}[{rs1}] {_BRANCHES[op]} {x}[{rs2}] "
+              f"else {nxt}")
+        return True
+    if op in (oc.J, oc.JAL):
+        if op == oc.JAL and rd:
+            E.add(f"{x}[{rd}] = {index_to_pc(nxt)}")
+        if last:
+            E.add(f"{m}.icount = ic + {n}")
+            E.add(f"return {machine._target_index(imm, index)}")
+            return True
+        # mid-trace: the walk already continued at the static target
+        return False
+    if op in (oc.JALR, oc.RET):
+        E.add(f"{m}.icount = ic + {n}")
+        II = E.bind("II", IllegalInstruction)
+        ninstr = len(machine.instrs)
+        if op == oc.JALR:
+            base = f"{x}[{rs1}] + {imm}" if imm else f"{x}[{rs1}]"
+            what = "jalr to invalid target"
+        else:
+            base = f"{x}[1]"
+            what = "ret to invalid address"
+        E.add(f"t = (({base}) - {CODE_BASE}) >> 4")
+        E.add(f"if not 0 <= t < {ninstr}:")
+        E.add(f"    raise {II}('{what} %#x' % ({base}), pc={pc_byte})")
+        if op == oc.JALR and rd:
+            E.add(f"{x}[{rd}] = {index_to_pc(nxt)}")
+        E.add("return t")
+        return True
+    if op == oc.ECALL:
+        E.add(f"{m}.icount = ic + {n}")
+        sc = E.bind("sc", machine.syscall.call)
+        E.add(f"return {nxt} if {sc}() else -1")
+        return True
+    if op == oc.HALT:
+        E.add(f"{m}.icount = ic + {n}")
+        E.add(f"if {m}.exit_code is None: {m}.exit_code = 0")
+        E.add("return -1")
+        return True
+    raise IllegalInstruction(f"unimplemented opcode {ins.info.name}",
+                             pc=pc_byte)

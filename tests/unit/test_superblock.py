@@ -1,0 +1,285 @@
+"""Differential tests for the superblock JIT and buffered analysis paths.
+
+The fused (superblock) tier, the per-instruction tier, the buffered
+recording analysis and the legacy per-event analysis must all be
+observationally identical: same architectural state, same instruction
+counts, same compile counts, same profiler reports.  These tests pin that
+equivalence on the MiniC kernel corpus and the WFS application, plus the
+exact-budget semantics of ``Machine.run``.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kernels import (build_conv2d, build_fir, build_histogram,
+                                build_matmul, build_mergesort, build_pipeline)
+from repro.apps.wfs import TINY, build_wfs_program
+from repro.apps.wfs.source import make_workspace
+from repro.asmkit import assemble
+from repro.core import StackPolicy, TQuadOptions, run_tquad
+from repro.gprofsim import run_gprof
+from repro.minic import build_program
+from repro.pin import PinEngine
+from repro.quad import QuadTool
+from repro.vm import InstructionBudgetExceeded, Machine
+from repro.vm.superblock import MAX_BLOCK, build_block
+
+
+def _run(program, *, jit, fs=None, **kw):
+    m = Machine(program, fs=fs, jit=jit)
+    code = m.run(**kw)
+    return m, code
+
+
+def _state(m: Machine):
+    return (m.icount, m.exit_code, list(m.x), list(m.f),
+            bytes(m.mem), bytes(m.stdout))
+
+
+KERNELS = {
+    "matmul": lambda: build_matmul(size=8),
+    "fir": lambda: build_fir(length=128, n_taps=4),
+    "mergesort": lambda: build_mergesort(length=64),
+    "pipeline": lambda: build_pipeline(length=64),
+    "conv2d": lambda: build_conv2d(width=12, height=8),
+    "histogram": lambda: build_histogram(length=256),
+}
+
+
+class TestBareDifferential:
+    """Fused vs per-instruction execution of the bare VM."""
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_kernel_state_identical(self, name):
+        program = KERNELS[name]()
+        fused, code_f = _run(program, jit=True)
+        unfused, code_u = _run(program, jit=False)
+        assert code_f == code_u
+        assert _state(fused) == _state(unfused)
+        # compile_count counts distinct static instructions on both tiers
+        assert fused.compile_count == unfused.compile_count
+
+    def test_wfs_tiny_state_identical(self):
+        program = build_wfs_program(TINY)
+        fused, code_f = _run(program, jit=True, fs=make_workspace(TINY))
+        unfused, code_u = _run(program, jit=False, fs=make_workspace(TINY))
+        assert code_f == code_u
+        assert _state(fused) == _state(unfused)
+        assert fused.fs.exists("wfs_out.wav")
+        assert fused.fs.get("wfs_out.wav") == unfused.fs.get("wfs_out.wav")
+
+    def test_faults_identical(self):
+        src = ".text\nli t0, 64\nld t1, 0(t0)\nhalt\n"
+        results = []
+        for jit in (True, False):
+            m = Machine(assemble(src), jit=jit)
+            with pytest.raises(Exception) as ei:
+                m.run()
+            results.append((type(ei.value), ei.value.pc, m.icount))
+        assert results[0] == results[1]
+
+
+class TestBudgetExactness:
+    SPIN = ".text\nspin: j spin\n"
+    COUNT = """.text
+    li t0, 0
+    li t1, 5
+    loop: addi t0, t0, 1
+    blt t0, t1, loop
+    halt
+    """  # retires exactly 12 instructions
+
+    @pytest.mark.parametrize("jit", [True, False])
+    def test_zero_budget_raises_immediately(self, jit):
+        m = Machine(assemble(self.SPIN), jit=jit)
+        with pytest.raises(InstructionBudgetExceeded):
+            m.run(max_instructions=0)
+        assert m.icount == 0
+
+    @pytest.mark.parametrize("jit", [True, False])
+    def test_negative_budget_is_value_error(self, jit):
+        m = Machine(assemble(self.SPIN), jit=jit)
+        with pytest.raises(ValueError):
+            m.run(max_instructions=-1)
+
+    @pytest.mark.parametrize("jit", [True, False])
+    @pytest.mark.parametrize("budget", [1, 2, 3, 7, 11])
+    def test_bound_enforced_exactly(self, jit, budget):
+        m = Machine(assemble(self.COUNT), jit=jit)
+        with pytest.raises(InstructionBudgetExceeded):
+            m.run(max_instructions=budget)
+        assert m.icount == budget
+
+    @pytest.mark.parametrize("jit", [True, False])
+    def test_halting_exactly_at_budget_completes(self, jit):
+        ref = Machine(assemble(self.COUNT), jit=jit)
+        ref.run()
+        m = Machine(assemble(self.COUNT), jit=jit)
+        assert m.run(max_instructions=ref.icount) == 0
+        assert m.icount == ref.icount
+
+    @pytest.mark.parametrize("budget", [100, 1000, 9999])
+    def test_partial_state_identical_across_tiers(self, budget):
+        program = build_fir(length=64, n_taps=4)
+        states = []
+        for jit in (True, False):
+            m = Machine(program, jit=jit)
+            with pytest.raises(InstructionBudgetExceeded):
+                m.run(max_instructions=budget)
+            states.append(_state(m))
+        assert states[0] == states[1]
+
+
+class TestProfilerDifferential:
+    """All four (analysis, tier) combinations must agree bit-for-bit."""
+
+    @pytest.mark.parametrize("policy", list(StackPolicy))
+    def test_tquad_fir_reports_identical(self, policy):
+        program = build_fir(length=256, n_taps=8)
+        options = TQuadOptions(slice_interval=5000, stack=policy)
+        tables = set()
+        for buffered in (True, False):
+            for jit in (True, False):
+                report = run_tquad(program, options=options,
+                                   buffered=buffered, jit=jit)
+                tables.add(report.format_table())
+        assert len(tables) == 1
+
+    @pytest.mark.parametrize("buffered", [True, False])
+    def test_tquad_wfs_tiny_reports_identical(self, buffered):
+        program = build_wfs_program(TINY)
+        options = TQuadOptions(slice_interval=20000)
+        tables = set()
+        for jit in (True, False):
+            report = run_tquad(program, options=options, buffered=buffered,
+                               jit=jit, fs=make_workspace(TINY))
+            tables.add(report.format_table())
+        assert len(tables) == 1
+
+    def test_tquad_buffered_equals_legacy_on_wfs(self):
+        program = build_wfs_program(TINY)
+        options = TQuadOptions(slice_interval=20000)
+        tables = {
+            buffered: run_tquad(program, options=options, buffered=buffered,
+                                fs=make_workspace(TINY)).format_table()
+            for buffered in (True, False)
+        }
+        assert tables[True] == tables[False]
+
+    def test_gprof_reports_identical(self):
+        program = build_fir(length=256, n_taps=8)
+        tables = set()
+        for jit in (True, False):
+            engine = PinEngine(program, jit=jit)
+            from repro.gprofsim import GprofTool
+            tool = GprofTool().attach(engine)
+            engine.run()
+            tables.add(tool.report().format_table())
+        assert len(tables) == 1
+
+    def test_quad_reports_identical(self):
+        program = build_fir(length=256, n_taps=8)
+        tables = set()
+        for jit in (True, False):
+            engine = PinEngine(program, jit=jit)
+            tool = QuadTool().attach(engine)
+            engine.run()
+            tables.add(tool.report().format_table())
+        assert len(tables) == 1
+
+    def test_prefetch_skips_identical(self):
+        src = """
+        int ga[32];
+        int main() {
+            int i;
+            for (i = 0; i < 32; i = i + 1) {
+                __prefetch(&ga[i]);
+                ga[i] = i;
+            }
+            return 0;
+        }
+        """
+        program = build_program(src)
+        counts = set()
+        for buffered in (True, False):
+            for jit in (True, False):
+                from repro.core import TQuadTool
+                engine = PinEngine(program, jit=jit)
+                tool = TQuadTool(buffered=buffered).attach(engine)
+                engine.run()
+                counts.add(tool.prefetches_skipped)
+        assert counts == {32}
+
+
+class TestTraceFormation:
+    def test_traces_follow_calls_and_jumps(self):
+        program = assemble("""
+        .text
+        main: jal f
+        halt
+        f: li t0, 1
+        ret
+        """)
+        m = Machine(program)
+        fn, indices = build_block(m, 0)
+        # the trace runs through the jal into the callee, up to the ret
+        assert indices == [0, 2, 3]
+
+    def test_trace_stops_on_cycle(self):
+        program = assemble(".text\nspin: j spin\n")
+        m = Machine(program)
+        fn, indices = build_block(m, 0)
+        assert indices == [0]
+        assert fn(0) == 0  # the jump dispatches back to its own head
+
+    def test_trace_length_capped(self):
+        body = "addi t0, t0, 1\n" * (3 * MAX_BLOCK)
+        program = assemble(".text\n" + body + "halt\n")
+        m = Machine(program)
+        fn, indices = build_block(m, 0)
+        assert len(indices) == MAX_BLOCK
+
+    def test_compile_count_matches_executed_instructions(self):
+        program = KERNELS["mergesort"]()
+        fused, _ = _run(program, jit=True)
+        unfused, _ = _run(program, jit=False)
+        assert fused.compile_count == unfused.compile_count
+        assert fused.compile_count <= len(program.instrs)
+
+
+# ---------------------------------------------------------------- property
+@st.composite
+def minic_programs(draw):
+    """Small random MiniC programs exercising loops, calls and arrays."""
+    size = draw(st.sampled_from([4, 8, 16]))
+    n_stmts = draw(st.integers(min_value=1, max_value=3))
+    stmts = []
+    for _ in range(n_stmts):
+        kind = draw(st.sampled_from(["fill", "sum", "branch", "call"]))
+        if kind == "fill":
+            stmts.append(f"for (i = 0; i < {size}; i = i + 1) "
+                         f"{{ ga[i] = i * {draw(st.integers(1, 9))}; }}")
+        elif kind == "sum":
+            stmts.append(f"for (i = 0; i < {size}; i = i + 1) "
+                         "{ acc = acc + ga[i]; }")
+        elif kind == "branch":
+            stmts.append(f"if (acc > {draw(st.integers(0, 50))}) "
+                         "{ acc = acc - 1; } else { acc = acc + 2; }")
+        else:
+            stmts.append("acc = acc + helper(acc);")
+    return (f"int ga[{size}];\n"
+            "int helper(int v) { return v + 1; }\n"
+            "int main() { int i; int acc = 0; "
+            + " ".join(stmts) +
+            " return acc & 255; }")
+
+
+class TestPropertyDifferential:
+    @given(minic_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_fused_equals_unfused(self, src):
+        program = build_program(src)
+        fused, code_f = _run(program, jit=True)
+        unfused, code_u = _run(program, jit=False)
+        assert code_f == code_u
+        assert _state(fused) == _state(unfused)
