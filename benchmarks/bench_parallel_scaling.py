@@ -1,0 +1,88 @@
+"""A4 — parallel sharded replay: multi-core profiling scaling.
+
+Profiles the ``small`` WFS case study with all three tools attached
+(tQUAD + QUAD + gprof share one checkpoint pass and one replay per
+shard) serially and with a 4-worker process pool, asserting the results
+stay byte-identical and measuring the end-to-end speedup.  The speedup
+gate (>=2.5x on 4 workers) only applies when the host actually exposes
+four usable cores — the exactness assertions always run.  Results land
+in ``parallel_scaling.txt`` (human) and ``BENCH_parallel_scaling.json``
+(machine-readable, tracked across PRs).
+"""
+
+import json
+import os
+import time
+
+from conftest import save_artifact
+from repro.apps.wfs import SMALL, build_wfs_program, make_workspace
+from repro.core import TQuadOptions
+from repro.parallel import GprofSpec, QuadSpec, TQuadSpec, parallel_profile
+from repro.serialize import flat_to_json, quad_to_json, tquad_to_json
+
+JOBS = 4
+SPEEDUP_FLOOR = 2.5
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _profile(program, jobs):
+    specs = (TQuadSpec(options=TQuadOptions(slice_interval=5000)),
+             QuadSpec(), GprofSpec())
+    t0 = time.perf_counter()
+    run = parallel_profile(program, specs, jobs=jobs,
+                           fs=make_workspace(SMALL))
+    return run, time.perf_counter() - t0
+
+
+def test_parallel_scaling(benchmark, outdir):
+    program = build_wfs_program(SMALL)
+    serial, t_serial = benchmark.pedantic(
+        lambda: _profile(program, 1), rounds=1, iterations=1)
+    parallel, t_parallel = _profile(program, JOBS)
+
+    # --- exactness: sharded replay is byte-identical to the serial run ----
+    assert (tquad_to_json(serial.reports["tquad"])
+            == tquad_to_json(parallel.reports["tquad"]))
+    assert (quad_to_json(serial.reports["quad"])
+            == quad_to_json(parallel.reports["quad"]))
+    assert (flat_to_json(serial.reports["gprof"])
+            == flat_to_json(parallel.reports["gprof"]))
+    assert serial.exit_code == parallel.exit_code
+    assert serial.total_instructions == parallel.total_instructions
+    assert parallel.n_shards >= JOBS
+
+    cores = _usable_cores()
+    speedup = t_serial / t_parallel
+    if cores >= JOBS:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"{JOBS}-worker run only {speedup:.2f}x faster than serial "
+            f"({t_parallel:.2f}s vs {t_serial:.2f}s) on {cores} cores")
+
+    lines = [f"{'configuration':<30}{'seconds':>10}{'speedup':>10}",
+             f"{'serial (jobs=1)':<30}{t_serial:>10.2f}{1.0:>10.2f}",
+             f"{'sharded (jobs=' + str(JOBS) + ')':<30}"
+             f"{t_parallel:>10.2f}{speedup:>10.2f}",
+             f"usable cores: {cores}; shards: {parallel.n_shards}; "
+             f"gate ({SPEEDUP_FLOOR}x) "
+             f"{'enforced' if cores >= JOBS else 'skipped (<4 cores)'}"]
+    save_artifact(outdir, "parallel_scaling.txt", "\n".join(lines))
+    payload = {
+        "benchmark": "parallel_scaling",
+        "workload": "wfs(small), tquad+quad+gprof",
+        "jobs": JOBS,
+        "usable_cores": cores,
+        "n_shards": parallel.n_shards,
+        "seconds": {"serial": round(t_serial, 3),
+                    "parallel": round(t_parallel, 3)},
+        "speedup": speedup,
+        "exact": True,
+        "gate": {"floor": SPEEDUP_FLOOR, "enforced": cores >= JOBS},
+    }
+    (outdir / "BENCH_parallel_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

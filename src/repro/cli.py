@@ -39,13 +39,39 @@ def _load_program(path: str):
     return build_program(source)
 
 
+def _bad_usage(message: str) -> int:
+    """Uniform operand-validation failure: message on stderr, exit code 2
+    (matching argparse's own usage-error convention)."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _validate_profile_args(args: argparse.Namespace) -> int | None:
+    if getattr(args, "interval", 1) <= 0:
+        return _bad_usage("--interval must be a positive instruction count")
+    if getattr(args, "jobs", 1) < 1:
+        return _bad_usage("--jobs must be >= 1")
+    return None
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
+    err = _validate_profile_args(args)
+    if err is not None:
+        return err
     program = _load_program(args.file)
     options = TQuadOptions(slice_interval=args.interval,
                            exclude_libraries=args.exclude_libs)
+    if args.jobs > 1:
+        from .parallel import (GprofSpec, QuadSpec, TQuadSpec,
+                               parallel_profile)
+
+        spec = {"tquad": lambda: TQuadSpec(options=options),
+                "quad": QuadSpec, "gprof": GprofSpec}[args.tool]()
+        run = parallel_profile(program, spec, jobs=args.jobs)
     if args.tool == "tquad":
-        report = run_tquad(program, options=options,
-                           max_instructions=args.budget)
+        report = (run.reports["tquad"] if args.jobs > 1 else
+                  run_tquad(program, options=options,
+                            max_instructions=args.budget))
         if args.json:
             from .serialize import tquad_to_json
 
@@ -78,7 +104,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print()
             print(tool.format_table(top=args.top))
     elif args.tool == "quad":
-        report = run_quad(program, max_instructions=args.budget)
+        report = (run.reports["quad"] if args.jobs > 1 else
+                  run_quad(program, max_instructions=args.budget))
         if args.json:
             from .serialize import quad_to_json
 
@@ -87,7 +114,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}", file=sys.stderr)
         print(report.format_table())
     elif args.tool == "gprof":
-        flat = run_gprof(program, max_instructions=args.budget)
+        flat = (run.reports["gprof"] if args.jobs > 1 else
+                run_gprof(program, max_instructions=args.budget))
         if args.json:
             from .serialize import flat_to_json
 
@@ -104,6 +132,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_wfs(args: argparse.Namespace) -> int:
+    err = _validate_profile_args(args)
+    if err is not None:
+        return err
     cfg = PRESETS[args.preset]
     if cfg.name == "paper":
         print("the 'paper' preset documents the published scale and is not "
@@ -124,7 +155,13 @@ def _cmd_wfs(args: argparse.Namespace) -> int:
         return 0
     fs = make_workspace(cfg)
     options = TQuadOptions(slice_interval=args.interval)
-    report = run_tquad(program, fs=fs, options=options)
+    if args.jobs > 1:
+        from .parallel import TQuadSpec, parallel_profile
+
+        report = parallel_profile(program, TQuadSpec(options=options),
+                                  jobs=args.jobs, fs=fs).reports["tquad"]
+    else:
+        report = run_tquad(program, fs=fs, options=options)
     print(f"# WFS case study, preset {cfg.name!r}: "
           f"{report.total_instructions} instructions, "
           f"{report.n_slices} slices of {report.interval}")
@@ -232,6 +269,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --tool gprof: print the call-graph section")
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="profile with N worker processes via checkpointed "
+                        "sharded replay; results are byte-identical to the "
+                        "serial run (--budget is not applied when N > 1)")
     p.add_argument("--cache", action="store_true",
                    help="with --tool tquad: also simulate the data cache")
     p.add_argument("--imix", action="store_true",
@@ -258,6 +299,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--phases", action="store_true")
     p.add_argument("--report", metavar="PATH",
                    help="write the full case-study report as markdown")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="profile with N worker processes (exact results)")
     p.set_defaults(fn=_cmd_wfs)
 
     p = sub.add_parser("disasm", help="disassemble a program")
@@ -278,7 +321,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    # argparse exits via SystemExit (code 2 on usage errors); normalize to a
+    # returned int so every failure mode reaches callers the same way.
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        code = exc.code
+        return code if isinstance(code, int) else (0 if code is None else 1)
     return args.fn(args)
 
 

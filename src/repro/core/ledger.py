@@ -37,6 +37,17 @@ class BandwidthLedger:
         self.history: dict[str, dict[int, tuple[int, int, int, int]]] = {}
         self.flushed = False
 
+    def reset(self) -> None:
+        """Start a fresh accounting run on the same ledger object.
+
+        ``history`` is *replaced*, not cleared — a previously extracted
+        reference (e.g. a shard payload) stays valid and frozen.
+        """
+        self.cur_slice = 0
+        self.cur.clear()
+        self.history = {}
+        self.flushed = False
+
     # -- hot path helpers ----------------------------------------------------
     def bucket(self, name: str, slice_index: int) -> list[int]:
         """Counter list for ``name`` in the current slice, advancing slices

@@ -80,6 +80,23 @@ class TQuadTool:
         engine.AddFiniFunction(self._fini)
         return self
 
+    def reset(self) -> None:
+        """Prepare the attached tool for another independent run.
+
+        The engine's compiled code cache embeds this tool's analysis
+        closures, which capture the call stack, ledger and sink *objects* —
+        so those are reset in place (or container-swapped) rather than
+        replaced, and the expensive instrumented compilation is reused.
+        The previous run's ``ledger.history`` stays valid for callers that
+        kept a reference.
+        """
+        self.callstack.reset()
+        self.ledger.reset()
+        if self._sink is not None:
+            self._sink.reset()
+        self.prefetches_skipped = 0
+        self.finished = False
+
     def _instrument_instruction(self, ins: INS) -> None:
         """``Instruction()`` — see paper Fig. 4."""
         if ins.IsPrefetch():

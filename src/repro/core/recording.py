@@ -66,6 +66,11 @@ class RecordingSink:
         self.track_excl = policy is not StackPolicy.INCLUDE
         self.interval = ledger.interval
 
+    def reset(self) -> None:
+        """Drop any unflushed records (for tool reuse across runs)."""
+        del self.read_buf[:]
+        del self.write_buf[:]
+
     def flush_read(self) -> None:
         self._flush(self.read_buf, write=False)
 

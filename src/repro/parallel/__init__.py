@@ -1,0 +1,25 @@
+"""Parallel sharded replay: checkpointed multi-core profiling.
+
+The execution is deterministic and the analyses decompose over time, so a
+profile can be computed as: one cheap *checkpoint pass* recording VM
+snapshots at shard boundaries, then independent *replays* of each shard
+under the full analysis stack in worker processes, then an exact *merge*
+of the per-shard results.  The merged reports are byte-identical to the
+serial tools' output — the differential tests in
+``tests/property/test_prop_parallel.py`` and the scaling benchmark's
+assertions hold the pipeline to that.
+"""
+
+from .checkpoint import CheckpointTracer, ShardSpec, iter_shards
+from .merge import merge_gprof, merge_quad, merge_tquad
+from .run import ParallelRun, parallel_profile
+from .worker import (GprofSpec, QuadSpec, ShardQuadTool, ShardResult,
+                     ShardRunner, ToolSpec, TQuadSpec, execute_shard)
+
+__all__ = [
+    "parallel_profile", "ParallelRun",
+    "TQuadSpec", "QuadSpec", "GprofSpec", "ToolSpec",
+    "iter_shards", "ShardSpec", "CheckpointTracer",
+    "execute_shard", "ShardRunner", "ShardResult", "ShardQuadTool",
+    "merge_tquad", "merge_quad", "merge_gprof",
+]

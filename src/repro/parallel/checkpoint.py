@@ -1,0 +1,127 @@
+"""The checkpoint pass: a cheap first execution that records resume points.
+
+Parallel profiling runs the guest twice.  The first pass executes with only
+a minimal call-stack tracer attached (so it runs at near-bare speed through
+the superblock tier) and pauses at shard boundaries via the VM's exact
+instruction budgets, taking a :class:`~repro.vm.snapshot.MachineSnapshot`
+plus a call-stack image at each pause.  Each ``(snapshot, frames)`` pair
+becomes a :class:`ShardSpec` that a worker can replay independently under
+the full analysis stack (:mod:`repro.parallel.worker`).
+
+Shards are yielded *while the checkpoint pass is still running*, so the
+orchestrator streams them to a process pool and workers overlap with the
+pass itself.
+
+Boundary placement: shard quanta start at ``max(64Ki, slice_interval)``
+instructions and double every ``4 * jobs`` shards — small shards up front
+for load balancing, geometric growth so the snapshot count stays bounded
+on long runs.  With ``align=True`` (the default) boundaries are rounded up
+to slice-interval multiples; exactness does not require this (the merge is
+correct for boundaries mid-slice — the property tests exercise both), it
+just keeps most slices single-shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..pin import IARG, INS, IPOINT, PinEngine, RTN
+from ..vm.program import Program
+from ..vm.snapshot import MachineSnapshot
+
+#: Initial shard quantum in instructions.
+DEFAULT_QUANTUM = 1 << 16
+
+#: The quantum doubles after every ``GROWTH_SHARDS_PER_JOB * jobs`` shards.
+GROWTH_SHARDS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to replay one shard of the execution."""
+
+    index: int
+    snapshot: MachineSnapshot
+    #: Live call stack at the shard start, bottom first:
+    #: ``(routine name, image, absolute entry icount)`` per frame.
+    frames: tuple[tuple[str, str, int], ...]
+    start_icount: int
+    #: Absolute icount to stop at, or ``None`` for the final shard (run to
+    #: guest exit, fini callbacks included).
+    end_icount: int | None
+
+
+class CheckpointTracer:
+    """Minimal call-stack tracker for the checkpoint pass.
+
+    Maintains ``(name, image, entry_icount)`` frames with the same entry
+    convention as the profilers (the entry event fires with ``icount``
+    already counting the routine's first instruction, so the frame starts
+    at ``icount - 1``); replaying these frames seeds each tool's
+    attribution state exactly.
+    """
+
+    def __init__(self) -> None:
+        self.frames: list[tuple[str, str, int]] = []
+
+    def attach(self, engine: PinEngine) -> "CheckpointTracer":
+        engine.INS_AddInstrumentFunction(self._instrument_instruction)
+        engine.RTN_AddInstrumentFunction(self._instrument_routine)
+        return self
+
+    def _instrument_instruction(self, ins: INS) -> None:
+        if ins.IsRet():
+            ins.InsertCall(IPOINT.BEFORE, self._on_ret)
+
+    def _instrument_routine(self, rtn: RTN) -> None:
+        rtn.InsertCall(IPOINT.BEFORE, self._on_enter,
+                       IARG.RTN_NAME, IARG.RTN_IMAGE, IARG.ICOUNT)
+
+    def _on_enter(self, name: str, image: str, icount: int) -> None:
+        self.frames.append((name, image, icount - 1))
+
+    def _on_ret(self) -> None:
+        if self.frames:
+            self.frames.pop()
+
+
+def iter_shards(program: Program, *, jobs: int, fs=None,
+                mem_size: int | None = None, jit: bool = True,
+                interval: int = 1, quantum: int | None = None,
+                align: bool = True) -> Iterator[ShardSpec]:
+    """Run the checkpoint pass over ``program``, yielding shards as their
+    start state becomes known.
+
+    The final shard is yielded with ``end_icount=None`` right after the
+    guest exits in the checkpoint pass; determinism guarantees the worker's
+    replay reaches the same exit.  ``quantum`` fixes the shard size (no
+    geometric growth) — used by tests to force boundaries on or off slice
+    edges via ``align``.
+    """
+    kwargs = {}
+    if mem_size is not None:
+        kwargs["mem_size"] = mem_size
+    engine = PinEngine(program, fs=fs, jit=jit, **kwargs)
+    tracer = CheckpointTracer().attach(engine)
+    q = quantum if quantum is not None else max(DEFAULT_QUANTUM, interval)
+    grow_every = GROWTH_SHARDS_PER_JOB * max(jobs, 1)
+    snap = engine.machine.snapshot()
+    frames = tuple(tracer.frames)
+    index = 0
+    while True:
+        target = snap.icount + q
+        if align and interval > 1:
+            target = -(-target // interval) * interval
+        finished = engine.run_until(target) is not None
+        yield ShardSpec(index=index, snapshot=snap, frames=frames,
+                        start_icount=snap.icount,
+                        end_icount=None if finished
+                        else engine.machine.icount)
+        if finished:
+            return
+        snap = engine.machine.snapshot()
+        frames = tuple(tracer.frames)
+        index += 1
+        if quantum is None and index % grow_every == 0:
+            q *= 2

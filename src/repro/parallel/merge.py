@@ -1,0 +1,141 @@
+"""Merging per-shard analysis payloads into whole-run reports.
+
+Each merge is a fold over the shard results *in shard order* and produces
+a report object equal (field for field, and byte-identical once rendered
+or serialised) to what the serial tool builds:
+
+* **tQUAD** — ``BandwidthLedger.accumulate`` is commutative addition per
+  ``(kernel, slice)``; slice indices are computed from absolute icounts, so
+  a slice split across a shard boundary merges back exactly.
+* **QUAD** — consumer-side counters and UnMA sets sum/union directly.
+  Producer attribution of cross-shard reads was deferred by the workers;
+  here each shard's deferred reads are resolved against the *composed
+  shadow* of all earlier shards (which is exactly the serial tool's shadow
+  at the shard's start for every address the shard did not overwrite),
+  then the shard's own shadow is layered on top.
+* **gprof** — self/cumulative/call/edge counts sum; shard-boundary self
+  time was settled by ``flush_shard`` such that the two halves of each
+  lazily-attributed span add up to the serial charge.  Dicts are merged in
+  shard order, which reproduces the serial first-touch insertion order —
+  so even tie-breaking in the (stable) report sort matches.
+"""
+
+from __future__ import annotations
+
+from ..core.ledger import BandwidthLedger
+from ..core.report import TQuadReport
+from ..gprofsim.report import FlatProfile, FlatRow
+from ..quad.report import QuadReport
+from ..quad.tracker import KernelIO
+from .worker import (GprofPayload, GprofSpec, QuadPayload, QuadSpec,
+                     ShardResult, TQuadPayload, TQuadSpec)
+
+
+def merge_tquad(results: list[ShardResult], spec: TQuadSpec,
+                images: dict[str, str],
+                total_instructions: int) -> tuple[TQuadReport, int]:
+    """Fold shard ledgers into one report; returns (report, prefetches)."""
+    ledger = BandwidthLedger(spec.options.slice_interval)
+    prefetches = 0
+    for res in results:
+        payload: TQuadPayload = res.payloads[spec.key]
+        prefetches += payload.prefetches_skipped
+        for name, slices in payload.history.items():
+            for s, c in slices.items():
+                ledger.accumulate(name, s, c[0], c[1], c[2], c[3])
+    ledger.flushed = True
+    report = TQuadReport(ledger=ledger, options=spec.options,
+                         total_instructions=total_instructions,
+                         images=dict(images), complete=True)
+    return report, prefetches
+
+
+def merge_quad(results: list[ShardResult], spec: QuadSpec,
+               images: dict[str, str],
+               total_instructions: int) -> QuadReport:
+    kernels: dict[str, KernelIO] = {}
+    bindings: dict[tuple[str, str], list[int]] = {}
+    shadow: dict[int, str] = {}
+    for res in results:
+        payload: QuadPayload = res.payloads[spec.key]
+        # Resolve this shard's cross-shard reads against the pre-shard
+        # shadow.  A producer found here wrote in an earlier shard, so its
+        # KernelIO is already present; a miss means the address was never
+        # written — the serial tool drops those reads too.
+        for consumer, (addrs, incls, excls) in payload.deferred.items():
+            for addr, n_incl, n_excl in zip(addrs, incls, excls):
+                producer = shadow.get(addr)
+                if producer is None:
+                    continue
+                pio = kernels[producer]
+                pio.out_bytes_incl += n_incl
+                pio.out_bytes_excl += n_excl
+                if spec.track_bindings:
+                    key = (producer, consumer)
+                    b = bindings.get(key)
+                    if b is None:
+                        b = bindings[key] = [0, 0]
+                    b[0] += n_incl
+                    b[1] += n_excl
+        for name, ctr in payload.counters.items():
+            tgt = kernels.get(name)
+            if tgt is None:
+                tgt = kernels[name] = KernelIO()
+            tgt.in_bytes_incl += ctr[0]
+            tgt.in_bytes_excl += ctr[1]
+            tgt.out_bytes_incl += ctr[2]
+            tgt.out_bytes_excl += ctr[3]
+            tgt.reads += ctr[4]
+            tgt.writes += ctr[5]
+            tgt.reads_nonstack += ctr[6]
+            tgt.writes_nonstack += ctr[7]
+            in_incl, in_excl, out_incl, out_excl = payload.unma[name]
+            tgt.in_unma_incl.update(in_incl)
+            tgt.in_unma_excl.update(in_excl)
+            tgt.out_unma_incl.update(out_incl)
+            tgt.out_unma_excl.update(out_excl)
+        for key, counts in payload.bindings.items():
+            b = bindings.get(key)
+            if b is None:
+                bindings[key] = list(counts)
+            else:
+                b[0] += counts[0]
+                b[1] += counts[1]
+        shadow.update(zip(payload.shadow_addrs,
+                          map(payload.shadow_names.__getitem__,
+                              payload.shadow_writers)))
+    return QuadReport(kernels=kernels, bindings=bindings,
+                      images=dict(images),
+                      total_instructions=total_instructions)
+
+
+def merge_gprof(results: list[ShardResult], spec: GprofSpec,
+                images: dict[str, str],
+                total_instructions: int) -> FlatProfile:
+    self_instructions: dict[str, int] = {}
+    cumulative: dict[str, int] = {}
+    calls: dict[str, int] = {}
+    edges: dict[tuple[str, str], int] = {}
+    for res in results:
+        payload: GprofPayload = res.payloads[spec.key]
+        for name, v in payload.self_instructions.items():
+            self_instructions[name] = self_instructions.get(name, 0) + v
+        for name, v in payload.cumulative_instructions.items():
+            cumulative[name] = cumulative.get(name, 0) + v
+        for name, v in payload.calls.items():
+            calls[name] = calls.get(name, 0) + v
+        for key, v in payload.edges.items():
+            edges[key] = edges.get(key, 0) + v
+    # Mirror GprofTool.report: same filtering, defaults, and stable sort.
+    rows = []
+    for name, self_instr in self_instructions.items():
+        if spec.main_image_only and images.get(name, "main") != "main":
+            continue
+        rows.append(FlatRow(
+            name=name,
+            self_instructions=self_instr,
+            cumulative_instructions=cumulative.get(name, self_instr),
+            calls=calls.get(name, 0)))
+    rows.sort(key=lambda r: r.self_instructions, reverse=True)
+    return FlatProfile(rows=rows, total_instructions=total_instructions,
+                       edges=edges)

@@ -1,0 +1,175 @@
+"""The parallel profiling orchestrator.
+
+``parallel_profile`` is the one entry point: it takes a program, a tuple of
+tool specs, and a worker count, and returns whole-run reports that are
+byte-identical to the serial tools' output (same tables, same JSON).
+
+* ``jobs=1`` runs the true serial path — one engine, tools co-attached, no
+  checkpointing — so comparing ``--jobs N`` against ``--jobs 1`` compares
+  the parallel pipeline against the reference implementation.
+* ``jobs>1`` streams shards from the checkpoint pass
+  (:mod:`repro.parallel.checkpoint`) into a ``multiprocessing`` pool; each
+  worker replays its shard under the full analysis stack
+  (:mod:`repro.parallel.worker`) while the checkpoint pass is still
+  producing later shards, and the per-shard payloads fold into reports in
+  :mod:`repro.parallel.merge`.
+
+The ``executor="inline"`` mode runs shards sequentially in-process — the
+same shard/seed/merge machinery without process overhead; the differential
+tests use it to exercise exactness cheaply, and it is the automatic
+fallback when the platform offers no working ``multiprocessing``.
+
+All three profilers share one checkpoint pass: the pass costs roughly one
+bare execution, then every shard is profiled by every requested tool in
+one replay.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.profiler import TQuadTool
+from ..gprofsim.tool import GprofTool
+from ..pin import PinEngine
+from ..quad.tracker import QuadTool
+from ..vm.program import Program
+from .checkpoint import ShardSpec, iter_shards
+from .merge import merge_gprof, merge_quad, merge_tquad
+from .worker import (GprofSpec, QuadSpec, ShardResult, ShardRunner,
+                     ToolSpec, TQuadSpec)
+
+
+@dataclass
+class ParallelRun:
+    """Results of one (possibly parallel) profiling run."""
+
+    #: Reports keyed by tool spec key ("tquad", "quad", "gprof").
+    reports: dict[str, object]
+    exit_code: int
+    total_instructions: int
+    n_shards: int
+    jobs: int
+    prefetches_skipped: int = 0
+    images: dict[str, str] = field(default_factory=dict)
+
+
+# Worker-process globals, set once per worker by the pool initializer: the
+# (potentially large) program pickles once per worker, not per shard, and
+# the ShardRunner keeps the instrumented JIT compilation alive across all
+# shards the worker executes.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(program: Program, tool_specs: tuple[ToolSpec, ...],
+                 jit: bool) -> None:
+    _WORKER_STATE["runner"] = ShardRunner(program, tool_specs, jit=jit)
+
+
+def _run_shard(spec: ShardSpec) -> ShardResult:
+    return _WORKER_STATE["runner"].execute(spec)
+
+
+def _serial_run(program: Program, tool_specs: tuple[ToolSpec, ...], *,
+                fs, mem_size, jit) -> ParallelRun:
+    """The reference path: one engine, tools co-attached, no sharding."""
+    kwargs = {}
+    if mem_size is not None:
+        kwargs["mem_size"] = mem_size
+    engine = PinEngine(program, fs=fs, jit=jit, **kwargs)
+    tools: list[tuple[ToolSpec, object]] = []
+    for ts in tool_specs:
+        if isinstance(ts, TQuadSpec):
+            tool = TQuadTool(ts.options, buffered=ts.buffered)
+        elif isinstance(ts, QuadSpec):
+            tool = QuadTool(track_bindings=ts.track_bindings)
+        elif isinstance(ts, GprofSpec):
+            tool = GprofTool()
+        else:
+            raise TypeError(f"unknown tool spec {ts!r}")
+        tools.append((ts, tool.attach(engine)))
+    exit_code = engine.run()
+    reports: dict[str, object] = {}
+    prefetches = 0
+    for ts, tool in tools:
+        if isinstance(ts, GprofSpec):
+            reports[ts.key] = tool.report(
+                main_image_only=ts.main_image_only)
+        else:
+            reports[ts.key] = tool.report()
+        if isinstance(ts, TQuadSpec):
+            prefetches = tool.prefetches_skipped
+    return ParallelRun(reports=reports, exit_code=exit_code,
+                       total_instructions=engine.machine.icount,
+                       n_shards=1, jobs=1, prefetches_skipped=prefetches,
+                       images={r.name: r.image for r in program.routines})
+
+
+def parallel_profile(program: Program,
+                     tool_specs: Sequence[ToolSpec] | ToolSpec, *,
+                     jobs: int = 1, fs=None, mem_size: int | None = None,
+                     jit: bool = True, quantum: int | None = None,
+                     align: bool = True,
+                     executor: str = "process") -> ParallelRun:
+    """Profile ``program`` with the requested tools using ``jobs`` workers.
+
+    ``executor`` selects how shards run when ``jobs > 1``: ``"process"``
+    (default) uses a ``multiprocessing`` pool, ``"inline"`` replays them
+    sequentially in-process (deterministic tests, no fork overhead).
+    ``quantum``/``align`` control shard boundary placement — see
+    :func:`~repro.parallel.checkpoint.iter_shards`.
+    """
+    if isinstance(tool_specs, (TQuadSpec, QuadSpec, GprofSpec)):
+        tool_specs = (tool_specs,)
+    tool_specs = tuple(tool_specs)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if len({ts.key for ts in tool_specs}) != len(tool_specs):
+        raise ValueError("at most one spec per tool kind")
+    if jobs == 1:
+        return _serial_run(program, tool_specs, fs=fs, mem_size=mem_size,
+                           jit=jit)
+    if executor not in ("process", "inline"):
+        raise ValueError(f"unknown executor {executor!r}")
+
+    interval = 1
+    for ts in tool_specs:
+        if isinstance(ts, TQuadSpec):
+            interval = ts.options.slice_interval
+    shards = iter_shards(program, jobs=jobs, fs=fs, mem_size=mem_size,
+                         jit=jit, interval=interval, quantum=quantum,
+                         align=align)
+    if executor == "inline":
+        runner = ShardRunner(program, tool_specs, jit=jit)
+        results = [runner.execute(s) for s in shards]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        with ctx.Pool(processes=jobs, initializer=_init_worker,
+                      initargs=(program, tool_specs, jit)) as pool:
+            # apply_async returns immediately, so workers chew on early
+            # shards while the checkpoint pass is still finding later ones.
+            pending = [pool.apply_async(_run_shard, (s,)) for s in shards]
+            results = [p.get() for p in pending]
+
+    final = results[-1]
+    total = final.end_icount
+    images = {r.name: r.image for r in program.routines}
+    reports: dict[str, object] = {}
+    prefetches = 0
+    for ts in tool_specs:
+        if isinstance(ts, TQuadSpec):
+            reports[ts.key], prefetches = merge_tquad(results, ts, images,
+                                                      total)
+        elif isinstance(ts, QuadSpec):
+            reports[ts.key] = merge_quad(results, ts, images, total)
+        elif isinstance(ts, GprofSpec):
+            reports[ts.key] = merge_gprof(results, ts, images, total)
+    return ParallelRun(reports=reports,
+                       exit_code=final.exit_code if final.exit_code
+                       is not None else 0,
+                       total_instructions=total, n_shards=len(results),
+                       jobs=jobs, prefetches_skipped=prefetches,
+                       images=images)

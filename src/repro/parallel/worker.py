@@ -1,0 +1,319 @@
+"""Shard execution: replay one shard under the full analysis stack.
+
+A worker rebuilds a :class:`~repro.pin.PinEngine` from the shard's
+snapshot, attaches the requested tools, seeds their attribution state from
+the shard's call-stack image, runs to the shard boundary (exact budget) or
+to guest exit (final shard, fini callbacks included), and extracts plain
+picklable payloads for the merge stage.
+
+Seeding is what makes mid-execution replay exact:
+
+* tQUAD and QUAD rebuild their :class:`~repro.core.callstack.CallStack` by
+  replaying ``enter(name, image)`` over the live frames — kernel
+  attribution is a pure function of the frames below, so the replayed
+  stack behaves identically to the serial one.
+* gprof-sim adopts the frames with their *absolute* entry icounts
+  (:meth:`~repro.gprofsim.tool.GprofTool.seed_frames`), so returns
+  observed inside the shard charge cumulative time for the full
+  activation, exactly as the serial run does.
+* QUAD's shadow memory cannot be seeded cheaply (it is the whole write
+  history), so :class:`ShardQuadTool` *defers* reads whose producer is
+  unknown within the shard; the merge resolves them against the
+  sequentially-composed shadow of all earlier shards.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from ..core.options import TQuadOptions
+from ..core.profiler import TQuadTool
+from ..gprofsim.tool import GprofTool
+from ..pin import PinEngine
+from ..quad.tracker import QuadTool
+from ..vm.program import Program
+from .checkpoint import ShardSpec
+
+
+# ------------------------------------------------------------- tool specs
+@dataclass(frozen=True)
+class TQuadSpec:
+    """Request a tQUAD profile in the parallel pipeline."""
+
+    key: ClassVar[str] = "tquad"
+    options: TQuadOptions = field(default_factory=TQuadOptions)
+    buffered: bool = True
+
+
+@dataclass(frozen=True)
+class QuadSpec:
+    """Request a QUAD (data communication) profile."""
+
+    key: ClassVar[str] = "quad"
+    track_bindings: bool = True
+
+
+@dataclass(frozen=True)
+class GprofSpec:
+    """Request a gprof-sim flat profile."""
+
+    key: ClassVar[str] = "gprof"
+    main_image_only: bool = True
+
+
+ToolSpec = TQuadSpec | QuadSpec | GprofSpec
+
+
+# --------------------------------------------------------- shard payloads
+@dataclass
+class TQuadPayload:
+    history: dict[str, dict[int, tuple[int, int, int, int]]]
+    prefetches_skipped: int
+
+
+@dataclass
+class QuadPayload:
+    """QUAD shard results in wire form.
+
+    UnMA sets, the shard shadow and the deferred reads dominate the
+    payload volume (millions of addresses), so they travel as flat
+    ``array('q')`` columns — pickling them is a memcpy, where the
+    equivalent set/dict pickles cost seconds of *parent-side* (serial)
+    decode per run.  The merge rebuilds real sets/dicts exactly once.
+    """
+
+    #: name -> (in_bytes_incl, in_bytes_excl, out_bytes_incl,
+    #: out_bytes_excl, reads, writes, reads_nonstack, writes_nonstack)
+    counters: dict[str, tuple[int, ...]]
+    #: name -> UnMA address columns (in_incl, in_excl, out_incl, out_excl)
+    unma: dict[str, tuple[array, array, array, array]]
+    bindings: dict[tuple[str, str], list[int]]
+    #: Shard-local shadow, struct-of-arrays: ``shadow_addrs[i]`` was last
+    #: written by ``shadow_names[shadow_writers[i]]``.
+    shadow_addrs: array
+    shadow_writers: array
+    shadow_names: list[str]
+    #: consumer -> (addrs, incl counts, excl counts) of reads whose
+    #: producer wrote before this shard started.
+    deferred: dict[str, tuple[array, array, array]]
+
+
+@dataclass
+class GprofPayload:
+    self_instructions: dict[str, int]
+    cumulative_instructions: dict[str, int]
+    calls: dict[str, int]
+    edges: dict[tuple[str, str], int]
+
+
+@dataclass
+class ShardResult:
+    index: int
+    end_icount: int
+    #: Guest exit code for the final shard, ``None`` for bounded shards.
+    exit_code: int | None
+    payloads: dict[str, object]
+
+
+class ShardQuadTool(QuadTool):
+    """QUAD variant for mid-execution shards: defers cross-shard reads.
+
+    Within a shard the local shadow is authoritative for every address
+    written *inside* the shard (the last writer is shard-local by
+    definition).  A read that misses it was last written before the shard
+    started — its producer attribution and binding are recorded as a
+    deferred ``(addr, consumer)`` count and settled at merge time against
+    the composed shadow of all earlier shards.  The consumer-side counters
+    (IN bytes, UnMA sets, access counts) never need the producer and are
+    accounted immediately.
+    """
+
+    def __init__(self, *, track_bindings: bool = True):
+        super().__init__(track_bindings=track_bindings)
+        self.deferred: dict[tuple[int, str], list[int]] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self.deferred = {}
+
+    def _on_read(self, ea: int, size: int, sp: int) -> None:
+        name = self.callstack.current_kernel
+        if name is None:
+            return
+        io = self._io(name)
+        io.reads += 1
+        nonstack = ea < sp
+        io.in_bytes_incl += size
+        if nonstack:
+            io.in_bytes_excl += size
+            io.reads_nonstack += 1
+        shadow = self.shadow
+        kernels = self.kernels
+        bindings = self.bindings
+        deferred = self.deferred
+        track = self.track_bindings
+        in_incl = io.in_unma_incl
+        in_excl = io.in_unma_excl
+        for addr in range(ea, ea + size):
+            in_incl.add(addr)
+            if nonstack:
+                in_excl.add(addr)
+            producer = shadow.get(addr)
+            if producer is None:
+                key = (addr, name)
+                d = deferred.get(key)
+                if d is None:
+                    d = deferred[key] = [0, 0]
+                d[0] += 1
+                if nonstack:
+                    d[1] += 1
+                continue
+            pio = kernels[producer]
+            pio.out_bytes_incl += 1
+            if nonstack:
+                pio.out_bytes_excl += 1
+            if track:
+                key = (producer, name)
+                b = bindings.get(key)
+                if b is None:
+                    b = bindings[key] = [0, 0]
+                b[0] += 1
+                if nonstack:
+                    b[1] += 1
+
+
+# ---------------------------------------------------------------- executor
+def build_tools(engine: PinEngine,
+                tool_specs: tuple[ToolSpec, ...]) -> list[tuple[ToolSpec,
+                                                                object]]:
+    """Attach one tool instance per spec on ``engine`` (unseeded)."""
+    tools: list[tuple[ToolSpec, object]] = []
+    for ts in tool_specs:
+        if isinstance(ts, TQuadSpec):
+            tool = TQuadTool(ts.options, buffered=ts.buffered).attach(engine)
+        elif isinstance(ts, QuadSpec):
+            tool = ShardQuadTool(
+                track_bindings=ts.track_bindings).attach(engine)
+        elif isinstance(ts, GprofSpec):
+            tool = GprofTool().attach(engine)
+        else:
+            raise TypeError(f"unknown tool spec {ts!r}")
+        tools.append((ts, tool))
+    return tools
+
+
+def _quad_payload(tool: ShardQuadTool) -> QuadPayload:
+    """Repack a shard's QUAD state into the flat wire form."""
+    counters: dict[str, tuple[int, ...]] = {}
+    unma: dict[str, tuple[array, array, array, array]] = {}
+    for name, io in tool.kernels.items():
+        counters[name] = (io.in_bytes_incl, io.in_bytes_excl,
+                          io.out_bytes_incl, io.out_bytes_excl,
+                          io.reads, io.writes,
+                          io.reads_nonstack, io.writes_nonstack)
+        unma[name] = (array("q", io.in_unma_incl),
+                      array("q", io.in_unma_excl),
+                      array("q", io.out_unma_incl),
+                      array("q", io.out_unma_excl))
+    writer_ids: dict[str, int] = {}
+    shadow_names: list[str] = []
+    shadow_addrs = array("q")
+    shadow_writers = array("q")
+    for addr, name in tool.shadow.items():
+        i = writer_ids.get(name)
+        if i is None:
+            i = writer_ids[name] = len(shadow_names)
+            shadow_names.append(name)
+        shadow_addrs.append(addr)
+        shadow_writers.append(i)
+    deferred: dict[str, tuple[array, array, array]] = {}
+    for (addr, consumer), (n_incl, n_excl) in tool.deferred.items():
+        d = deferred.get(consumer)
+        if d is None:
+            d = deferred[consumer] = (array("q"), array("q"), array("q"))
+        d[0].append(addr)
+        d[1].append(n_incl)
+        d[2].append(n_excl)
+    return QuadPayload(counters=counters, unma=unma,
+                       bindings=tool.bindings,
+                       shadow_addrs=shadow_addrs,
+                       shadow_writers=shadow_writers,
+                       shadow_names=shadow_names, deferred=deferred)
+
+
+def _seed_tool(ts: ToolSpec, tool, spec: ShardSpec) -> None:
+    if isinstance(ts, GprofSpec):
+        tool.seed_frames(spec.frames, spec.start_icount)
+    else:
+        for name, image, _entry in spec.frames:
+            tool.callstack.enter(name, image)
+
+
+class ShardRunner:
+    """A reusable engine + tool set: compile once, replay many shards.
+
+    Instrumented JIT compilation is the dominant fixed cost of a shard
+    replay — compiled closures capture the machine's ``mem``/``x``/``f``
+    and each tool's state containers *by identity*, so they cannot be
+    shared between machines, but they survive both
+    :meth:`~repro.vm.machine.Machine.restore` and the tools'
+    ``reset()``.  Each worker process (and the inline executor) therefore
+    keeps one runner and pays compilation once, not once per shard.
+    """
+
+    def __init__(self, program: Program, tool_specs: tuple[ToolSpec, ...],
+                 *, jit: bool = True):
+        self.program = program
+        self.tool_specs = tuple(tool_specs)
+        self.jit = jit
+        self._engine: PinEngine | None = None
+        self._tools: list[tuple[ToolSpec, object]] | None = None
+
+    def execute(self, spec: ShardSpec) -> ShardResult:
+        """Replay one shard and return its analysis payloads."""
+        if self._engine is None:
+            self._engine = PinEngine(self.program, snapshot=spec.snapshot,
+                                     jit=self.jit)
+            self._tools = build_tools(self._engine, self.tool_specs)
+        else:
+            self._engine.machine.restore(spec.snapshot)
+            for ts, tool in self._tools:
+                tool.reset()
+        engine, tools = self._engine, self._tools
+        for ts, tool in tools:
+            _seed_tool(ts, tool, spec)
+        if spec.end_icount is None:
+            exit_code = engine.run()
+        else:
+            exit_code = engine.run_until(spec.end_icount)
+            for ts, tool in tools:
+                if isinstance(ts, TQuadSpec):
+                    tool._flush_buffers()
+                    tool.ledger.flush()
+                elif isinstance(ts, GprofSpec):
+                    tool.flush_shard()
+        payloads: dict[str, object] = {}
+        for ts, tool in tools:
+            if isinstance(ts, TQuadSpec):
+                payloads[ts.key] = TQuadPayload(
+                    history=tool.ledger.history,
+                    prefetches_skipped=tool.prefetches_skipped)
+            elif isinstance(ts, QuadSpec):
+                payloads[ts.key] = _quad_payload(tool)
+            elif isinstance(ts, GprofSpec):
+                payloads[ts.key] = GprofPayload(
+                    self_instructions=tool.self_instructions,
+                    cumulative_instructions=tool.cumulative_instructions,
+                    calls=tool.calls, edges=tool.edges)
+        return ShardResult(index=spec.index,
+                           end_icount=engine.machine.icount,
+                           exit_code=exit_code, payloads=payloads)
+
+
+def execute_shard(program: Program, spec: ShardSpec,
+                  tool_specs: tuple[ToolSpec, ...], *,
+                  jit: bool = True) -> ShardResult:
+    """Replay one shard in a one-off runner (convenience/test entry)."""
+    return ShardRunner(program, tool_specs, jit=jit).execute(spec)

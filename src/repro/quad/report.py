@@ -105,7 +105,7 @@ class QuadReport:
             label = (f"{node}\\nIN {data.get('in_bytes', 0)} B\\n"
                      f"OUT UnMA {data.get('out_unma', 0)}")
             lines.append(f'  "{node}" [label="{label}"];')
-        for u, v, data in g.edges(data=True):
+        for u, v, data in sorted(g.edges(data=True)):
             b = data["bytes"]
             if b < min_bytes:
                 continue

@@ -66,6 +66,19 @@ class QuadTool:
         engine.AddFiniFunction(self._fini)
         return self
 
+    def reset(self) -> None:
+        """Prepare the attached tool for another independent run.
+
+        Result containers are *replaced* (previously extracted references
+        stay valid and frozen); the call stack — captured by identity in
+        compiled instrumentation — is reset in place.
+        """
+        self.callstack.reset()
+        self.shadow = {}
+        self.kernels = {}
+        self.bindings = {}
+        self.finished = False
+
     def _instrument_instruction(self, ins: INS) -> None:
         if ins.IsPrefetch():
             return

@@ -41,9 +41,13 @@ def tquad_to_dict(report: TQuadReport) -> dict[str, Any]:
         "total_instructions": report.total_instructions,
         "complete": report.complete,
         "images": report.images,
+        # canonical ordering (kernels, then slice index): the in-memory dict
+        # order depends on flush batching / shard merging, the archive must
+        # not — equal profiles serialise byte-identically
         "history": {
-            name: {str(s): list(c) for s, c in slices.items()}
-            for name, slices in ledger.history.items()
+            name: {str(s): list(ledger.history[name][s])
+                   for s in sorted(ledger.history[name])}
+            for name in sorted(ledger.history)
         },
     }
 
@@ -95,7 +99,7 @@ def flat_to_dict(profile: FlatProfile) -> dict[str, Any]:
         ],
         "edges": [
             {"caller": caller, "callee": callee, "count": count}
-            for (caller, callee), count in profile.edges.items()
+            for (caller, callee), count in sorted(profile.edges.items())
         ],
     }
 
@@ -145,12 +149,12 @@ def quad_to_dict(report: QuadReport) -> dict[str, Any]:
                 "reads_nonstack": io.reads_nonstack,
                 "writes_nonstack": io.writes_nonstack,
             }
-            for name, io in report.kernels.items()
+            for name, io in sorted(report.kernels.items())
         },
         "bindings": [
             {"producer": p, "consumer": c, "bytes_incl": v[0],
              "bytes_excl": v[1]}
-            for (p, c), v in report.bindings.items()
+            for (p, c), v in sorted(report.bindings.items())
         ],
     }
 

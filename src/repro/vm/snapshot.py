@@ -1,0 +1,126 @@
+"""Checkpointable VM state: compact, picklable snapshots of a ``Machine``.
+
+A :class:`MachineSnapshot` captures everything the *guest* can observe —
+registers, data memory, heap break, open files, buffered stdout, icount —
+and nothing the host derives from the program (code caches, superblock
+traces, compile counters).  Because the VM is RNG-free and has no
+wall-clock inputs (``SYS_CLOCK`` returns ``icount``), re-running a restored
+machine retraces the original execution exactly, instruction for
+instruction.  That is the foundation of the parallel sharded-replay
+pipeline in :mod:`repro.parallel`.
+
+Memory is stored page-sparse: the 32 MiB guest address space is chunked
+into 64 KiB pages and all-zero pages are dropped, so a typical WFS
+snapshot is a few hundred KiB.  Snapshots contain only builtin types
+(ints, bytes, tuples) and pickle cheaply across ``multiprocessing``
+workers regardless of start method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .errors import VMError
+from .filesystem import _OpenFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+#: Snapshot memory page granularity.
+PAGE_SIZE = 1 << 16
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Picklable image of one machine's guest-visible state."""
+
+    icount: int
+    pc_index: int
+    halted: bool
+    exit_code: int | None
+    x: tuple[int, ...]
+    f: tuple[float, ...]
+    brk: int
+    mem_size: int
+    #: Non-zero 64 KiB pages of data memory, keyed by base address.
+    pages: dict[int, bytes]
+    stdout: bytes
+    #: Filesystem image: (name, contents) pairs.
+    fs_files: tuple[tuple[str, bytes], ...]
+    #: Open descriptors: (fd, name, pos, writable).
+    fs_fds: tuple[tuple[int, str, int, bool], ...]
+    fs_next_fd: int
+    syscall_count: int
+
+    def memory_bytes(self) -> int:
+        """Total bytes of retained (non-zero) memory pages."""
+        return sum(len(p) for p in self.pages.values())
+
+
+def capture(m: "Machine") -> MachineSnapshot:
+    """Snapshot ``m``'s guest-visible state.
+
+    The machine may be mid-run (paused at an instruction boundary via an
+    exact budget) or finished; the snapshot records its state as-is.
+    """
+    mem = m.mem
+    pages: dict[int, bytes] = {}
+    for base in range(0, m.mem_size, PAGE_SIZE):
+        end = min(base + PAGE_SIZE, m.mem_size)
+        if mem.count(0, base, end) != end - base:
+            pages[base] = bytes(mem[base:end])
+    fs = m.fs
+    return MachineSnapshot(
+        icount=m.icount,
+        pc_index=m.pc_index,
+        halted=m.halted,
+        exit_code=m.exit_code,
+        x=tuple(m.x),
+        f=tuple(m.f),
+        brk=m.brk,
+        mem_size=m.mem_size,
+        pages=pages,
+        stdout=bytes(m.stdout),
+        fs_files=tuple((name, bytes(data))
+                       for name, data in fs.files.items()),
+        fs_fds=tuple((fd, of.name, of.pos, of.writable)
+                     for fd, of in fs._fds.items()),
+        fs_next_fd=fs._next_fd,
+        syscall_count=m.syscall.count,
+    )
+
+
+def restore(m: "Machine", snap: MachineSnapshot) -> None:
+    """Load ``snap`` into ``m``, replacing its guest-visible state.
+
+    ``m`` must run the same program geometry the snapshot came from (same
+    ``mem_size``); code caches are left alone — they are derived purely
+    from the program, which a snapshot never changes.  Mutation happens
+    *in place* (``mem``, ``x``, ``f``, ``stdout``, ``fs``) because compiled
+    closures capture those objects by identity.
+    """
+    if snap.mem_size != m.mem_size:
+        raise VMError(f"snapshot mem_size {snap.mem_size:#x} != machine "
+                      f"mem_size {m.mem_size:#x}")
+    mem = m.mem
+    mem[:] = bytes(m.mem_size)
+    for base, blob in snap.pages.items():
+        mem[base:base + len(blob)] = blob
+    m.x[:] = snap.x
+    m.f[:] = snap.f
+    m.stdout[:] = snap.stdout
+    fs = m.fs
+    fs.files.clear()
+    for name, data in snap.fs_files:
+        fs.files[name] = bytearray(data)
+    fs._fds.clear()
+    for fd, name, pos, writable in snap.fs_fds:
+        fs._fds[fd] = _OpenFile(name=name, pos=pos, writable=writable)
+    fs._next_fd = snap.fs_next_fd
+    m.syscall.count = snap.syscall_count
+    m.icount = snap.icount
+    m.pc_index = snap.pc_index
+    m.halted = snap.halted
+    m.exit_code = snap.exit_code
+    m.brk = snap.brk

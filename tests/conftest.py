@@ -1,0 +1,15 @@
+"""Shared pytest configuration for the test tree."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/ fixtures from the current outputs "
+             "instead of comparing against them")
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    return request.config.getoption("--update-golden")

@@ -175,3 +175,86 @@ class TestCsvExport:
         csv = matrix_to_csv(["k"], mat, interval=4,
                             bytes_per_instruction=False)
         assert csv.splitlines()[1] == "0,8"
+
+
+class TestCliErrorPaths:
+    """Invalid operands must exit with code 2 (argparse's usage-error
+    convention), via a returned int — never an uncaught traceback or a
+    SystemExit escaping main()."""
+
+    def _src(self, tmp_path):
+        src = tmp_path / "app.mc"
+        src.write_text("int main() { return 0; }")
+        return str(src)
+
+    def test_profile_zero_interval(self, tmp_path, capsys):
+        rc = main(["profile", self._src(tmp_path), "--interval", "0"])
+        assert rc == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_profile_negative_interval(self, tmp_path, capsys):
+        rc = main(["profile", self._src(tmp_path), "--interval", "-100"])
+        assert rc == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_profile_zero_jobs(self, tmp_path, capsys):
+        rc = main(["profile", self._src(tmp_path), "--jobs", "0"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_profile_negative_jobs(self, tmp_path, capsys):
+        rc = main(["profile", self._src(tmp_path), "--jobs", "-4"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_wfs_bad_interval_and_jobs(self, capsys):
+        assert main(["wfs", "--interval", "0"]) == 2
+        assert main(["wfs", "--jobs", "0"]) == 2
+        capsys.readouterr()
+
+    def test_argparse_usage_error_returns_2(self, capsys):
+        # unknown subcommand: argparse raises SystemExit(2); main() must
+        # convert it to a plain return code
+        rc = main(["not-a-command"])
+        assert rc == 2
+        capsys.readouterr()
+
+    def test_non_integer_jobs_returns_2(self, tmp_path, capsys):
+        rc = main(["profile", self._src(tmp_path), "--jobs", "two"])
+        assert rc == 2
+        capsys.readouterr()
+
+
+class TestCliParallel:
+    SRC = """
+    int a[64];
+    int fill() { int i; for (i=0;i<64;i=i+1) { a[i]=i*3; } return 0; }
+    int tally() { int i; int s=0; for (i=0;i<64;i=i+1) { s=s+a[i]; }
+        return s; }
+    int main() { fill(); return tally() & 7; }
+    """
+
+    def _src(self, tmp_path):
+        src = tmp_path / "app.mc"
+        src.write_text(self.SRC)
+        return str(src)
+
+    @pytest.mark.parametrize("tool", ["tquad", "quad", "gprof"])
+    def test_jobs_output_matches_serial(self, tmp_path, capsys, tool):
+        src = self._src(tmp_path)
+        assert main(["profile", src, "--tool", tool,
+                     "--interval", "100"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["profile", src, "--tool", tool, "--interval", "100",
+                     "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_jobs_json_matches_serial(self, tmp_path, capsys):
+        src = self._src(tmp_path)
+        j1, j2 = tmp_path / "serial.json", tmp_path / "jobs.json"
+        assert main(["profile", src, "--interval", "100",
+                     "--json", str(j1)]) == 0
+        assert main(["profile", src, "--interval", "100", "--jobs", "2",
+                     "--json", str(j2)]) == 0
+        capsys.readouterr()
+        assert j1.read_bytes() == j2.read_bytes()

@@ -1,0 +1,268 @@
+"""Unit tests for the checkpoint/replay subsystem and the parallel pipeline.
+
+The differential (serial vs sharded) exactness properties live in
+``tests/property/test_prop_parallel.py``; here the individual pieces are
+pinned down: snapshot/restore state identity, exact-budget pause/resume
+through ``run_until``, checkpoint tracer conventions, shard boundary
+placement, and the orchestrator's validation and plumbing.
+"""
+
+import pickle
+
+import pytest
+
+from repro.apps.kernels import build_fir
+from repro.core import TQuadOptions
+from repro.gprofsim import run_gprof
+from repro.minic import build_program
+from repro.parallel import (GprofSpec, QuadSpec, TQuadSpec, iter_shards,
+                            parallel_profile)
+from repro.pin import PinEngine
+from repro.quad import run_quad
+from repro.vm import (GuestFS, InstructionBudgetExceeded, Machine,
+                      MachineSnapshot, O_RDONLY)
+
+SRC = """
+int a[48]; int b[48];
+int fill() { int i; for (i=0;i<48;i=i+1) { a[i]=i*5; } return 0; }
+int mix()  { int i; for (i=0;i<48;i=i+1) { b[i]=a[i]+b[i]; } return 0; }
+int main() { int r; fill(); mix(); r = b[7] + a[9];
+    print_int(r); return r & 31; }
+"""
+
+FS_SRC = """
+int main() {
+    int fd; int n; int buf[4];
+    fd = open("in.dat", 0);
+    n = read(fd, buf, 16);
+    fd = open("out.dat", 1);
+    n = write(fd, buf, n);
+    print_int(n);
+    return n;
+}
+"""
+
+
+def _pause(machine, budget):
+    with pytest.raises(InstructionBudgetExceeded):
+        machine.run(max_instructions=budget)
+    machine.halted = False
+
+
+def _state(m):
+    return (m.icount, m.pc_index, list(m.x), list(m.f), bytes(m.mem),
+            bytes(m.stdout), m.brk, m.exit_code, m.syscall.count,
+            {k: bytes(v) for k, v in m.fs.files.items()},
+            m.fs.open_count())
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_is_state_identical(self):
+        program = build_program(SRC)
+        m = Machine(program)
+        _pause(m, 400)
+        snap = m.snapshot()
+        fresh = Machine(program)
+        fresh.restore(snap)
+        assert _state(fresh) == _state(m)
+
+    def test_resumed_machine_retraces_serial_run(self):
+        program = build_program(SRC)
+        ref = Machine(program)
+        ref.run()
+        m = Machine(program)
+        _pause(m, ref.icount // 3)
+        snap = m.snapshot()
+        fresh = Machine(program)
+        fresh.restore(snap)
+        fresh.run()
+        assert _state(fresh) == _state(ref)
+
+    def test_snapshot_pickles_and_is_page_sparse(self):
+        program = build_program(SRC)
+        m = Machine(program)
+        _pause(m, 100)
+        snap = m.snapshot()
+        # the 32 MiB address space must not be materialized wholesale
+        assert snap.memory_bytes() < m.mem_size // 4
+        clone = pickle.loads(pickle.dumps(snap))
+        assert isinstance(clone, MachineSnapshot)
+        fresh = Machine(program)
+        fresh.restore(clone)
+        assert _state(fresh) == _state(m)
+
+    def test_open_file_descriptors_survive(self):
+        program = build_program(FS_SRC)
+        fs = GuestFS()
+        fs.put("in.dat", bytes(range(16)))
+        m = Machine(program, fs=fs)
+        # pause somewhere inside the syscall sequence
+        _pause(m, 40)
+        snap = m.snapshot()
+        fresh = Machine(program, fs=GuestFS())
+        fresh.restore(snap)
+        fresh.run()
+        ref_fs = GuestFS()
+        ref_fs.put("in.dat", bytes(range(16)))
+        ref = Machine(program, fs=ref_fs)
+        ref.run()
+        assert _state(fresh) == _state(ref)
+        assert fresh.fs.get("out.dat") == bytes(range(16))
+
+    def test_fd_positions_roundtrip(self):
+        fs = GuestFS()
+        fs.put("x", b"abcdef")
+        fd = fs.open("x", O_RDONLY)
+        fs.read(fd, 3)
+        program = build_program("int main() { return 0; }")
+        m = Machine(program, fs=fs)
+        snap = m.snapshot()
+        fresh = Machine(program)
+        fresh.restore(snap)
+        assert fresh.fs.read(fd, 3) == b"def"
+
+    def test_restore_rejects_mem_size_mismatch(self):
+        program = build_program("int main() { return 0; }")
+        snap = Machine(program).snapshot()
+        other = Machine(program, mem_size=snap.mem_size * 2)
+        with pytest.raises(Exception):
+            other.restore(snap)
+
+    def test_restore_mutates_in_place(self):
+        # compiled closures capture mem/x/f by identity: restore must not
+        # rebind them
+        program = build_program(SRC)
+        m = Machine(program)
+        mem_id, x_id, f_id = id(m.mem), id(m.x), id(m.f)
+        _pause(m, 50)
+        m.restore(m.snapshot())
+        assert (id(m.mem), id(m.x), id(m.f)) == (mem_id, x_id, f_id)
+
+
+class TestRunUntil:
+    def test_pause_at_exact_icount_then_resume(self):
+        program = build_program(SRC)
+        engine = PinEngine(program)
+        assert engine.run_until(123) is None
+        assert engine.machine.icount == 123
+        assert not engine.machine.halted
+        code = engine.run()
+        ref = Machine(program)
+        ref.run()
+        assert engine.machine.icount == ref.icount
+        assert code == (ref.exit_code or 0)
+
+    def test_finish_before_target_returns_exit_code(self):
+        program = build_program(SRC)
+        engine = PinEngine(program)
+        code = engine.run_until(10**9)
+        assert code is not None
+        assert engine.machine.halted
+
+    def test_fini_only_on_completion(self):
+        program = build_program(SRC)
+        engine = PinEngine(program)
+        seen = []
+        engine.AddFiniFunction(seen.append)
+        assert engine.run_until(100) is None
+        assert seen == []
+        engine.run_until(10**9)
+        assert len(seen) == 1
+
+    def test_backward_target_rejected(self):
+        engine = PinEngine(build_program(SRC))
+        engine.run_until(500)
+        with pytest.raises(ValueError):
+            engine.run_until(100)
+
+
+class TestCheckpointPass:
+    def test_shards_tile_the_run(self):
+        program = build_program(SRC)
+        ref = Machine(program)
+        ref.run()
+        shards = list(iter_shards(program, jobs=2, quantum=150,
+                                  align=False))
+        assert shards[0].start_icount == 0
+        assert shards[-1].end_icount is None
+        for prev, cur in zip(shards, shards[1:]):
+            assert prev.end_icount == cur.start_icount
+        assert all(s.index == i for i, s in enumerate(shards))
+        assert shards[-1].start_icount < ref.icount
+
+    def test_alignment_rounds_to_interval(self):
+        program = build_program(SRC)
+        shards = list(iter_shards(program, jobs=2, quantum=130,
+                                  interval=100, align=True))
+        for s in shards[:-1]:
+            assert s.end_icount % 100 == 0
+
+    def test_frames_match_gprof_entry_convention(self):
+        # pause inside mix(): the tracer's frame entry icounts must let a
+        # seeded gprof shard reproduce the serial cumulative time exactly,
+        # which the differential tests verify; here pin the convention
+        program = build_program(SRC)
+        flat = run_gprof(build_program(SRC))
+        shards = list(iter_shards(program, jobs=2, quantum=97, align=False))
+        mid = shards[len(shards) // 2]
+        for name, image, entry_ic in mid.frames:
+            assert 0 <= entry_ic <= mid.start_icount
+            assert isinstance(name, str) and isinstance(image, str)
+        assert any("main" == f[0] for s in shards[1:-1] for f in s.frames)
+        # shard lengths tile the whole run
+        assert flat.total_instructions == sum(
+            (s.end_icount if s.end_icount is not None
+             else flat.total_instructions) - s.start_icount for s in shards)
+
+
+class TestOrchestrator:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            parallel_profile(build_program(SRC), TQuadSpec(), jobs=0)
+
+    def test_duplicate_tool_kind_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_profile(build_program(SRC),
+                             (TQuadSpec(), TQuadSpec()), jobs=2)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_profile(build_program(SRC), TQuadSpec(), jobs=2,
+                             executor="threads")
+
+    def test_exit_code_and_totals_propagate(self):
+        program = build_program(SRC)
+        ref = Machine(program)
+        ref.run()
+        run = parallel_profile(program, (TQuadSpec(), GprofSpec()),
+                               jobs=2, executor="inline", quantum=200,
+                               align=False)
+        assert run.exit_code == (ref.exit_code or 0)
+        assert run.total_instructions == ref.icount
+        assert run.n_shards > 1
+        assert set(run.reports) == {"tquad", "gprof"}
+
+    def test_single_spec_without_tuple(self):
+        run = parallel_profile(build_program(SRC),
+                               QuadSpec(), jobs=2, executor="inline",
+                               quantum=300)
+        assert set(run.reports) == {"quad"}
+
+    def test_serial_path_matches_standalone_tools(self):
+        program = build_program(SRC)
+        run = parallel_profile(program, (QuadSpec(), GprofSpec()), jobs=1)
+        assert (run.reports["quad"].format_table()
+                == run_quad(build_program(SRC)).format_table())
+        assert (run.reports["gprof"].format_table()
+                == run_gprof(build_program(SRC)).format_table())
+
+    def test_fir_kernel_exact_through_processes(self):
+        # one real multiprocessing run in the unit tier (small program)
+        program = build_fir(length=64, n_taps=4)
+        opts = TQuadOptions(slice_interval=1000)
+        serial = parallel_profile(program, TQuadSpec(options=opts), jobs=1)
+        par = parallel_profile(program, TQuadSpec(options=opts), jobs=2,
+                               quantum=2000)
+        from repro.serialize import tquad_to_json
+        assert (tquad_to_json(serial.reports["tquad"])
+                == tquad_to_json(par.reports["tquad"]))
