@@ -51,6 +51,10 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
         return _bad_usage("--interval must be a positive instruction count")
     if getattr(args, "jobs", 1) < 1:
         return _bad_usage("--jobs must be >= 1")
+    if getattr(args, "shadow", "paged") not in ("paged", "legacy"):
+        return _bad_usage("--shadow must be 'paged' or 'legacy'")
+    if getattr(args, "stats", False) and getattr(args, "tool", "") != "quad":
+        return _bad_usage("--stats requires --tool quad")
     return None
 
 
@@ -66,7 +70,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                                parallel_profile)
 
         spec = {"tquad": lambda: TQuadSpec(options=options),
-                "quad": QuadSpec, "gprof": GprofSpec}[args.tool]()
+                "quad": lambda: QuadSpec(shadow=args.shadow),
+                "gprof": GprofSpec}[args.tool]()
         run = parallel_profile(program, spec, jobs=args.jobs)
     if args.tool == "tquad":
         report = (run.reports["tquad"] if args.jobs > 1 else
@@ -105,7 +110,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             print(tool.format_table(top=args.top))
     elif args.tool == "quad":
         report = (run.reports["quad"] if args.jobs > 1 else
-                  run_quad(program, max_instructions=args.budget))
+                  run_quad(program, max_instructions=args.budget,
+                           shadow=args.shadow))
         if args.json:
             from .serialize import quad_to_json
 
@@ -113,6 +119,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 fh.write(quad_to_json(report))
             print(f"wrote {args.json}", file=sys.stderr)
         print(report.format_table())
+        if args.stats:
+            print()
+            print(report.format_stats())
     elif args.tool == "gprof":
         flat = (run.reports["gprof"] if args.jobs > 1 else
                 run_gprof(program, max_instructions=args.budget))
@@ -269,6 +278,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --tool gprof: print the call-graph section")
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON")
+    p.add_argument("--shadow", default="paged", metavar="{paged,legacy}",
+                   help="with --tool quad: shadow memory implementation "
+                        "(default: paged)")
+    p.add_argument("--stats", action="store_true",
+                   help="with --tool quad: print shadow footprint stats")
     p.add_argument("--jobs", type=int, default=1,
                    help="profile with N worker processes via checkpointed "
                         "sharded replay; results are byte-identical to the "

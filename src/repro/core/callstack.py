@@ -33,8 +33,10 @@ class CallStack:
                  "rec_id", "_intern_ids", "interned_names")
 
     def __init__(self, *, exclude_library_accesses: bool = False) -> None:
-        # each frame: (attributed kernel name, frame-is-library)
-        self._frames: list[tuple[str, bool]] = []
+        # each frame: (attributed kernel name, frame-is-library, rec_id at
+        # the time this frame is on top) — carrying rec_id in the frame lets
+        # enter/ret restore it without re-interning the kernel name
+        self._frames: list[tuple[str, bool, int]] = []
         self.current_kernel: str | None = None
         self.in_library = False
         self.max_depth = 0
@@ -75,26 +77,26 @@ class CallStack:
             self.interned_names.append(name)
         return i
 
-    def _refresh_rec_id(self) -> None:
-        name = self.current_kernel
-        if name is None or (self.in_library
-                            and self.exclude_library_accesses):
-            self.rec_id = -1
-        else:
-            self.rec_id = self.intern(name)
-
     def enter(self, name: str, image: str) -> None:
         """Routine-entry event (the paper's ``EnterFC`` analysis routine)."""
+        frames = self._frames
         is_lib = image != MAIN_IMAGE
-        if is_lib and self._frames:
-            kernel = self._frames[-1][0]
+        if is_lib and frames:
+            # a library frame attributes to the caller's kernel, whose id
+            # the caller's frame already carries (unless excluded)
+            kernel = frames[-1][0]
+            rid = -1 if self.exclude_library_accesses else frames[-1][2]
         else:
             kernel = name
-        self._frames.append((kernel, is_lib))
+            if is_lib and self.exclude_library_accesses:
+                rid = -1
+            else:
+                rid = self.intern(name)
+        frames.append((kernel, is_lib, rid))
         self.current_kernel = kernel
         self.in_library = is_lib
-        self._refresh_rec_id()
-        depth = len(self._frames)
+        self.rec_id = rid
+        depth = len(frames)
         if depth > self.max_depth:
             self.max_depth = depth
 
@@ -106,11 +108,11 @@ class CallStack:
             return
         frames.pop()
         if frames:
-            self.current_kernel, self.in_library = frames[-1]
+            self.current_kernel, self.in_library, self.rec_id = frames[-1]
         else:
             self.current_kernel = None
             self.in_library = False
-        self._refresh_rec_id()
+            self.rec_id = -1
 
     @property
     def depth(self) -> int:
@@ -118,4 +120,4 @@ class CallStack:
 
     def frames(self) -> list[tuple[str, bool]]:
         """Snapshot of (kernel, is_library) frames, bottom first."""
-        return list(self._frames)
+        return [(kernel, is_lib) for kernel, is_lib, _ in self._frames]

@@ -13,13 +13,15 @@ assertions hold the pipeline to that.
 from .checkpoint import CheckpointTracer, ShardSpec, iter_shards
 from .merge import merge_gprof, merge_quad, merge_tquad
 from .run import ParallelRun, parallel_profile
-from .worker import (GprofSpec, QuadSpec, ShardQuadTool, ShardResult,
-                     ShardRunner, ToolSpec, TQuadSpec, execute_shard)
+from .worker import (GprofSpec, QuadSpec, ShardPagedQuadTool, ShardQuadTool,
+                     ShardResult, ShardRunner, ToolSpec, TQuadSpec,
+                     execute_shard)
 
 __all__ = [
     "parallel_profile", "ParallelRun",
     "TQuadSpec", "QuadSpec", "GprofSpec", "ToolSpec",
     "iter_shards", "ShardSpec", "CheckpointTracer",
     "execute_shard", "ShardRunner", "ShardResult", "ShardQuadTool",
+    "ShardPagedQuadTool",
     "merge_tquad", "merge_quad", "merge_gprof",
 ]

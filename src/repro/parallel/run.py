@@ -83,7 +83,8 @@ def _serial_run(program: Program, tool_specs: tuple[ToolSpec, ...], *,
         if isinstance(ts, TQuadSpec):
             tool = TQuadTool(ts.options, buffered=ts.buffered)
         elif isinstance(ts, QuadSpec):
-            tool = QuadTool(track_bindings=ts.track_bindings)
+            tool = QuadTool(track_bindings=ts.track_bindings,
+                            shadow=ts.shadow)
         elif isinstance(ts, GprofSpec):
             tool = GprofTool()
         else:

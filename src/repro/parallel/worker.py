@@ -17,8 +17,10 @@ Seeding is what makes mid-execution replay exact:
   observed inside the shard charge cumulative time for the full
   activation, exactly as the serial run does.
 * QUAD's shadow memory cannot be seeded cheaply (it is the whole write
-  history), so :class:`ShardQuadTool` *defers* reads whose producer is
-  unknown within the shard; the merge resolves them against the
+  history), so both shard variants *defer* reads whose producer is
+  unknown within the shard — :class:`ShardQuadTool` per byte in a dict,
+  :class:`ShardPagedQuadTool` through the paged sink's native
+  ``defer_unknown`` tables — and the merge resolves them against the
   sequentially-composed shadow of all earlier shards.
 """
 
@@ -27,6 +29,8 @@ from __future__ import annotations
 from array import array
 from dataclasses import dataclass, field
 from typing import ClassVar
+
+import numpy as np
 
 from ..core.options import TQuadOptions
 from ..core.profiler import TQuadTool
@@ -53,6 +57,13 @@ class QuadSpec:
 
     key: ClassVar[str] = "quad"
     track_bindings: bool = True
+    #: Shadow implementation, as in :class:`~repro.quad.tracker.QuadTool`.
+    shadow: str = "paged"
+
+    def __post_init__(self) -> None:
+        if self.shadow not in ("paged", "legacy"):
+            raise ValueError(
+                f"unknown shadow implementation {self.shadow!r}")
 
 
 @dataclass(frozen=True)
@@ -101,6 +112,32 @@ class QuadPayload:
 
 
 @dataclass
+class QuadPagedPayload:
+    """QUAD shard results from the paged shadow, in wire form.
+
+    Everything stays in the sink's interned/paged representation: counter
+    matrix, UnMA bitmap pages, last-writer shadow pages and the deferred
+    columns all pickle as flat buffers; the merge composes them without
+    ever expanding to per-address Python objects.
+    """
+
+    #: interned kernel names — shard-local kid -> name
+    names: list[str]
+    #: (8, nk) counter matrix (row indices from :mod:`repro.quad.shadow`)
+    counts: np.ndarray
+    #: (kid, view) -> (pids, pages) UnMA bitmap export
+    unma: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]
+    #: (producer_kid, consumer_kid) -> [bytes incl, bytes excl]
+    bindings: dict[tuple[int, int], list[int]]
+    #: shard-local last-writer shadow: page ids + int32 writer1 pages
+    shadow_pids: np.ndarray
+    shadow_pages: np.ndarray
+    #: consumer kid -> (addrs, incl counts, excl counts) of reads whose
+    #: producer wrote before this shard started
+    deferred: dict[int, tuple[array, array, array]]
+
+
+@dataclass
 class GprofPayload:
     self_instructions: dict[str, int]
     cumulative_instructions: dict[str, int]
@@ -131,7 +168,7 @@ class ShardQuadTool(QuadTool):
     """
 
     def __init__(self, *, track_bindings: bool = True):
-        super().__init__(track_bindings=track_bindings)
+        super().__init__(track_bindings=track_bindings, shadow="legacy")
         self.deferred: dict[tuple[int, str], list[int]] = {}
 
     def reset(self) -> None:
@@ -144,10 +181,8 @@ class ShardQuadTool(QuadTool):
             return
         io = self._io(name)
         io.reads += 1
-        nonstack = ea < sp
         io.in_bytes_incl += size
-        if nonstack:
-            io.in_bytes_excl += size
+        if ea < sp:
             io.reads_nonstack += 1
         shadow = self.shadow
         kernels = self.kernels
@@ -157,8 +192,10 @@ class ShardQuadTool(QuadTool):
         in_incl = io.in_unma_incl
         in_excl = io.in_unma_excl
         for addr in range(ea, ea + size):
+            below = addr < sp
             in_incl.add(addr)
-            if nonstack:
+            if below:
+                io.in_bytes_excl += 1
                 in_excl.add(addr)
             producer = shadow.get(addr)
             if producer is None:
@@ -167,12 +204,12 @@ class ShardQuadTool(QuadTool):
                 if d is None:
                     d = deferred[key] = [0, 0]
                 d[0] += 1
-                if nonstack:
+                if below:
                     d[1] += 1
                 continue
             pio = kernels[producer]
             pio.out_bytes_incl += 1
-            if nonstack:
+            if below:
                 pio.out_bytes_excl += 1
             if track:
                 key = (producer, name)
@@ -180,8 +217,23 @@ class ShardQuadTool(QuadTool):
                 if b is None:
                     b = bindings[key] = [0, 0]
                 b[0] += 1
-                if nonstack:
+                if below:
                     b[1] += 1
+
+
+class ShardPagedQuadTool(QuadTool):
+    """Paged-shadow QUAD variant for mid-execution shards.
+
+    The paged sink defers natively: with ``defer_unknown`` set, reads that
+    miss both the record buffer and the shard-local shadow are tabulated
+    per (address, consumer) during the drain and exported as flat columns
+    for the merge to resolve against the composed pre-shard shadow.
+    """
+
+    def attach(self, engine: PinEngine) -> "ShardPagedQuadTool":
+        super().attach(engine)
+        self.sink.defer_unknown = True
+        return self
 
 
 # ---------------------------------------------------------------- executor
@@ -194,8 +246,9 @@ def build_tools(engine: PinEngine,
         if isinstance(ts, TQuadSpec):
             tool = TQuadTool(ts.options, buffered=ts.buffered).attach(engine)
         elif isinstance(ts, QuadSpec):
-            tool = ShardQuadTool(
-                track_bindings=ts.track_bindings).attach(engine)
+            cls = (ShardPagedQuadTool if ts.shadow == "paged"
+                   else ShardQuadTool)
+            tool = cls(track_bindings=ts.track_bindings).attach(engine)
         elif isinstance(ts, GprofSpec):
             tool = GprofTool().attach(engine)
         else:
@@ -241,6 +294,30 @@ def _quad_payload(tool: ShardQuadTool) -> QuadPayload:
                        shadow_addrs=shadow_addrs,
                        shadow_writers=shadow_writers,
                        shadow_names=shadow_names, deferred=deferred)
+
+
+def _quad_paged_payload(tool: ShardPagedQuadTool) -> QuadPagedPayload:
+    """Export a shard's paged QUAD state in its native interned form."""
+    sink = tool.sink
+    sink.flush()
+    sink._ensure_kernels()
+    nk = sink._nk
+    unma: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    for kid in range(nk):
+        for view in range(4):
+            pids, pages = sink._unma.export(kid * 4 + view)
+            if pids.size:
+                unma[(kid, view)] = (pids, pages)
+    shadow = sink.shadow
+    shadow_pids = np.nonzero(shadow.lut >= 0)[0]
+    return QuadPagedPayload(
+        names=list(tool.callstack.interned_names),
+        counts=sink._counts[:, :nk].copy(),
+        unma=unma,
+        bindings=dict(sink.kid_bindings),
+        shadow_pids=shadow_pids,
+        shadow_pages=shadow._data[shadow.lut[shadow_pids]],
+        deferred=sink.deferred_columns())
 
 
 def _seed_tool(ts: ToolSpec, tool, spec: ShardSpec) -> None:
@@ -292,6 +369,8 @@ class ShardRunner:
                 if isinstance(ts, TQuadSpec):
                     tool._flush_buffers()
                     tool.ledger.flush()
+                elif isinstance(ts, QuadSpec):
+                    tool.flush()
                 elif isinstance(ts, GprofSpec):
                     tool.flush_shard()
         payloads: dict[str, object] = {}
@@ -301,7 +380,9 @@ class ShardRunner:
                     history=tool.ledger.history,
                     prefetches_skipped=tool.prefetches_skipped)
             elif isinstance(ts, QuadSpec):
-                payloads[ts.key] = _quad_payload(tool)
+                payloads[ts.key] = (_quad_paged_payload(tool)
+                                    if ts.shadow == "paged"
+                                    else _quad_payload(tool))
             elif isinstance(ts, GprofSpec):
                 payloads[ts.key] = GprofPayload(
                     self_instructions=tool.self_instructions,

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from ..vm.program import MAIN_IMAGE
-from .tracker import KernelIO
+from .tracker import KernelIO, unma_card
 
 
 @dataclass
@@ -41,6 +41,10 @@ class QuadReport:
     bindings: dict[tuple[str, str], list[int]]
     images: dict[str, str] = field(default_factory=dict)
     total_instructions: int = 0
+    #: Shadow-memory footprint (paged runs only): pages allocated, resident
+    #: shadow bytes, interned-kernel count.  Observability only — never
+    #: part of the serialized report or the rendered tables.
+    shadow_stats: dict[str, int] | None = None
 
     def kernel_names(self, *, main_image_only: bool = True) -> list[str]:
         names = sorted(self.kernels)
@@ -53,10 +57,14 @@ class QuadReport:
         io = self.kernels[name]
         return Table2Row(
             kernel=name,
-            in_excl=io.in_bytes_excl, in_unma_excl=len(io.in_unma_excl),
-            out_excl=io.out_bytes_excl, out_unma_excl=len(io.out_unma_excl),
-            in_incl=io.in_bytes_incl, in_unma_incl=len(io.in_unma_incl),
-            out_incl=io.out_bytes_incl, out_unma_incl=len(io.out_unma_incl),
+            in_excl=io.in_bytes_excl,
+            in_unma_excl=unma_card(io.in_unma_excl),
+            out_excl=io.out_bytes_excl,
+            out_unma_excl=unma_card(io.out_unma_excl),
+            in_incl=io.in_bytes_incl,
+            in_unma_incl=unma_card(io.in_unma_incl),
+            out_incl=io.out_bytes_incl,
+            out_unma_incl=unma_card(io.out_unma_incl),
         )
 
     def rows(self, *, main_image_only: bool = True) -> list[Table2Row]:
@@ -145,4 +153,17 @@ class QuadReport:
                 f"{r.out_unma_excl:>11}"
                 f"{r.in_incl:>12}{r.in_unma_incl:>11}{r.out_incl:>12}"
                 f"{r.out_unma_incl:>11}")
+        return "\n".join(lines)
+
+    def format_stats(self) -> str:
+        """Shadow footprint rendering for ``--stats`` (paged runs only)."""
+        s = self.shadow_stats
+        if s is None:
+            return "shadow stats unavailable (legacy shadow or merged run)"
+        lines = ["QUAD shadow memory:"]
+        lines.append(f"  page size            {s['page_size']:>12}")
+        lines.append(f"  shadow pages         {s['shadow_pages']:>12}")
+        lines.append(f"  UnMA bitmap pages    {s['unma_pages']:>12}")
+        lines.append(f"  resident shadow bytes{s['resident_bytes']:>12}")
+        lines.append(f"  interned kernels     {s['interned_kernels']:>12}")
         return "\n".join(lines)

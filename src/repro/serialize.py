@@ -21,6 +21,7 @@ from .core.options import StackPolicy, TQuadOptions
 from .core.report import TQuadReport
 from .gprofsim.report import FlatProfile, FlatRow
 from .quad.report import QuadReport
+from .quad.tracker import unma_card
 
 FORMAT_VERSION = 1
 
@@ -141,10 +142,10 @@ def quad_to_dict(report: QuadReport) -> dict[str, Any]:
             name: {
                 "in_incl": io.in_bytes_incl, "in_excl": io.in_bytes_excl,
                 "out_incl": io.out_bytes_incl, "out_excl": io.out_bytes_excl,
-                "in_unma_incl": len(io.in_unma_incl),
-                "in_unma_excl": len(io.in_unma_excl),
-                "out_unma_incl": len(io.out_unma_incl),
-                "out_unma_excl": len(io.out_unma_excl),
+                "in_unma_incl": unma_card(io.in_unma_incl),
+                "in_unma_excl": unma_card(io.in_unma_excl),
+                "out_unma_incl": unma_card(io.out_unma_incl),
+                "out_unma_excl": unma_card(io.out_unma_excl),
                 "reads": io.reads, "writes": io.writes,
                 "reads_nonstack": io.reads_nonstack,
                 "writes_nonstack": io.writes_nonstack,

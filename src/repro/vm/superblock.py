@@ -75,6 +75,17 @@ A record sink (see :class:`repro.core.recording.RecordingSink`) exposes:
 * ``cap`` — soft buffer capacity in *elements*, checked at trace entry;
 * ``flush_read`` / ``flush_write`` — aggregation callables.
 
+A sink may instead declare ``raw = True`` (see
+:class:`repro.quad.shadow.PagedQuadSink`): its single ``buf`` receives one
+*packed* ``int64`` per access — ``(rec_id + 1) << kid_shift |
+(size << 1 | is_write) << tail_shift | ea`` — plus negative
+``-1 - sp`` markers whenever the stack pointer changes (tracked through
+``sink.last_sp``; SP changes orders of magnitude less often than memory is
+touched).  The ``(rec_id + 1) << kid_shift`` head is hoisted into a local
+per trace segment, so the steady-state cost is one ``append`` per access.
+Raw sinks carry ``interval = 0``, which keeps their traces in exact event
+mode.
+
 When every instruction of the trace provably lands in one time slice
 (checked with a single division at entry — true unless the trace straddles
 a slice boundary, i.e. almost always), the generated code accumulates byte
@@ -218,6 +229,33 @@ class _Records:
         self.x = x
         self._vars: dict[tuple[int, str], tuple[str, str, object]] = {}
         self._dirty: list[tuple[int, str]] = []
+        #: raw sinks: sink id -> hoisted kernel-head local, valid for the
+        #: current segment (rec_id is stable between analysis thunks)
+        self._kh: dict[int, str] = {}
+        self._kh_names: dict[int, str] = {}
+        #: (sink id, record tail bits) -> local holding ``Kh | tail``, so a
+        #: steady-state record costs two int ops + a tuple slot
+        self._kq: dict[tuple[int, int], str] = {}
+        #: raw sinks whose ``last_sp`` is provably current at this point in
+        #: the emitted code (invalidated when an instruction may write SP)
+        self._sp_ok: set[int] = set()
+        #: pending packed-record expressions per raw sink, flushed as one
+        #: ``buf.extend((...))`` at segment close / SP-write boundaries
+        self._pend: dict[int, list[str]] = {}
+        self._pend_sinks: dict[int, object] = {}
+        #: sink id -> bound (buf.append, buf.extend) binding names; the
+        #: bound methods are hoisted once so the hot path skips the
+        #: attribute lookup (buffers are reset in place, never replaced)
+        self._buffns: dict[int, tuple[str, str]] = {}
+        self._na = 0
+
+    def _buf_fns(self, sink) -> tuple[str, str]:
+        sid = id(sink)
+        fns = self._buffns.get(sid)
+        if fns is None:
+            fns = self._buffns[sid] = (self.E.bind("ba", sink.buf.append),
+                                       self.E.bind("bx", sink.buf.extend))
+        return fns
 
     def declare(self, pairs: list) -> None:
         """Zero-init accumulator locals for every (sink, kind) in the body
@@ -236,6 +274,46 @@ class _Records:
     def access(self, sink, kind: str, size: int, k: int) -> None:
         """Emit the record for one memory access (``a`` holds the EA)."""
         E, x = self.E, self.x
+        if getattr(sink, "raw", False):
+            sid = id(sink)
+            if sid not in self._sp_ok:
+                self._sp_ok.add(sid)
+                S = E.bind("s", sink)
+                if self._pend.get(sid):
+                    # mid-segment SP write: capture SP now and thread the
+                    # marker through the pending stream, which keeps it
+                    # ordered without flushing the records gathered so far
+                    v = f"a{self._na}"
+                    self._na += 1
+                    E.add(f"{v} = {x}[2]")
+                    E.add(f"{S}.last_sp = {v}")
+                    self._pend[sid].append(f"-1 - {v}")
+                else:
+                    ap = self._buf_fns(sink)[0]
+                    E.add(f"if {S}.last_sp != {x}[2]:")
+                    E.add(f"    {S}.last_sp = {x}[2]")
+                    E.add(f"    {ap}(-1 - {x}[2])")
+            kh = self._kh.get(sid)
+            if kh is None:
+                name = self._kh_names.get(sid)
+                if name is None:
+                    name = self._kh_names[sid] = f"Kh{len(self._kh_names)}"
+                kh = self._kh[sid] = name
+                tag = E.bind("tag", sink.tag)
+                E.add(f"{kh} = ({tag}.rec_id + 1) << {sink.kid_shift}")
+            tail = (size << 1) | (1 if kind == "write" else 0)
+            kq = self._kq.get((sid, tail))
+            if kq is None:
+                kq = self._kq[(sid, tail)] = f"{kh}t{tail}"
+                E.add(f"{kq} = {kh} | {tail << sink.tail_shift}")
+            # the EA is *not* masked here: a wild address faults at this
+            # instruction's bounds check, before the pending extend runs
+            v = f"a{self._na}"
+            self._na += 1
+            E.add(f"{v} = a")
+            self._pend.setdefault(sid, []).append(f"{kq} | {v}")
+            self._pend_sinks[sid] = sink
+            return
         if self.mode == "agg":
             vI, vE, _ = self._vars[(id(sink), kind)]
             if sink.track_incl:
@@ -278,6 +356,19 @@ class _Records:
             names.append(vE)
         E.add(f"    {' = '.join(names)} = 0")
 
+    def _flush_raw(self, sid: int) -> None:
+        """Emit the pending packed records of one raw sink as a single
+        ``extend`` (or ``append`` for a lone record)."""
+        exprs = self._pend.get(sid)
+        if not exprs:
+            return
+        ap, ex = self._buf_fns(self._pend_sinks[sid])
+        if len(exprs) == 1:
+            self.E.add(f"{ap}({exprs[0]})")
+        else:
+            self.E.add(f"{ex}(({', '.join(exprs)}))")
+        exprs.clear()
+
     def close_segment(self) -> None:
         """Flush dirty accumulators to the buffers and reset them.  Emitted
         before analysis thunks (which may change ``tag.rec_id``) and before
@@ -285,6 +376,17 @@ class _Records:
         for key in self._dirty:
             self._emit_close(key)
         self._dirty.clear()
+        for sid in self._pend:
+            self._flush_raw(sid)
+        self._kh.clear()
+        self._kq.clear()
+
+    def sp_unsync(self) -> None:
+        """The just-emitted instruction may have written SP: raw sinks must
+        re-establish the SP marker before their next record.  Pending
+        records stay pending — ``access`` threads the marker through the
+        pending stream itself, so order is preserved without a flush."""
+        self._sp_ok.clear()
 
 
 
@@ -377,9 +479,13 @@ def _compile_block(machine, items, guarded: bool):
     # soft capacity check once, at trace entry: covers loops whose only
     # exits are side exits (the buffers the trace appends to are bounded by
     # cap + a few quads per execution)
+    checked: set[int] = set()
     for sink, kind in pairs:
-        buf = E.bind("b", sink.read_buf if kind == "read"
-                     else sink.write_buf)
+        b = sink.read_buf if kind == "read" else sink.write_buf
+        if id(b) in checked:        # raw sinks share one buf for both kinds
+            continue
+        checked.add(id(b))
+        buf = E.bind("b", b)
         fl = E.bind("fl", sink.flush_read if kind == "read"
                     else sink.flush_write)
         E.add(f"if len({buf}) > {int(sink.cap)}: {fl}()")
@@ -436,6 +542,10 @@ def _emit_body(E: _Emitter, machine, items, mode: str, m: str,
             rec.close_segment()
         terminated = _emit_instr(E, machine, index, ins, plan, k, n, rec,
                                  m, x)
+        if ins.rd == 2:
+            # conservatively treat any rd==2 as a possible SP write (for
+            # stores rd is the source register — re-checking is a no-op)
+            rec.sp_unsync()
     if not terminated:
         rec.close_segment()
         E.add(f"{m}.icount = ic + {n}")

@@ -73,6 +73,35 @@ class TestExtraTools:
         assert "-> w" in out or "<- main" in out
 
 
+class TestShadowFlags:
+    def test_legacy_shadow_json_matches_paged(self, app, tmp_path, capsys):
+        paged = tmp_path / "paged.json"
+        legacy = tmp_path / "legacy.json"
+        assert main(["profile", str(app), "--tool", "quad",
+                     "--json", str(paged)]) == 0
+        assert main(["profile", str(app), "--tool", "quad",
+                     "--shadow", "legacy", "--json", str(legacy)]) == 0
+        assert paged.read_text() == legacy.read_text()
+
+    def test_stats_flag_prints_footprint(self, app, capsys):
+        rc = main(["profile", str(app), "--tool", "quad", "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "QUAD shadow memory:" in out
+        assert "shadow pages" in out
+
+    def test_bogus_shadow_exits_2(self, app, capsys):
+        rc = main(["profile", str(app), "--tool", "quad",
+                   "--shadow", "bogus"])
+        assert rc == 2
+        assert "--shadow" in capsys.readouterr().err
+
+    def test_stats_without_quad_exits_2(self, app, capsys):
+        rc = main(["profile", str(app), "--stats"])
+        assert rc == 2
+        assert "--stats requires --tool quad" in capsys.readouterr().err
+
+
 class TestWcetCommand:
     def test_bound_with_loop_bounds(self, app, capsys):
         rc = main(["wcet", str(app), "r", "--bounds", "r:64"])

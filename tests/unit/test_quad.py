@@ -120,6 +120,80 @@ class TestShadowMemory:
         assert rep.row("producer").out_excl == 32 * 8  # OUT still tracked
 
 
+def _straddle_report(shadow: str, store: str, load: str,
+                     sp_off: int) -> "object":
+    """Run one store+load pair whose EA straddles SP (``ea < sp < ea+size``)
+    and return the QUAD report."""
+    src = f"""
+        .text
+        .func main
+    main:
+        li t0, {DATA_BASE}
+        addi t1, sp, 0     # save sp
+        addi sp, t0, {sp_off}  # sp sits inside the accessed range
+        li t2, -1
+        {store} t2, 0(t0)
+        {load} t3, 0(t0)
+        addi sp, t1, 0     # restore
+        halt
+        .endfunc
+    """
+    engine = PinEngine(assemble(src))
+    tool = QuadTool(shadow=shadow).attach(engine)
+    engine.run()
+    return tool.report()
+
+
+class TestSpStraddle:
+    """Byte-denominated columns split a straddling access per byte; the
+    dynamic access counters stay whole-access (``ea < sp``)."""
+
+    @pytest.mark.parametrize("shadow", ["paged", "legacy"])
+    def test_word_access_straddling_sp(self, shadow):
+        rep = _straddle_report(shadow, "sd", "ld", 4)
+        io = rep.kernels["main"]
+        row = rep.row("main")
+        assert (io.reads, io.writes) == (1, 1)
+        # whole-access classification: ea < sp, so both count non-stack
+        assert (io.reads_nonstack, io.writes_nonstack) == (1, 1)
+        # per-byte classification: only the 4 bytes under sp are excl
+        assert (row.in_incl, row.in_excl) == (8, 4)
+        assert (row.in_unma_incl, row.in_unma_excl) == (8, 4)
+        assert (row.out_unma_incl, row.out_unma_excl) == (8, 4)
+        assert (row.out_incl, row.out_excl) == (8, 4)
+        assert rep.bindings[("main", "main")] == [8, 4]
+
+    @pytest.mark.parametrize("shadow", ["paged", "legacy"])
+    def test_subword_access_straddling_sp(self, shadow):
+        # sw/lw cover bytes A..A+3 with sp = A+2: two bytes below, two
+        # above — on the paged path this runs the exact per-byte pipeline
+        rep = _straddle_report(shadow, "sw", "lw", 2)
+        row = rep.row("main")
+        assert (row.in_incl, row.in_excl) == (4, 2)
+        assert (row.in_unma_incl, row.in_unma_excl) == (4, 2)
+        assert (row.out_unma_incl, row.out_unma_excl) == (4, 2)
+        assert rep.bindings[("main", "main")] == [4, 2]
+
+
+class TestShadowStats:
+    def test_paged_report_carries_footprint_stats(self):
+        rep = run_quad(build_program(PIPELINE), shadow="paged")
+        s = rep.shadow_stats
+        assert s is not None and s["shadow_pages"] >= 1
+        assert s["interned_kernels"] >= 2
+        assert s["resident_bytes"] > 0
+        assert "QUAD shadow memory:" in rep.format_stats()
+
+    def test_legacy_report_has_no_stats(self):
+        rep = run_quad(build_program(PIPELINE), shadow="legacy")
+        assert rep.shadow_stats is None
+        assert "unavailable" in rep.format_stats()
+
+    def test_unknown_shadow_rejected(self):
+        with pytest.raises(ValueError):
+            QuadTool(shadow="bogus")
+
+
 class TestQuadReport:
     def test_table_rendering(self):
         rep = run_quad(build_program(PIPELINE))
