@@ -51,6 +51,8 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
         return _bad_usage("--interval must be a positive instruction count")
     if getattr(args, "jobs", 1) < 1:
         return _bad_usage("--jobs must be >= 1")
+    if getattr(args, "deadline", 1.0) <= 0:
+        return _bad_usage("--deadline must be a positive number of seconds")
     if getattr(args, "shadow", "paged") not in ("paged", "legacy"):
         return _bad_usage("--shadow must be 'paged' or 'legacy'")
     if getattr(args, "stats", False) and getattr(args, "tool", "") != "quad":
@@ -58,11 +60,48 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
     return None
 
 
+def _start_trace(args: argparse.Namespace):
+    """If ``--trace-out`` was given, switch span tracing on and open a
+    top-level span covering the whole command; returns it (or ``None``)."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from . import obs
+
+    obs.reset()
+    obs.enable()
+    span = obs.TELEMETRY.span(args.command, cat="cli")
+    span.__enter__()
+    return span
+
+
+def _finish_trace(args: argparse.Namespace, span) -> None:
+    """Close the command span, write the Chrome trace JSON and print the
+    timing summary to stderr (stdout stays byte-identical to an untraced
+    run — reports only)."""
+    if span is None:
+        return
+    from . import obs
+
+    span.__exit__(None, None, None)
+    obs.disable()
+    obs.write_chrome_trace(obs.TELEMETRY, args.trace_out)
+    print(f"wrote {args.trace_out}", file=sys.stderr)
+    print(obs.summary_table(obs.TELEMETRY), file=sys.stderr)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     err = _validate_profile_args(args)
     if err is not None:
         return err
     program = _load_program(args.file)
+    trace = _start_trace(args)
+    try:
+        return _profile_body(args, program)
+    finally:
+        _finish_trace(args, trace)
+
+
+def _profile_body(args: argparse.Namespace, program) -> int:
     options = TQuadOptions(slice_interval=args.interval,
                            exclude_libraries=args.exclude_libs)
     if args.jobs > 1:
@@ -72,7 +111,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         spec = {"tquad": lambda: TQuadSpec(options=options),
                 "quad": lambda: QuadSpec(shadow=args.shadow),
                 "gprof": GprofSpec}[args.tool]()
-        run = parallel_profile(program, spec, jobs=args.jobs)
+        run = parallel_profile(program, spec, jobs=args.jobs,
+                               deadline=args.deadline)
     if args.tool == "tquad":
         report = (run.reports["tquad"] if args.jobs > 1 else
                   run_tquad(program, options=options,
@@ -151,6 +191,14 @@ def _cmd_wfs(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     program = build_wfs_program(cfg)
+    trace = _start_trace(args)
+    try:
+        return _wfs_body(args, cfg, program)
+    finally:
+        _finish_trace(args, trace)
+
+
+def _wfs_body(args: argparse.Namespace, cfg, program) -> int:
     if args.report:
         from .analysis import case_study_report
 
@@ -168,7 +216,8 @@ def _cmd_wfs(args: argparse.Namespace) -> int:
         from .parallel import TQuadSpec, parallel_profile
 
         report = parallel_profile(program, TQuadSpec(options=options),
-                                  jobs=args.jobs, fs=fs).reports["tquad"]
+                                  jobs=args.jobs, fs=fs,
+                                  deadline=args.deadline).reports["tquad"]
     else:
         report = run_tquad(program, fs=fs, options=options)
     print(f"# WFS case study, preset {cfg.name!r}: "
@@ -257,6 +306,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--budget", type=int, default=200_000_000,
                        help="instruction budget (runaway guard)")
 
+    def observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a Chrome trace-event JSON of the run "
+                            "(checkpoint/replay/drain/merge spans; open in "
+                            "Perfetto or chrome://tracing) and print a "
+                            "timing summary to stderr")
+        p.add_argument("--deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="with --jobs N: seconds a worker may go without "
+                            "progress before it is declared hung and its "
+                            "shard is retried elsewhere (default: 30)")
+
     p = sub.add_parser("profile", help="profile a MiniC (.mc) or asm (.s) "
                                        "program")
     p.add_argument("file")
@@ -292,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--imix", action="store_true",
                    help="with --tool tquad: also print the instruction mix")
     common(p)
+    observability(p)
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("wcet", help="static WCET bound of a routine")
@@ -315,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the full case-study report as markdown")
     p.add_argument("--jobs", type=int, default=1,
                    help="profile with N worker processes (exact results)")
+    observability(p)
     p.set_defaults(fn=_cmd_wfs)
 
     p = sub.add_parser("disasm", help="disassemble a program")

@@ -1,0 +1,43 @@
+"""End-of-run telemetry summary: a plain-text table of where time went.
+
+Spans are aggregated by name (count, total and mean wall time), followed
+by the counters and gauges.  The table is what the CLI prints to stderr
+after a run with ``--trace-out`` — the ten-second view, with the full
+timeline in the exported Chrome trace.
+"""
+
+from __future__ import annotations
+
+from .core import Telemetry
+
+
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:,.2f}"
+
+
+def summary_table(tele: Telemetry) -> str:
+    """Render the aggregated spans + counters + gauges as a table."""
+    lines = ["== telemetry summary =="]
+    stats = tele.span_stats()
+    if stats:
+        lines.append(f"{'span':<28}{'count':>8}{'total ms':>12}"
+                     f"{'mean ms':>12}")
+        for name, (n, total) in sorted(stats.items(),
+                                       key=lambda kv: -kv[1][1]):
+            lines.append(f"{name:<28}{n:>8}{_fmt_ms(total):>12}"
+                         f"{_fmt_ms(total // n):>12}")
+    if tele.counters:
+        lines.append("")
+        lines.append(f"{'counter':<40}{'value':>14}")
+        for name in sorted(tele.counters):
+            lines.append(f"{name:<40}{tele.counters[name]:>14,}")
+    if tele.gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<40}{'value':>14}")
+        for name in sorted(tele.gauges):
+            v = tele.gauges[name]
+            text = f"{v:,.0f}" if float(v).is_integer() else f"{v:,.3f}"
+            lines.append(f"{name:<40}{text:>14}")
+    if len(lines) == 1:
+        lines.append("(no telemetry recorded)")
+    return "\n".join(lines)

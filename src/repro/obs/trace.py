@@ -1,0 +1,54 @@
+"""Chrome trace-event export.
+
+Serialises a :class:`~repro.obs.core.Telemetry` into the JSON object
+format consumed by Perfetto (https://ui.perfetto.dev) and Chrome's
+``chrome://tracing``: complete-duration ``"X"`` events with microsecond
+timestamps, thread-name metadata rows for the parent and each worker,
+and the final counter/gauge values under ``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import Telemetry
+
+#: tid used by parent-process (orchestrator) spans.
+MAIN_TID = 0
+
+
+def _thread_name(tid: int) -> str:
+    return "main" if tid == MAIN_TID else f"worker-{tid}"
+
+
+def to_chrome_trace(tele: Telemetry, *, pid: int = 1) -> dict:
+    """Render telemetry as a Chrome trace-event JSON object."""
+    events: list[dict] = []
+    tids = sorted({e[4] for e in tele.events} | {MAIN_TID})
+    for tid in tids:
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid,
+                       "args": {"name": _thread_name(tid)}})
+    for name, cat, ts, dur, tid, args in tele.events:
+        ev = {"name": name, "cat": cat, "ph": "X" if dur else "i",
+              "ts": ts / 1000.0, "pid": pid, "tid": tid}
+        if dur:
+            ev["dur"] = dur / 1000.0
+        else:
+            ev["s"] = "t"
+        if args:
+            ev["args"] = dict(args)
+        events.append(ev)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(tele.counters),
+                      "gauges": dict(tele.gauges)},
+    }
+
+
+def write_chrome_trace(tele: Telemetry, path: str) -> None:
+    """Write the trace-event JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(tele), fh, indent=1)
+        fh.write("\n")

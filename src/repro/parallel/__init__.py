@@ -8,11 +8,18 @@ of the per-shard results.  The merged reports are byte-identical to the
 serial tools' output — the differential tests in
 ``tests/property/test_prop_parallel.py`` and the scaling benchmark's
 assertions hold the pipeline to that.
+
+Workers are supervised (:mod:`repro.parallel.supervise`): crashes, hangs
+past a heartbeat deadline, and torn result payloads cost bounded retries
+— and at worst an in-process replay of the affected shard — never the
+run, and never byte-exactness.
 """
 
 from .checkpoint import CheckpointTracer, ShardSpec, iter_shards
 from .merge import merge_gprof, merge_quad, merge_tquad
 from .run import ParallelRun, parallel_profile
+from .supervise import (DEFAULT_DEADLINE, DEFAULT_MAX_RETRIES,
+                        HEARTBEAT_INTERVAL, Supervisor)
 from .worker import (GprofSpec, QuadSpec, ShardPagedQuadTool, ShardQuadTool,
                      ShardResult, ShardRunner, ToolSpec, TQuadSpec,
                      execute_shard)
@@ -24,4 +31,6 @@ __all__ = [
     "execute_shard", "ShardRunner", "ShardResult", "ShardQuadTool",
     "ShardPagedQuadTool",
     "merge_tquad", "merge_quad", "merge_gprof",
+    "Supervisor", "DEFAULT_DEADLINE", "DEFAULT_MAX_RETRIES",
+    "HEARTBEAT_INTERVAL",
 ]

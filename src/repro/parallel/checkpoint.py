@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from ..obs import Telemetry
 from ..pin import IARG, INS, IPOINT, PinEngine, RTN
 from ..vm.program import Program
 from ..vm.snapshot import MachineSnapshot
@@ -89,7 +90,8 @@ class CheckpointTracer:
 def iter_shards(program: Program, *, jobs: int, fs=None,
                 mem_size: int | None = None, jit: bool = True,
                 interval: int = 1, quantum: int | None = None,
-                align: bool = True) -> Iterator[ShardSpec]:
+                align: bool = True,
+                telemetry: Telemetry | None = None) -> Iterator[ShardSpec]:
     """Run the checkpoint pass over ``program``, yielding shards as their
     start state becomes known.
 
@@ -99,6 +101,10 @@ def iter_shards(program: Program, *, jobs: int, fs=None,
     geometric growth) — used by tests to force boundaries on or off slice
     edges via ``align``.
     """
+    if telemetry is None:
+        from .. import obs
+
+        telemetry = obs.TELEMETRY
     kwargs = {}
     if mem_size is not None:
         kwargs["mem_size"] = mem_size
@@ -113,7 +119,9 @@ def iter_shards(program: Program, *, jobs: int, fs=None,
         target = snap.icount + q
         if align and interval > 1:
             target = -(-target // interval) * interval
-        finished = engine.run_until(target) is not None
+        with telemetry.span("checkpoint", cat="parallel", shard=index):
+            finished = engine.run_until(target) is not None
+        telemetry.count("parallel/shards")
         yield ShardSpec(index=index, snapshot=snap, frames=frames,
                         start_icount=snap.icount,
                         end_icount=None if finished

@@ -35,6 +35,7 @@ import numpy as np
 from ..core.options import TQuadOptions
 from ..core.profiler import TQuadTool
 from ..gprofsim.tool import GprofTool
+from ..obs import Telemetry
 from ..pin import PinEngine
 from ..quad.tracker import QuadTool
 from ..vm.program import Program
@@ -341,15 +342,21 @@ class ShardRunner:
     """
 
     def __init__(self, program: Program, tool_specs: tuple[ToolSpec, ...],
-                 *, jit: bool = True):
+                 *, jit: bool = True, telemetry: Telemetry | None = None):
         self.program = program
         self.tool_specs = tuple(tool_specs)
         self.jit = jit
+        if telemetry is None:
+            from .. import obs
+
+            telemetry = obs.TELEMETRY
+        self.telemetry = telemetry
         self._engine: PinEngine | None = None
         self._tools: list[tuple[ToolSpec, object]] | None = None
 
     def execute(self, spec: ShardSpec) -> ShardResult:
         """Replay one shard and return its analysis payloads."""
+        tele = self.telemetry
         if self._engine is None:
             self._engine = PinEngine(self.program, snapshot=spec.snapshot,
                                      jit=self.jit)
@@ -361,33 +368,37 @@ class ShardRunner:
         engine, tools = self._engine, self._tools
         for ts, tool in tools:
             _seed_tool(ts, tool, spec)
-        if spec.end_icount is None:
-            exit_code = engine.run()
-        else:
-            exit_code = engine.run_until(spec.end_icount)
+        with tele.span("replay", cat="shard", shard=spec.index):
+            if spec.end_icount is None:
+                exit_code = engine.run()
+            else:
+                exit_code = engine.run_until(spec.end_icount)
+                with tele.span("drain", cat="shard", shard=spec.index):
+                    for ts, tool in tools:
+                        if isinstance(ts, TQuadSpec):
+                            tool._flush_buffers()
+                            tool.ledger.flush()
+                        elif isinstance(ts, QuadSpec):
+                            tool.flush()
+                        elif isinstance(ts, GprofSpec):
+                            tool.flush_shard()
+        tele.count("parallel/shards_replayed")
+        with tele.span("payload", cat="shard", shard=spec.index):
+            payloads: dict[str, object] = {}
             for ts, tool in tools:
                 if isinstance(ts, TQuadSpec):
-                    tool._flush_buffers()
-                    tool.ledger.flush()
+                    payloads[ts.key] = TQuadPayload(
+                        history=tool.ledger.history,
+                        prefetches_skipped=tool.prefetches_skipped)
                 elif isinstance(ts, QuadSpec):
-                    tool.flush()
+                    payloads[ts.key] = (_quad_paged_payload(tool)
+                                        if ts.shadow == "paged"
+                                        else _quad_payload(tool))
                 elif isinstance(ts, GprofSpec):
-                    tool.flush_shard()
-        payloads: dict[str, object] = {}
-        for ts, tool in tools:
-            if isinstance(ts, TQuadSpec):
-                payloads[ts.key] = TQuadPayload(
-                    history=tool.ledger.history,
-                    prefetches_skipped=tool.prefetches_skipped)
-            elif isinstance(ts, QuadSpec):
-                payloads[ts.key] = (_quad_paged_payload(tool)
-                                    if ts.shadow == "paged"
-                                    else _quad_payload(tool))
-            elif isinstance(ts, GprofSpec):
-                payloads[ts.key] = GprofPayload(
-                    self_instructions=tool.self_instructions,
-                    cumulative_instructions=tool.cumulative_instructions,
-                    calls=tool.calls, edges=tool.edges)
+                    payloads[ts.key] = GprofPayload(
+                        self_instructions=tool.self_instructions,
+                        cumulative_instructions=tool.cumulative_instructions,
+                        calls=tool.calls, edges=tool.edges)
         return ShardResult(index=spec.index,
                            end_icount=engine.machine.icount,
                            exit_code=exit_code, payloads=payloads)

@@ -25,6 +25,7 @@ from typing import Callable
 
 from ..isa.instruction import NO_PRED, Instr
 from ..isa.registers import RA, SP
+from ..obs import TELEMETRY as _TELEMETRY
 from ..vm.errors import InstructionBudgetExceeded
 from ..vm.filesystem import GuestFS
 from ..vm.layout import DEFAULT_MEM_SIZE, index_to_pc
@@ -239,6 +240,9 @@ class PinEngine:
         rtn = self.program.routine_at(index)
         iargs = call.iargs
         self.analysis_calls_inserted += 1
+        # memoized per static instruction (see _thunk_cache), so this is
+        # bounded by program size, not by execution length
+        _TELEMETRY.count("pin/analysis_calls_inserted")
 
         if all(a in STATIC_IARGS for a in iargs):
             consts = tuple(self._resolve_static(a, index, ins, rtn)

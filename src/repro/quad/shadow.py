@@ -57,6 +57,7 @@ from array import array
 import numpy as np
 
 from ..core.callstack import CallStack
+from ..obs import TELEMETRY as _TELEMETRY
 from ..vm.layout import DEFAULT_MEM_SIZE
 
 #: log2 of the shadow page size in bytes.
@@ -491,11 +492,14 @@ class PagedQuadSink:
 
     # ------------------------------------------------------------- drain
     def flush(self) -> None:
-        if not len(self.buf):
+        n = len(self.buf)
+        if not n:
             return
-        vals = np.frombuffer(self.buf, dtype=np.int64).copy()
-        del self.buf[:]
-        self._drain(vals)
+        _TELEMETRY.count("quad/records_drained", n)
+        with _TELEMETRY.span("drain", cat="quad", records=n):
+            vals = np.frombuffer(self.buf, dtype=np.int64).copy()
+            del self.buf[:]
+            self._drain(vals)
 
     def _drain(self, vals: np.ndarray) -> None:
         neg = vals < 0

@@ -144,9 +144,18 @@ class QuadTool:
                        IARG.RTN_NAME, IARG.RTN_IMAGE)
 
     def flush(self) -> None:
-        """Drain any buffered records (no-op on the legacy path)."""
+        """Drain any buffered records (no-op on the legacy path) and
+        publish the shadow-memory footprint gauges."""
         if self.sink is not None:
             self.sink.flush()
+            from .. import obs
+
+            for key, value in self.sink.stats().items():
+                obs.TELEMETRY.gauge(f"quad/{key}", value)
+        elif self.shadow:
+            from .. import obs
+
+            obs.TELEMETRY.gauge("quad/shadow_addresses", len(self.shadow))
 
     def _fini(self, exit_code: int) -> None:
         self.flush()

@@ -1,0 +1,13 @@
+"""Test infrastructure that ships with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection seam the
+fault-tolerant parallel runtime exposes; the crash-recovery and fuzz
+suites drive it, and operators can switch it on from the environment
+(``TQUAD_FAULTS``) to rehearse failure handling on real workloads.
+"""
+
+from .faults import (FaultInjector, FaultPlan, FaultSpec, InjectedFault,
+                     WorkerExit)
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "InjectedFault",
+           "WorkerExit"]

@@ -104,6 +104,7 @@ from typing import Callable
 
 from ..isa import opcodes as oc
 from ..isa.instruction import NO_PRED, Instr
+from ..obs import TELEMETRY as _TELEMETRY
 from .errors import ArithmeticFault, IllegalInstruction, MemoryFault
 from .layout import CODE_BASE, NULL_GUARD, index_to_pc
 
@@ -436,6 +437,10 @@ def build_block(machine, start: int):
             break
         i += 1
     fn = _compile_block(machine, items, guarded)
+    # block materializations are cached by the machine, so these land once
+    # per static block, not per execution
+    _TELEMETRY.count("vm/superblocks")
+    _TELEMETRY.count("vm/fused_instructions", len(items))
     return fn, [idx for idx, _, _ in items]
 
 

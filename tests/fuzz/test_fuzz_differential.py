@@ -1,0 +1,146 @@
+"""Differential fuzzing of the profiler stack.
+
+Hypothesis-generated MiniC guests (and a checked-in seed corpus) run
+under all three tools in three configurations — serial, sharded
+(``jobs=4``), and with the superblock JIT disabled — and every byte of
+every report must agree: JSON serialisations, rendered tables, the gprof
+call graph, the guest exit code and the retired-instruction count.  Any
+divergence is a real bug in the VM, the JIT, the instrumentation engine,
+or the shard/merge pipeline.
+
+Budget: the hypothesis example count comes from ``FUZZ_EXAMPLES``
+(default 15 — CI-sized); the nightly job sets ``TQUAD_NIGHTLY=1`` and a
+larger budget.  The hypothesis loop uses the inline executor (identical
+shard/seed/merge machinery, no fork overhead); real worker processes are
+exercised over the corpus.
+"""
+
+import os
+import pathlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import TQuadOptions
+from repro.minic import build_program
+from repro.parallel import (GprofSpec, QuadSpec, TQuadSpec,
+                            parallel_profile)
+from repro.serialize import flat_to_json, quad_to_json, tquad_to_json
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.mc"))
+
+FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "15"))
+FUZZ_NIGHTLY_EXAMPLES = int(os.environ.get("FUZZ_NIGHTLY_EXAMPLES", "200"))
+NIGHTLY = os.environ.get("TQUAD_NIGHTLY", "") == "1"
+
+INTERVAL = 97          # deliberately not a divisor of anything
+SPECS = (TQuadSpec(options=TQuadOptions(slice_interval=INTERVAL)),
+         QuadSpec(), GprofSpec())
+
+
+def fingerprint(src: str, *, jobs: int = 1, jit: bool = True,
+                executor: str = "process",
+                quantum: int | None = None) -> tuple:
+    """Every byte-level artifact of one profiling configuration."""
+    run = parallel_profile(build_program(src), SPECS, jobs=jobs, jit=jit,
+                           executor=executor, quantum=quantum, align=False)
+    tq, q, g = (run.reports["tquad"], run.reports["quad"],
+                run.reports["gprof"])
+    return (tquad_to_json(tq), tq.format_table(),
+            quad_to_json(q), q.format_table(),
+            flat_to_json(g), g.format_table(), g.format_call_graph(),
+            run.exit_code, run.total_instructions)
+
+
+def assert_all_configs_agree(src: str, *, executor: str = "inline",
+                             quantum: int = 173) -> None:
+    reference = fingerprint(src)
+    sharded = fingerprint(src, jobs=4, executor=executor, quantum=quantum)
+    nojit = fingerprint(src, jit=False)
+    for i, (a, b) in enumerate(zip(reference, sharded)):
+        assert a == b, f"serial vs jobs=4 diverged at artifact {i}"
+    for i, (a, b) in enumerate(zip(reference, nojit)):
+        assert a == b, f"serial vs jit-off diverged at artifact {i}"
+
+
+# --------------------------------------------------------------- generator
+@st.composite
+def guest_programs(draw):
+    """Random MiniC guests mixing int/float arrays, branches and calls."""
+    size = draw(st.sampled_from([8, 16, 24]))
+    n_funcs = draw(st.integers(min_value=1, max_value=4))
+    use_floats = draw(st.booleans())
+    decls = [f"int ga[{size}]; int gb[{size}];"]
+    if use_floats:
+        decls.append(f"float gf[{size}];")
+    funcs, calls = [], []
+    for f in range(n_funcs):
+        stmts = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            kind = draw(st.sampled_from(
+                ["fill", "sum", "copy", "branchy", "shift"]
+                + (["fsynth", "fsum"] if use_floats else [])))
+            k = draw(st.integers(1, 9))
+            if kind == "fill":
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ ga[i] = i * {k} + {f}; }}")
+            elif kind == "sum":
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ acc = acc + ga[i]; }}")
+            elif kind == "copy":
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ gb[i] = ga[i] ^ {k}; }}")
+            elif kind == "branchy":
+                stmts.append(
+                    f"for (i = 0; i < {size}; i++) {{ "
+                    f"if (ga[i] % {k + 1} == 0) {{ acc = acc + gb[i]; }} "
+                    f"else {{ gb[i] = gb[i] + {k}; }} }}")
+            elif kind == "shift":
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ gb[i] = (gb[i] << 1) | (ga[i] >> 1); }}")
+            elif kind == "fsynth":
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ gf[i] = (float)ga[i] * 0.5; }}")
+            else:  # fsum
+                stmts.append(f"for (i = 0; i < {size}; i++) "
+                             f"{{ acc = acc + (int)gf[i]; }}")
+        funcs.append(f"int f{f}() {{ int i; int acc = 0; "
+                     + " ".join(stmts) + " return acc; }")
+        for _ in range(draw(st.integers(min_value=1, max_value=2))):
+            calls.append(f"r = r + f{f}();")
+    return ("\n".join(decls) + "\n" + "\n".join(funcs)
+            + "\nint main() { int r = 0; " + " ".join(calls)
+            + " print_int(r); return r & 255; }")
+
+
+# -------------------------------------------------------------- the tests
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_differential_with_real_processes(path):
+    """Seed corpus: serial == --jobs 4 (real workers) == JIT-off."""
+    assert_all_configs_agree(path.read_text(), executor="process",
+                             quantum=600)
+
+
+def test_corpus_is_checked_in():
+    assert len(CORPUS) >= 5, "seed corpus missing"
+
+
+@given(guest_programs())
+@settings(max_examples=FUZZ_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fuzz_differential(src):
+    """Generated guests: all three configurations byte-agree."""
+    assert_all_configs_agree(src)
+
+
+@pytest.mark.nightly
+@pytest.mark.skipif(not NIGHTLY, reason="nightly budget (TQUAD_NIGHTLY=1)")
+@given(guest_programs())
+@settings(max_examples=FUZZ_NIGHTLY_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fuzz_differential_nightly(src):
+    """The same property at the nightly example budget, with shard
+    boundaries forced off slice edges at a second quantum."""
+    assert_all_configs_agree(src)
+    assert_all_configs_agree(src, quantum=311)
