@@ -9,16 +9,24 @@ We quantify that: per-kernel bandwidth curves at coarse intervals are
 compared against the finest run (resampled onto the same grid); the
 normalised RMS error grows monotonically-ish with the interval, and
 activity-span resolution degrades.
+
+The guest executes exactly once: the run is recorded through
+:mod:`repro.capture` at the finest interval and every coarser view is a
+vectorized replay (byte-identical to a direct run — the capture test
+suites assert that).
 """
+
+import io
 
 import numpy as np
 
 from conftest import save_artifact
 from repro.apps.wfs import TINY, build_wfs_program, make_workspace
-from repro.core import TQuadOptions, run_tquad
+from repro.capture import CaptureReader, capture_run, replay_tquad
+from repro.core import TQuadOptions
 
 BASE_INTERVAL = 500
-COARSE_INTERVALS = [1000, 4000, 16000, 64000]
+COARSE_INTERVALS = [1000, 4000, 16000, 64000]  # all multiples of the grain
 
 
 def _bandwidth_grid(report, kernel, n_points):
@@ -37,20 +45,29 @@ def _bandwidth_grid(report, kernel, n_points):
 def test_ablation_slice_interval(benchmark, outdir):
     program = build_wfs_program(TINY)
 
-    def profile(interval):
-        return run_tquad(program, fs=make_workspace(TINY),
-                         options=TQuadOptions(slice_interval=interval))
+    def capture():
+        buf = io.BytesIO()
+        capture_run(program, buf, fs=make_workspace(TINY),
+                    options=TQuadOptions(slice_interval=BASE_INTERVAL),
+                    tools=("tquad",), label="ablation")
+        buf.seek(0)
+        return CaptureReader(buf)
 
-    fine = benchmark.pedantic(lambda: profile(BASE_INTERVAL),
-                              rounds=1, iterations=1)
+    reader = benchmark.pedantic(capture, rounds=1, iterations=1)
+
+    def profile(interval):
+        return replay_tquad(reader,
+                            TQuadOptions(slice_interval=interval))
+
+    fine = profile(BASE_INTERVAL)
     kernels = fine.top_kernels(6)
     grid_points = 32
     reference = {k: _bandwidth_grid(fine, k, grid_points) for k in kernels}
 
     rows = []
     errors = []
-    for interval in COARSE_INTERVALS:
-        coarse = profile(interval)
+    coarse_reports = {i: profile(i) for i in COARSE_INTERVALS}
+    for interval, coarse in coarse_reports.items():
         errs = []
         for k in kernels:
             approx = _bandwidth_grid(coarse, k, grid_points)
@@ -69,9 +86,8 @@ def test_ablation_slice_interval(benchmark, outdir):
     assert rows[-1][2] < rows[0][2]
     # total bytes are conserved regardless of interval
     totals = {fine.total_bytes(write=False, include_stack=True)}
-    for interval in COARSE_INTERVALS:
-        totals.add(profile(interval).total_bytes(write=False,
-                                                 include_stack=True))
+    for coarse in coarse_reports.values():
+        totals.add(coarse.total_bytes(write=False, include_stack=True))
     assert len(totals) == 1
 
     lines = [f"{'interval':>10}{'rms error':>12}{'slices':>9}"

@@ -1,0 +1,39 @@
+"""Capture once, analyze many: persistent columnar execution captures.
+
+One instrumented execution records compressed, delta-encoded columnar
+event pages (:mod:`~repro.capture.format`); every later analysis —
+re-slicing tQUAD at a new interval, the gprof-sim flat profile, QUAD's
+communication bindings — replays from the capture with vectorized NumPy
+passes instead of re-running the VM (:mod:`~repro.capture.replay`), and
+is byte-identical to a direct run.
+
+Typical use::
+
+    from repro.capture import CaptureReader, capture_run, replay_tquad
+
+    capture_run(program, "run.capture", fs=fs,
+                options=TQuadOptions(slice_interval=500))
+    with CaptureReader("run.capture") as reader:
+        report = replay_tquad(reader,
+                              TQuadOptions(slice_interval=4000))
+"""
+
+from .format import (CAPTURE_VERSION, CaptureError, CaptureFormatError,
+                     CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
+                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, check_program,
+                     make_manifest, program_digest)
+from .reader import CaptureReader
+from .record import CallEventRecorder, capture_run
+from .replay import replay_gprof, replay_quad, replay_tquad
+from .segments import merge_capture_segments
+from .writer import CaptureCollector, CaptureWriter
+
+__all__ = [
+    "CAPTURE_VERSION", "CaptureError", "CaptureFormatError",
+    "CaptureMismatchError", "STREAM_CALLS", "STREAM_QUAD",
+    "STREAM_TQUAD_READ", "STREAM_TQUAD_WRITE",
+    "CaptureCollector", "CaptureReader", "CaptureWriter",
+    "CallEventRecorder", "capture_run", "check_program", "make_manifest",
+    "merge_capture_segments", "program_digest",
+    "replay_gprof", "replay_quad", "replay_tquad",
+]

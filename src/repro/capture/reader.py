@@ -1,0 +1,96 @@
+"""Reading captures back: manifest validation and column access."""
+
+from __future__ import annotations
+
+import json
+import os
+import zipfile
+from typing import Any, BinaryIO, Iterator
+
+import numpy as np
+
+from .format import (CAPTURE_VERSION, CaptureFormatError,
+                     CaptureMismatchError, MANIFEST_NAME, decode_page,
+                     page_name)
+
+
+class CaptureReader:
+    """Random access to a capture's manifest and page streams.
+
+    Pages decode lazily — :meth:`pages` yields one ``(rows, stride)``
+    array at a time so replays stay bounded in memory even for long
+    runs; :meth:`column` concatenates them for streams known to be
+    small (call events).
+    """
+
+    def __init__(self, file: str | BinaryIO):
+        if isinstance(file, (str, os.PathLike)) and not os.path.exists(file):
+            raise CaptureFormatError(f"capture file not found: {file}")
+        try:
+            self._zf = zipfile.ZipFile(file, "r")
+        except (zipfile.BadZipFile, OSError) as exc:
+            raise CaptureFormatError(
+                f"not a capture file (bad container): {exc}") from None
+        try:
+            raw = self._zf.read(MANIFEST_NAME)
+            self.manifest: dict[str, Any] = json.loads(raw)
+        except KeyError:
+            raise CaptureFormatError(
+                "not a capture file (no manifest — truncated or foreign "
+                "archive)") from None
+        except (json.JSONDecodeError, zipfile.BadZipFile) as exc:
+            raise CaptureFormatError(
+                f"corrupt capture manifest: {exc}") from None
+        if self.manifest.get("kind") != "capture":
+            raise CaptureFormatError("not a capture file (wrong kind)")
+        if self.manifest.get("format") != CAPTURE_VERSION:
+            raise CaptureFormatError(
+                f"unsupported capture format version "
+                f"{self.manifest.get('format')!r} "
+                f"(this build reads version {CAPTURE_VERSION})")
+
+    # ------------------------------------------------------------- access
+    @property
+    def streams(self) -> dict[str, dict[str, int]]:
+        return self.manifest.get("streams", {})
+
+    def has_stream(self, stream: str) -> bool:
+        return stream in self.streams
+
+    def require_stream(self, stream: str) -> dict[str, int]:
+        info = self.streams.get(stream)
+        if info is None:
+            have = ", ".join(sorted(self.streams)) or "none"
+            raise CaptureMismatchError(
+                f"capture has no {stream!r} stream (captured streams: "
+                f"{have}); re-record with the matching tool enabled")
+        return info
+
+    def pages(self, stream: str) -> Iterator[np.ndarray]:
+        info = self.require_stream(stream)
+        stride = info["stride"]
+        for index in range(info["pages"]):
+            try:
+                blob = self._zf.read(page_name(stream, index))
+            except (KeyError, zipfile.BadZipFile) as exc:
+                raise CaptureFormatError(
+                    f"corrupt capture page {stream}[{index}]: {exc}"
+                ) from None
+            yield decode_page(blob, stride)
+
+    def column(self, stream: str) -> np.ndarray:
+        """All rows of a stream as one ``(n, stride)`` array."""
+        info = self.require_stream(stream)
+        parts = list(self.pages(stream))
+        if not parts:
+            return np.empty((0, info["stride"]), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
+
+    def close(self) -> None:
+        self._zf.close()
+
+    def __enter__(self) -> "CaptureReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

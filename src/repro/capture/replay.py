@@ -1,0 +1,241 @@
+"""Vectorized re-analysis of captures — no VM execution involved.
+
+Each ``replay_*`` function rebuilds one tool's report from the captured
+streams, byte-identical to what the tool would have produced on a direct
+run (the property tests in ``tests/property/test_prop_capture.py`` and
+the golden-table tests assert this at the serialized-artifact level):
+
+* :func:`replay_tquad` — re-slicing is a grouped ``bincount`` over the
+  icount column, one page at a time; a capture recorded at grain ``g``
+  replays exactly at any interval that is a multiple of ``g``.
+* :func:`replay_gprof` — the call/return event stream drives the exact
+  :class:`~repro.gprofsim.tool.GprofTool` state machine (self/cumulative
+  charging, recursion depths, tail attribution), reproducing even its
+  dict-insertion-order-dependent tie-breaking.
+* :func:`replay_quad` — the packed record pages are drained through a
+  fresh :class:`~repro.quad.shadow.PagedQuadSink`, rebuilding the shadow
+  state with the same vectorized scatters as the live run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.callstack import CallStack
+from ..core.ledger import BandwidthLedger
+from ..core.options import StackPolicy, TQuadOptions
+from ..core.report import TQuadReport
+from ..gprofsim.report import FlatProfile, FlatRow
+from ..obs import TELEMETRY
+from .format import (CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
+                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, require_tool)
+from .reader import CaptureReader
+
+
+# ------------------------------------------------------------------ tQUAD
+def _resolve_tquad_options(manifest: dict,
+                           options: TQuadOptions | None) -> TQuadOptions:
+    mo = manifest["options"]
+    grain = int(mo["grain"])
+    captured = StackPolicy(mo["stack"])
+    if options is None:
+        return TQuadOptions(slice_interval=grain, stack=captured,
+                            exclude_libraries=bool(mo["exclude_libraries"]))
+    if bool(options.exclude_libraries) != bool(mo["exclude_libraries"]):
+        want = "--exclude-libs" if mo["exclude_libraries"] else \
+            "no --exclude-libs"
+        raise CaptureMismatchError(
+            f"capture was recorded with "
+            f"{'--exclude-libs' if mo['exclude_libraries'] else 'library accesses included'}; "
+            f"replay requires {want} (library exclusion happens at record "
+            f"time)")
+    if options.slice_interval % grain:
+        raise CaptureMismatchError(
+            f"slice interval {options.slice_interval} is not a multiple of "
+            f"the capture grain {grain}; re-record with a finer grain")
+    if captured is not StackPolicy.BOTH and options.stack is not captured:
+        raise CaptureMismatchError(
+            f"capture was recorded with stack policy "
+            f"'{captured.value}' and can only replay that policy "
+            f"(record with 'both' to derive either view)")
+    return options
+
+
+def replay_tquad(reader: CaptureReader,
+                 options: TQuadOptions | None = None,
+                 telemetry=TELEMETRY) -> TQuadReport:
+    """Rebuild a :class:`TQuadReport` from a capture.
+
+    ``options`` may re-slice (any multiple of the capture grain) and, for
+    captures recorded under ``StackPolicy.BOTH``, derive either
+    single-sided view; defaults to the capture's own recording options.
+    """
+    manifest = reader.manifest
+    require_tool(manifest, "tquad")
+    options = _resolve_tquad_options(manifest, options)
+    captured = StackPolicy(manifest["options"]["stack"])
+    names = manifest["kernels"]
+    ledger = BandwidthLedger(options.slice_interval)
+    interval = options.slice_interval
+    zero_excl = (captured is StackPolicy.BOTH
+                 and options.stack is StackPolicy.INCLUDE)
+    excl_only = (captured is StackPolicy.BOTH
+                 and options.stack is StackPolicy.EXCLUDE)
+    with telemetry.span("replay", cat="capture", tool="tquad",
+                        interval=interval):
+        for stream, write in ((STREAM_TQUAD_READ, False),
+                              (STREAM_TQUAD_WRITE, True)):
+            if not reader.has_stream(stream):
+                continue
+            for page in reader.pages(stream):
+                kid = page[:, 3]
+                mask = kid >= 0
+                if excl_only:
+                    mask &= page[:, 2] > 0
+                if not mask.all():
+                    page = page[mask]
+                    if page.shape[0] == 0:
+                        continue
+                    kid = page[:, 3]
+                ic = page[:, 0]
+                incl = np.zeros_like(kid) if excl_only else page[:, 1]
+                excl = np.zeros_like(kid) if zero_excl else page[:, 2]
+                sl = (ic - 1) // interval
+                base = int(sl.max()) + 1
+                uniq, inv = np.unique(kid * base + sl, return_inverse=True)
+                incl_t = np.bincount(inv, weights=incl,
+                                     minlength=uniq.size).astype(np.int64)
+                excl_t = np.bincount(inv, weights=excl,
+                                     minlength=uniq.size).astype(np.int64)
+                accumulate = ledger.accumulate
+                for j in range(uniq.size):
+                    k_id, s = divmod(int(uniq[j]), base)
+                    if write:
+                        accumulate(names[k_id], s, 0, 0, int(incl_t[j]),
+                                   int(excl_t[j]))
+                    else:
+                        accumulate(names[k_id], s, int(incl_t[j]),
+                                   int(excl_t[j]), 0, 0)
+    ledger.flushed = True
+    telemetry.count("capture/replays")
+    return TQuadReport(ledger=ledger, options=options,
+                       total_instructions=manifest["total_instructions"],
+                       images=dict(manifest["images"]), complete=True)
+
+
+# -------------------------------------------------------------- gprof-sim
+def replay_gprof(reader: CaptureReader, *, main_image_only: bool = True,
+                 telemetry=TELEMETRY) -> FlatProfile:
+    """Rebuild a :class:`FlatProfile` by driving gprof-sim's exact
+    charging algorithm over the captured call/return events."""
+    manifest = reader.manifest
+    require_tool(manifest, "gprof")
+    routines = [r[0] for r in manifest["routines"]]
+    images = manifest["images"]
+    total = manifest["total_instructions"]
+    self_instr: dict[str, int] = {}
+    cumulative: dict[str, int] = {}
+    calls: dict[str, int] = {}
+    edges: dict[tuple[str, str], int] = {}
+    stack: list[tuple[str, int]] = []            # (name, entry_icount)
+    on_stack: dict[str, int] = {}
+    last = 0
+    with telemetry.span("replay", cat="capture", tool="gprof"):
+        events = (reader.column(STREAM_CALLS).tolist()
+                  if reader.has_stream(STREAM_CALLS) else [])
+        for raw_ic, rid in events:
+            if rid >= 0:                          # routine entry
+                name = routines[rid]
+                ic = raw_ic - 1
+                if stack:
+                    top = stack[-1][0]
+                    self_instr[top] = self_instr.get(top, 0) + ic - last
+                    key = (top, name)
+                    edges[key] = edges.get(key, 0) + 1
+                last = ic
+                stack.append((name, ic))
+                on_stack[name] = on_stack.get(name, 0) + 1
+                calls[name] = calls.get(name, 0) + 1
+            else:                                 # return
+                if not stack:
+                    continue
+                name, entry_ic = stack.pop()
+                self_instr[name] = self_instr.get(name, 0) + raw_ic - last
+                last = raw_ic
+                depth = on_stack[name] - 1
+                on_stack[name] = depth
+                if depth == 0:
+                    cumulative[name] = (cumulative.get(name, 0)
+                                        + raw_ic - entry_ic)
+        if stack:                                 # tail attribution (fini)
+            top = stack[-1][0]
+            self_instr[top] = self_instr.get(top, 0) + total - last
+            for name, entry_ic in stack:
+                if on_stack.get(name, 0) == 1:
+                    cumulative[name] = (cumulative.get(name, 0)
+                                        + total - entry_ic)
+    rows = []
+    for name, si in self_instr.items():
+        if main_image_only and images.get(name, "main") != "main":
+            continue
+        rows.append(FlatRow(name=name, self_instructions=si,
+                            cumulative_instructions=cumulative.get(name, si),
+                            calls=calls.get(name, 0)))
+    rows.sort(key=lambda r: r.self_instructions, reverse=True)
+    telemetry.count("capture/replays")
+    return FlatProfile(rows=rows, total_instructions=total, edges=edges)
+
+
+# ------------------------------------------------------------------- QUAD
+def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
+                telemetry=TELEMETRY):
+    """Rebuild a :class:`~repro.quad.report.QuadReport` by draining the
+    captured packed-record pages through a fresh paged shadow."""
+    from ..quad.shadow import (DEFAULT_RAW_CAP, PagedQuadSink, _IN_EXCL,
+                               _IN_INCL, _OUT_EXCL, _OUT_INCL, _READS,
+                               _READS_NS, _V_IN_INCL, _WRITES, _WRITES_NS)
+    from ..quad.report import QuadReport
+    from ..quad.tracker import KernelIO
+
+    manifest = reader.manifest
+    require_tool(manifest, "quad")
+    names = manifest["quad_kernels"]
+    callstack = CallStack()
+    for name in names:
+        callstack.intern(name)
+    sink = PagedQuadSink(callstack, mem_size=manifest["mem_size"],
+                         track_bindings=track_bindings)
+    with telemetry.span("replay", cat="capture", tool="quad"):
+        if reader.has_stream(STREAM_QUAD):
+            for page in reader.pages(STREAM_QUAD):
+                vals = page.ravel()
+                # pages are sealed at the sink cap, but stay defensive:
+                # _drain's fast path is bounded per call
+                for lo in range(0, vals.size, DEFAULT_RAW_CAP):
+                    sink._drain(vals[lo:lo + DEFAULT_RAW_CAP])
+        sink._ensure_kernels()
+        counts = sink._counts
+        kernels: dict[str, KernelIO] = {}
+        for kid, name in enumerate(names):
+            c = counts[:, kid]
+            if c[_READS] == 0 and c[_WRITES] == 0:
+                continue
+            kernels[name] = KernelIO(
+                in_bytes_incl=int(c[_IN_INCL]),
+                in_bytes_excl=int(c[_IN_EXCL]),
+                out_bytes_incl=int(c[_OUT_INCL]),
+                out_bytes_excl=int(c[_OUT_EXCL]),
+                in_unma_incl=sink.unma_count(kid, _V_IN_INCL),
+                in_unma_excl=sink.unma_count(kid, _V_IN_INCL + 1),
+                out_unma_incl=sink.unma_count(kid, _V_IN_INCL + 2),
+                out_unma_excl=sink.unma_count(kid, _V_IN_INCL + 3),
+                reads=int(c[_READS]), writes=int(c[_WRITES]),
+                reads_nonstack=int(c[_READS_NS]),
+                writes_nonstack=int(c[_WRITES_NS]))
+        bindings = {(names[p], names[c]): list(v)
+                    for (p, c), v in sink.kid_bindings.items()}
+    telemetry.count("capture/replays")
+    return QuadReport(kernels=kernels, bindings=bindings,
+                      images=dict(manifest["images"]),
+                      total_instructions=manifest["total_instructions"],
+                      shadow_stats=sink.stats())

@@ -1,0 +1,55 @@
+"""Merging shard-local capture segments into one capture container.
+
+Parallel tQUAD shards record their quad pages into in-memory collectors
+(:class:`~repro.capture.writer.CaptureCollector`) with *shard-local*
+kernel ids — each worker interns kernel names in its own first-seen
+order.  The merge builds a global intern table in shard order and
+rewrites the ``kernel_id`` column of every page through a LUT before
+forwarding it to the real writer; everything else concatenates exactly.
+
+The merged capture replays to reports byte-identical to both the serial
+capture's replays and the parallel run's own merged report (the shard
+boundaries shift which page a quad lands in, never its value).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .format import STREAM_TQUAD_READ, STREAM_TQUAD_WRITE
+
+
+def merge_capture_segments(results, writer) -> list[str]:
+    """Forward the tQUAD capture pages of ``results`` (shard-ordered
+    :class:`~repro.parallel.worker.ShardResult` list) into ``writer``,
+    remapping kernel ids; returns the global kernel-name table for the
+    manifest."""
+    global_ids: dict[str, int] = {}
+    names: list[str] = []
+    for res in results:
+        payload = res.payloads.get("tquad")
+        if payload is None or payload.capture_pages is None:
+            raise ValueError(
+                f"shard {res.index} carries no capture segment "
+                f"(was the spec built with capture=True?)")
+        local = payload.capture_kernels or []
+        lut = np.empty(len(local), dtype=np.int64)
+        for i, name in enumerate(local):
+            gid = global_ids.get(name)
+            if gid is None:
+                gid = global_ids[name] = len(names)
+                names.append(name)
+            lut[i] = gid
+        for stream in (STREAM_TQUAD_READ, STREAM_TQUAD_WRITE):
+            for blob in payload.capture_pages.get(stream, ()):
+                arr = np.frombuffer(blob, dtype="<i8").reshape(-1, 4)
+                kid = arr[:, 3]
+                if (kid >= 0).all() and np.array_equal(
+                        lut[kid], kid):
+                    writer.add(stream, blob)
+                    continue
+                arr = arr.copy()
+                mask = kid >= 0
+                arr[mask, 3] = lut[arr[mask, 3]]
+                writer.add(stream, arr.tobytes())
+    return names

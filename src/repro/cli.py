@@ -10,6 +10,13 @@ Examples::
     tquad profile app.mc --tool gprof
     tquad wfs --preset tiny --phases
     tquad disasm app.mc
+
+Capture once, analyze many (see ``docs/capture.md``)::
+
+    tquad capture run app.mc --out app.capture --interval 500
+    tquad profile app.mc --from-capture app.capture --interval 4000
+    tquad profile app.mc --tool gprof --from-capture app.capture
+    tquad capture info app.capture
 """
 
 from __future__ import annotations
@@ -57,7 +64,116 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
         return _bad_usage("--shadow must be 'paged' or 'legacy'")
     if getattr(args, "stats", False) and getattr(args, "tool", "") != "quad":
         return _bad_usage("--stats requires --tool quad")
+    from_capture = getattr(args, "from_capture", None)
+    capture_out = getattr(args, "capture_out", None)
+    if from_capture and capture_out:
+        return _bad_usage("--from-capture and --capture-out are mutually "
+                          "exclusive (one reads a capture, one records it)")
+    if from_capture:
+        if getattr(args, "jobs", 1) > 1:
+            return _bad_usage("--from-capture replays without executing; "
+                              "it cannot be combined with --jobs")
+        if getattr(args, "cache", False) or getattr(args, "imix", False):
+            return _bad_usage("--cache/--imix re-execute the guest and "
+                              "cannot be combined with --from-capture")
+        if getattr(args, "shadow", "paged") == "legacy":
+            return _bad_usage("--from-capture replays the paged shadow; "
+                              "--shadow legacy is not available")
+        if getattr(args, "report", None):
+            return _bad_usage("--report re-executes the guest and cannot "
+                              "be combined with --from-capture")
+    if capture_out:
+        if getattr(args, "jobs", 1) > 1 and getattr(args, "tool",
+                                                    "tquad") != "tquad":
+            return _bad_usage("--capture-out with --jobs requires "
+                              "--tool tquad (only tQUAD shards emit "
+                              "capture segments)")
+        if getattr(args, "shadow", "paged") == "legacy":
+            return _bad_usage("--capture-out requires the paged shadow; "
+                              "drop --shadow legacy")
+        if getattr(args, "report", None):
+            return _bad_usage("--report cannot be combined with "
+                              "--capture-out")
     return None
+
+
+def _open_capture(path: str, program):
+    """Open + validate a capture for replaying ``program``; raises
+    :class:`repro.capture.CaptureError` with an operator-facing message."""
+    from .capture import CaptureReader, check_program
+
+    reader = CaptureReader(path)
+    check_program(reader.manifest, program)
+    return reader
+
+
+def _parallel_capture(args: argparse.Namespace, program, options, *,
+                      fs=None, label: str = ""):
+    """``--capture-out`` with ``--jobs N``: shards record capture segments
+    that merge into one exact capture file; returns the tQUAD report (or
+    an ``int`` exit code)."""
+    from .capture import CaptureWriter, make_manifest, program_digest
+    from .parallel import TQuadSpec, parallel_profile
+
+    writer = CaptureWriter(args.capture_out)
+    try:
+        run = parallel_profile(program,
+                               TQuadSpec(options=options, capture=True),
+                               jobs=args.jobs, fs=fs,
+                               deadline=args.deadline,
+                               capture_writer=writer)
+        writer.finalize(make_manifest(
+            program_sha=program_digest(program), label=label,
+            grain=options.slice_interval, stack=options.stack.value,
+            exclude_libraries=options.exclude_libraries,
+            total_instructions=run.total_instructions,
+            exit_code=run.exit_code, images=run.images,
+            kernels=run.capture_kernels or [], mem_size=run.mem_size,
+            tools=("tquad",),
+            prefetches_skipped=run.prefetches_skipped))
+    finally:
+        writer.close()
+    print(f"wrote {args.capture_out}", file=sys.stderr)
+    return run.reports["tquad"]
+
+
+def _captured_report(args: argparse.Namespace, program, options, *,
+                     fs=None, label: str = ""):
+    """Resolve the report when ``--from-capture``/``--capture-out`` is in
+    play.  Returns the tool's report object, or an ``int`` exit code.
+
+    ``--capture-out`` records the run and then *replays the freshly
+    written file* for printing — one execution, and the printed output
+    exercises the same path a later ``--from-capture`` will take.
+    """
+    from .capture import (CaptureError, CaptureReader, capture_run,
+                          replay_gprof, replay_quad, replay_tquad)
+
+    tool = getattr(args, "tool", "tquad")
+    if getattr(args, "capture_out", None):
+        if getattr(args, "jobs", 1) > 1:
+            return _parallel_capture(args, program, options, fs=fs,
+                                     label=label)
+        capture_run(program, args.capture_out, fs=fs, options=options,
+                    tools=(tool,), label=label,
+                    max_instructions=getattr(args, "budget", None))
+        print(f"wrote {args.capture_out}", file=sys.stderr)
+        source = args.capture_out
+    else:
+        source = args.from_capture
+    try:
+        if getattr(args, "capture_out", None):
+            reader = CaptureReader(source)  # fresh file: digest matches
+        else:
+            reader = _open_capture(source, program)
+        with reader:
+            if tool == "tquad":
+                return replay_tquad(reader, options)
+            if tool == "quad":
+                return replay_quad(reader)
+            return replay_gprof(reader)
+    except CaptureError as err:
+        return _bad_usage(str(err))
 
 
 def _start_trace(args: argparse.Namespace):
@@ -104,7 +220,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _profile_body(args: argparse.Namespace, program) -> int:
     options = TQuadOptions(slice_interval=args.interval,
                            exclude_libraries=args.exclude_libs)
-    if args.jobs > 1:
+    captured = None
+    if args.from_capture or args.capture_out:
+        captured = _captured_report(args, program, options)
+        if isinstance(captured, int):
+            return captured
+    elif args.jobs > 1:
         from .parallel import (GprofSpec, QuadSpec, TQuadSpec,
                                parallel_profile)
 
@@ -114,7 +235,8 @@ def _profile_body(args: argparse.Namespace, program) -> int:
         run = parallel_profile(program, spec, jobs=args.jobs,
                                deadline=args.deadline)
     if args.tool == "tquad":
-        report = (run.reports["tquad"] if args.jobs > 1 else
+        report = (captured if captured is not None else
+                  run.reports["tquad"] if args.jobs > 1 else
                   run_tquad(program, options=options,
                             max_instructions=args.budget))
         if args.json:
@@ -149,7 +271,8 @@ def _profile_body(args: argparse.Namespace, program) -> int:
             print()
             print(tool.format_table(top=args.top))
     elif args.tool == "quad":
-        report = (run.reports["quad"] if args.jobs > 1 else
+        report = (captured if captured is not None else
+                  run.reports["quad"] if args.jobs > 1 else
                   run_quad(program, max_instructions=args.budget,
                            shadow=args.shadow))
         if args.json:
@@ -163,7 +286,8 @@ def _profile_body(args: argparse.Namespace, program) -> int:
             print()
             print(report.format_stats())
     elif args.tool == "gprof":
-        flat = (run.reports["gprof"] if args.jobs > 1 else
+        flat = (captured if captured is not None else
+                run.reports["gprof"] if args.jobs > 1 else
                 run_gprof(program, max_instructions=args.budget))
         if args.json:
             from .serialize import flat_to_json
@@ -210,16 +334,24 @@ def _wfs_body(args: argparse.Namespace, cfg, program) -> int:
             fh.write(result.markdown)
         print(f"wrote {args.report}")
         return 0
-    fs = make_workspace(cfg)
     options = TQuadOptions(slice_interval=args.interval)
-    if args.jobs > 1:
+    if args.from_capture or args.capture_out:
+        outcome = _captured_report(
+            args, program, options,
+            fs=None if args.from_capture else make_workspace(cfg),
+            label=f"wfs-{cfg.name}")
+        if isinstance(outcome, int):
+            return outcome
+        report = outcome
+    elif args.jobs > 1:
         from .parallel import TQuadSpec, parallel_profile
 
         report = parallel_profile(program, TQuadSpec(options=options),
-                                  jobs=args.jobs, fs=fs,
+                                  jobs=args.jobs, fs=make_workspace(cfg),
                                   deadline=args.deadline).reports["tquad"]
     else:
-        report = run_tquad(program, fs=fs, options=options)
+        report = run_tquad(program, fs=make_workspace(cfg),
+                           options=options)
     print(f"# WFS case study, preset {cfg.name!r}: "
           f"{report.total_instructions} instructions, "
           f"{report.n_slices} slices of {report.interval}")
@@ -296,6 +428,60 @@ def _cmd_wcet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_capture_run(args: argparse.Namespace) -> int:
+    from .capture import capture_run
+    from .capture.record import CAPTURE_TOOLS
+
+    if args.interval <= 0:
+        return _bad_usage("--interval must be a positive instruction count")
+    tools = tuple(t.strip() for t in args.tools.split(",") if t.strip())
+    if not tools or any(t not in CAPTURE_TOOLS for t in tools):
+        return _bad_usage("--tools takes a comma-separated subset of "
+                          + ",".join(CAPTURE_TOOLS))
+    program = _load_program(args.file)
+    options = TQuadOptions(slice_interval=args.interval,
+                           exclude_libraries=args.exclude_libs)
+    trace = _start_trace(args)
+    try:
+        manifest = capture_run(program, args.out, options=options,
+                               tools=tools, label=args.label,
+                               max_instructions=args.budget)
+    finally:
+        _finish_trace(args, trace)
+    streams = manifest["streams"]
+    rows = sum(s["rows"] for s in streams.values())
+    print(f"wrote {args.out}: {manifest['total_instructions']} "
+          f"instructions, {rows} rows in {len(streams)} streams "
+          f"(grain {manifest['options']['grain']}, "
+          f"tools {','.join(manifest['tools'])})")
+    return 0
+
+
+def _cmd_capture_info(args: argparse.Namespace) -> int:
+    from .capture import CaptureError, CaptureReader
+
+    try:
+        reader = CaptureReader(args.file)
+    except CaptureError as err:
+        return _bad_usage(str(err))
+    with reader:
+        man = reader.manifest
+    opt = man["options"]
+    print(f"capture v{man['format']}  "
+          f"program {man['program_sha256'][:12]}")
+    if man.get("label"):
+        print(f"label: {man['label']}")
+    print(f"tools: {', '.join(man['tools']) or 'none'}")
+    print(f"options: grain={opt['grain']} stack={opt['stack']} "
+          f"exclude_libraries={opt['exclude_libraries']}")
+    print(f"run: {man['total_instructions']} instructions, "
+          f"exit {man['exit_code']}, {len(man['kernels'])} kernels, "
+          f"{len(man['routines'])} routines")
+    for name, s in sorted(man["streams"].items()):
+        print(f"stream {name}: {s['rows']} rows in {s['pages']} pages")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tquad",
@@ -352,6 +538,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --tool tquad: also simulate the data cache")
     p.add_argument("--imix", action="store_true",
                    help="with --tool tquad: also print the instruction mix")
+    p.add_argument("--capture-out", metavar="PATH",
+                   help="record a replayable capture of this run (the "
+                        "printed report is itself replayed from it)")
+    p.add_argument("--from-capture", metavar="PATH",
+                   help="replay the report from a capture file instead "
+                        "of executing the program")
     common(p)
     observability(p)
     p.set_defaults(fn=_cmd_profile)
@@ -377,8 +569,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the full case-study report as markdown")
     p.add_argument("--jobs", type=int, default=1,
                    help="profile with N worker processes (exact results)")
+    p.add_argument("--capture-out", metavar="PATH",
+                   help="record a replayable capture of the case study")
+    p.add_argument("--from-capture", metavar="PATH",
+                   help="replay the case study from a capture file")
     observability(p)
     p.set_defaults(fn=_cmd_wfs)
+
+    p = sub.add_parser("capture",
+                       help="record or inspect execution captures "
+                            "(capture once, analyze many)")
+    csub = p.add_subparsers(dest="capture_command", required=True)
+    cp = csub.add_parser("run", help="execute a program once, recording "
+                                     "replayable capture streams")
+    cp.add_argument("file")
+    cp.add_argument("--out", required=True, metavar="PATH",
+                    help="capture file to write")
+    cp.add_argument("--interval", type=int, default=5000,
+                    help="capture grain in instructions; tQUAD replays "
+                         "accept any multiple of it")
+    cp.add_argument("--tools", default="tquad,gprof,quad",
+                    help="comma-separated streams to record "
+                         "(default: tquad,gprof,quad)")
+    cp.add_argument("--exclude-libs", action="store_true",
+                    help="drop accesses made inside library routines")
+    cp.add_argument("--label", default="",
+                    help="free-form label stored in the manifest")
+    common(cp)
+    observability(cp)
+    cp.set_defaults(fn=_cmd_capture_run)
+    cp = csub.add_parser("info", help="print a capture's manifest summary")
+    cp.add_argument("file")
+    cp.set_defaults(fn=_cmd_capture_info)
 
     p = sub.add_parser("disasm", help="disassemble a program")
     p.add_argument("file")

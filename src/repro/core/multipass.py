@@ -5,16 +5,25 @@ different time slices" and "for some of the kernels … upper bounds are
 specified [because] slight inconsistencies in the measurements of the
 overall time slices were detected."
 
-:func:`profile_passes` runs tQUAD several times with different slice
-intervals over fresh program/filesystem instances, and
-:class:`MultiPassResult` reports per-kernel averages with the spread across
-passes — when the spread is non-negligible, the rendered value carries the
-paper's ``<`` upper-bound marker.
+:func:`profile_passes` produces tQUAD reports for several slice intervals,
+and :class:`MultiPassResult` reports per-kernel averages with the spread
+across passes — when the spread is non-negligible, the rendered value
+carries the paper's ``<`` upper-bound marker.
+
+Since the capture backend (:mod:`repro.capture`) landed, the passes no
+longer re-execute the VM per interval: one instrumented run captures the
+access quads at the gcd of the requested intervals, and each pass is a
+vectorized replay (byte-identical to a direct run at that interval — the
+property tests assert this).  ``reexecute=True`` keeps the legacy
+one-VM-run-per-interval path for differential reference.
 """
 
 from __future__ import annotations
 
+import io
+import math
 from dataclasses import dataclass
+from functools import reduce
 from typing import Callable
 
 from ..pin import PinEngine
@@ -128,21 +137,48 @@ class MultiPassResult:
 
 def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
                    options: TQuadOptions | None = None,
-                   max_instructions: int | None = None) -> MultiPassResult:
-    """Run tQUAD once per interval.
+                   max_instructions: int | None = None,
+                   reexecute: bool = False) -> MultiPassResult:
+    """Produce tQUAD reports for each of ``intervals``.
 
     ``build()`` must return a fresh ``(program, fs)`` pair per call (the
-    machine is single-shot).  ``options`` provides the non-interval settings.
+    machine is single-shot).  ``options`` provides the non-interval
+    settings.  By default the guest executes *once*, capturing at the gcd
+    of the intervals, and each pass replays from the capture;
+    ``reexecute=True`` forces the legacy one-run-per-interval path (also
+    taken for a single interval, where a capture buys nothing).
     """
     base = options or TQuadOptions()
     reports: dict[int, TQuadReport] = {}
-    for interval in intervals:
-        program, fs = build()
-        opts = TQuadOptions(slice_interval=interval, stack=base.stack,
-                            exclude_libraries=base.exclude_libraries,
-                            kernels=base.kernels)
-        engine = PinEngine(program, fs=fs)
-        tool = TQuadTool(opts).attach(engine)
-        engine.run(max_instructions=max_instructions)
-        reports[interval] = tool.report()
+    if reexecute or len(set(intervals)) < 2:
+        for interval in intervals:
+            program, fs = build()
+            opts = TQuadOptions(slice_interval=interval, stack=base.stack,
+                                exclude_libraries=base.exclude_libraries,
+                                kernels=base.kernels)
+            engine = PinEngine(program, fs=fs)
+            tool = TQuadTool(opts).attach(engine)
+            engine.run(max_instructions=max_instructions)
+            reports[interval] = tool.report()
+        return MultiPassResult(reports=reports)
+
+    from ..capture import CaptureReader, capture_run, replay_tquad
+
+    grain = reduce(math.gcd, intervals)
+    program, fs = build()
+    buf = io.BytesIO()
+    capture_run(program, buf, fs=fs,
+                options=TQuadOptions(slice_interval=grain,
+                                     stack=base.stack,
+                                     exclude_libraries=base.exclude_libraries),
+                tools=("tquad",), label="multipass",
+                max_instructions=max_instructions)
+    buf.seek(0)
+    with CaptureReader(buf) as reader:
+        for interval in intervals:
+            reports[interval] = replay_tquad(
+                reader,
+                TQuadOptions(slice_interval=interval, stack=base.stack,
+                             exclude_libraries=base.exclude_libraries,
+                             kernels=base.kernels))
     return MultiPassResult(reports=reports)

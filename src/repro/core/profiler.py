@@ -32,17 +32,26 @@ from ..vm.program import MAIN_IMAGE
 from .callstack import CallStack
 from .ledger import BandwidthLedger
 from .options import StackPolicy, TQuadOptions
-from .recording import RecordingSink, make_recorder
+from .recording import CapturingRecordingSink, RecordingSink, make_recorder
 from .report import TQuadReport
 
 
 class TQuadTool:
-    """Temporal memory-bandwidth profiler (the paper's primary artifact)."""
+    """Temporal memory-bandwidth profiler (the paper's primary artifact).
+
+    With ``capture`` set (any page sink with ``add(stream, data)`` — a
+    :class:`repro.capture.writer.CaptureWriter` or ``CaptureCollector``),
+    the buffered recording path also persists every sealed quad buffer,
+    enabling offline re-analysis via :mod:`repro.capture.replay`.
+    """
 
     def __init__(self, options: TQuadOptions | None = None, *,
-                 buffered: bool = True):
+                 buffered: bool = True, capture=None):
         self.options = options or TQuadOptions()
         self.buffered = buffered
+        self.capture = capture
+        if capture is not None and not buffered:
+            raise ValueError("capture requires the buffered recording path")
         self.callstack = CallStack(
             exclude_library_accesses=self.options.exclude_libraries)
         self.ledger = BandwidthLedger(self.options.slice_interval)
@@ -66,8 +75,13 @@ class TQuadTool:
         self._machine = engine.machine
         self._images = {r.name: r.image for r in engine.program.routines}
         if self.buffered:
-            self._sink = RecordingSink(self.ledger, self.callstack,
-                                       self.options.stack)
+            if self.capture is not None:
+                self._sink = CapturingRecordingSink(
+                    self.ledger, self.callstack, self.options.stack,
+                    self.capture)
+            else:
+                self._sink = RecordingSink(self.ledger, self.callstack,
+                                           self.options.stack)
             self._rec_read = make_recorder(self._sink, engine.machine,
                                            write=False)
             self._rec_write = make_recorder(self._sink, engine.machine,
@@ -94,6 +108,8 @@ class TQuadTool:
         self.ledger.reset()
         if self._sink is not None:
             self._sink.reset()
+        if self.capture is not None and hasattr(self.capture, "reset"):
+            self.capture.reset()
         self.prefetches_skipped = 0
         self.finished = False
 

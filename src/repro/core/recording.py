@@ -116,6 +116,36 @@ class RecordingSink:
                            0, 0)
 
 
+class CapturingRecordingSink(RecordingSink):
+    """A :class:`RecordingSink` that also spills every sealed buffer to a
+    capture sink (any object with ``add(stream, data)`` — see
+    :mod:`repro.capture.writer`) before aggregating it.
+
+    The hot path is untouched: emission still appends to the same flat
+    buffers through the same bound methods, and the capture cost is one
+    ``tobytes`` per *flush* (every ~64k elements), not per event.  The
+    captured pages are therefore the exact quads the ledger aggregation
+    consumed, which is what makes replay byte-identical.
+    """
+
+    __slots__ = ("capture",)
+
+    #: stream names, kept in sync with repro.capture.format
+    READ_STREAM = "tquad.read"
+    WRITE_STREAM = "tquad.write"
+
+    def __init__(self, ledger: BandwidthLedger, callstack: CallStack,
+                 policy: StackPolicy, capture, *, cap: int = DEFAULT_CAP):
+        super().__init__(ledger, callstack, policy, cap=cap)
+        self.capture = capture
+
+    def _flush(self, buf: array, *, write: bool) -> None:
+        if buf:
+            self.capture.add(self.WRITE_STREAM if write else
+                             self.READ_STREAM, buf.tobytes())
+        super()._flush(buf, write=write)
+
+
 def make_recorder(sink: RecordingSink, machine, *, write: bool):
     """A per-instruction-tier analysis routine that records into ``sink``.
 

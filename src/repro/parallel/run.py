@@ -47,6 +47,7 @@ from ..obs import Telemetry
 from ..pin import PinEngine
 from ..quad.tracker import QuadTool
 from ..testing.faults import FaultInjector, FaultPlan
+from ..vm.layout import DEFAULT_MEM_SIZE
 from ..vm.program import Program
 from .checkpoint import iter_shards
 from .merge import merge_gprof, merge_quad, merge_tquad
@@ -72,6 +73,11 @@ class ParallelRun:
     degraded: int = 0
     #: Worker processes actually forked (lazily; ≤ ``jobs``).
     workers_spawned: int = 0
+    #: Global kernel intern table of the emitted capture segments (when a
+    #: ``capture_writer`` was given) — the manifest's ``kernels`` key.
+    capture_kernels: list[str] | None = None
+    #: ``machine.mem_size`` of the profiled run (for capture manifests).
+    mem_size: int = 0
 
 
 def _default_telemetry() -> Telemetry:
@@ -81,16 +87,20 @@ def _default_telemetry() -> Telemetry:
 
 
 def _serial_run(program: Program, tool_specs: tuple[ToolSpec, ...], *,
-                fs, mem_size, jit, telemetry: Telemetry) -> ParallelRun:
+                fs, mem_size, jit, telemetry: Telemetry,
+                capture_writer=None) -> ParallelRun:
     """The reference path: one engine, tools co-attached, no sharding."""
     kwargs = {}
     if mem_size is not None:
         kwargs["mem_size"] = mem_size
     engine = PinEngine(program, fs=fs, jit=jit, **kwargs)
     tools: list[tuple[ToolSpec, object]] = []
+    capture_kernels = None
     for ts in tool_specs:
         if isinstance(ts, TQuadSpec):
-            tool = TQuadTool(ts.options, buffered=ts.buffered)
+            tool = TQuadTool(ts.options, buffered=ts.buffered,
+                             capture=(capture_writer if ts.capture
+                                      else None))
         elif isinstance(ts, QuadSpec):
             tool = QuadTool(track_bindings=ts.track_bindings,
                             shadow=ts.shadow)
@@ -112,10 +122,14 @@ def _serial_run(program: Program, tool_specs: tuple[ToolSpec, ...], *,
                 reports[ts.key] = tool.report()
             if isinstance(ts, TQuadSpec):
                 prefetches = tool.prefetches_skipped
+                if ts.capture:
+                    capture_kernels = list(tool.callstack.interned_names)
     return ParallelRun(reports=reports, exit_code=exit_code,
                        total_instructions=engine.machine.icount,
                        n_shards=1, jobs=1, prefetches_skipped=prefetches,
-                       images={r.name: r.image for r in program.routines})
+                       images={r.name: r.image for r in program.routines},
+                       capture_kernels=capture_kernels,
+                       mem_size=engine.machine.mem_size)
 
 
 def parallel_profile(program: Program,
@@ -126,7 +140,8 @@ def parallel_profile(program: Program,
                      deadline: float = DEFAULT_DEADLINE,
                      max_retries: int = DEFAULT_MAX_RETRIES,
                      faults: FaultPlan | None = None,
-                     telemetry: Telemetry | None = None) -> ParallelRun:
+                     telemetry: Telemetry | None = None,
+                     capture_writer=None) -> ParallelRun:
     """Profile ``program`` with the requested tools using ``jobs`` workers.
 
     ``executor`` selects how shards run when ``jobs > 1``: ``"process"``
@@ -149,10 +164,15 @@ def parallel_profile(program: Program,
         raise ValueError("jobs must be >= 1")
     if len({ts.key for ts in tool_specs}) != len(tool_specs):
         raise ValueError("at most one spec per tool kind")
+    if capture_writer is not None and not any(
+            isinstance(ts, TQuadSpec) and ts.capture for ts in tool_specs):
+        raise ValueError("capture_writer requires a TQuadSpec with "
+                         "capture=True")
     tele = telemetry if telemetry is not None else _default_telemetry()
     if jobs == 1:
         return _serial_run(program, tool_specs, fs=fs, mem_size=mem_size,
-                           jit=jit, telemetry=tele)
+                           jit=jit, telemetry=tele,
+                           capture_writer=capture_writer)
     if executor not in ("process", "inline"):
         raise ValueError(f"unknown executor {executor!r}")
 
@@ -193,6 +213,13 @@ def parallel_profile(program: Program,
                 reports[ts.key] = merge_quad(results, ts, images, total)
             elif isinstance(ts, GprofSpec):
                 reports[ts.key] = merge_gprof(results, ts, images, total)
+    capture_kernels = None
+    if capture_writer is not None:
+        from ..capture.segments import merge_capture_segments
+
+        with tele.span("merge", cat="capture", shards=len(results)):
+            capture_kernels = merge_capture_segments(results,
+                                                     capture_writer)
     return ParallelRun(reports=reports,
                        exit_code=final.exit_code if final.exit_code
                        is not None else 0,
@@ -202,4 +229,7 @@ def parallel_profile(program: Program,
                        retries=supervisor.retries if supervisor else 0,
                        degraded=supervisor.degraded if supervisor else 0,
                        workers_spawned=(supervisor._spawned
-                                        if supervisor else 0))
+                                        if supervisor else 0),
+                       capture_kernels=capture_kernels,
+                       mem_size=DEFAULT_MEM_SIZE if mem_size is None
+                       else mem_size)

@@ -50,6 +50,9 @@ class TQuadSpec:
     key: ClassVar[str] = "tquad"
     options: TQuadOptions = field(default_factory=TQuadOptions)
     buffered: bool = True
+    #: Also collect capture pages (shipped home in the shard payload and
+    #: merged by :mod:`repro.capture.segments`).  Requires ``buffered``.
+    capture: bool = False
 
 
 @dataclass(frozen=True)
@@ -83,6 +86,11 @@ ToolSpec = TQuadSpec | QuadSpec | GprofSpec
 class TQuadPayload:
     history: dict[str, dict[int, tuple[int, int, int, int]]]
     prefetches_skipped: int
+    #: stream -> sealed capture pages (raw int64 bytes, shard-local
+    #: kernel ids) when the spec asked for capture, else ``None``.
+    capture_pages: dict[str, list[bytes]] | None = None
+    #: shard-local kernel-id -> name table for remapping at merge.
+    capture_kernels: list[str] | None = None
 
 
 @dataclass
@@ -245,7 +253,13 @@ def build_tools(engine: PinEngine,
     tools: list[tuple[ToolSpec, object]] = []
     for ts in tool_specs:
         if isinstance(ts, TQuadSpec):
-            tool = TQuadTool(ts.options, buffered=ts.buffered).attach(engine)
+            capture = None
+            if ts.capture:
+                from ..capture.writer import CaptureCollector
+
+                capture = CaptureCollector()
+            tool = TQuadTool(ts.options, buffered=ts.buffered,
+                             capture=capture).attach(engine)
         elif isinstance(ts, QuadSpec):
             cls = (ShardPagedQuadTool if ts.shadow == "paged"
                    else ShardQuadTool)
@@ -389,7 +403,11 @@ class ShardRunner:
                 if isinstance(ts, TQuadSpec):
                     payloads[ts.key] = TQuadPayload(
                         history=tool.ledger.history,
-                        prefetches_skipped=tool.prefetches_skipped)
+                        prefetches_skipped=tool.prefetches_skipped,
+                        capture_pages=(dict(tool.capture.pages)
+                                       if ts.capture else None),
+                        capture_kernels=(list(tool.callstack.interned_names)
+                                         if ts.capture else None))
                 elif isinstance(ts, QuadSpec):
                     payloads[ts.key] = (_quad_paged_payload(tool)
                                         if ts.shadow == "paged"

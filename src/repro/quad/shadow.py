@@ -819,6 +819,33 @@ class PagedQuadSink:
         return out
 
 
+class CapturingPagedQuadSink(PagedQuadSink):
+    """A :class:`PagedQuadSink` that also spills each sealed packed-record
+    buffer (including the negative SP markers) to a capture sink before
+    draining it — the QUAD half of the capture-once / analyze-many path.
+
+    Since the captured pages are the exact drained buffers, replaying
+    them through a fresh sink's ``_drain`` (chunked to the same cap)
+    reproduces the shadow state and counters bit-for-bit.
+    """
+
+    #: stream name, kept in sync with repro.capture.format
+    STREAM = "quad.raw"
+
+    def __init__(self, callstack: CallStack, capture, *,
+                 mem_size: int = DEFAULT_MEM_SIZE,
+                 track_bindings: bool = True,
+                 cap: int = DEFAULT_RAW_CAP):
+        self.capture = capture
+        super().__init__(callstack, mem_size=mem_size,
+                         track_bindings=track_bindings, cap=cap)
+
+    def flush(self) -> None:
+        if self.buf:
+            self.capture.add(self.STREAM, self.buf.tobytes())
+        super().flush()
+
+
 def make_raw_recorder(sink: PagedQuadSink, *, write: bool):
     """Per-instruction-tier analysis routine appending packed records.
 

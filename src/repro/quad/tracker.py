@@ -70,10 +70,13 @@ class QuadTool:
     """The QUAD pintool."""
 
     def __init__(self, *, track_bindings: bool = True,
-                 shadow: str = "paged"):
+                 shadow: str = "paged", capture=None):
         if shadow not in ("paged", "legacy"):
             raise ValueError(f"unknown shadow implementation {shadow!r}")
+        if capture is not None and shadow != "paged":
+            raise ValueError("capture requires the paged shadow")
         self.shadow_mode = shadow
+        self.capture = capture
         self.track_bindings = track_bindings
         self.callstack = CallStack()
         self.shadow: dict[int, str] = {}          #: addr -> last writer
@@ -94,11 +97,18 @@ class QuadTool:
         self._machine = engine.machine
         self._images = {r.name: r.image for r in engine.program.routines}
         if self.shadow_mode == "paged":
-            from .shadow import PagedQuadSink, make_raw_recorder
+            from .shadow import (CapturingPagedQuadSink, PagedQuadSink,
+                                 make_raw_recorder)
 
-            self.sink = PagedQuadSink(
-                self.callstack, mem_size=engine.machine.mem_size,
-                track_bindings=self.track_bindings)
+            if self.capture is not None:
+                self.sink = CapturingPagedQuadSink(
+                    self.callstack, self.capture,
+                    mem_size=engine.machine.mem_size,
+                    track_bindings=self.track_bindings)
+            else:
+                self.sink = PagedQuadSink(
+                    self.callstack, mem_size=engine.machine.mem_size,
+                    track_bindings=self.track_bindings)
             self._rec_read = make_raw_recorder(self.sink, write=False)
             self._rec_write = make_raw_recorder(self.sink, write=True)
         engine.INS_AddInstrumentFunction(self._instrument_instruction)

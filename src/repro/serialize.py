@@ -6,8 +6,11 @@ without re-executing the guest — the same reason the original tools dump
 their data to files the DWB framework consumes.
 
 Round-trippable: :class:`~repro.core.report.TQuadReport`,
-:class:`~repro.gprofsim.report.FlatProfile`.  Exportable (UnMA sets are
-reduced to their cardinalities): :class:`~repro.quad.report.QuadReport`.
+:class:`~repro.gprofsim.report.FlatProfile`, and
+:class:`~repro.quad.report.QuadReport` — with the caveat that QUAD's UnMA
+*sets* are reduced to their cardinalities on export (Table II needs only
+the sizes; the raw sets can be gigabytes), so a deserialised ``QuadReport``
+carries ``int`` UnMA fields, as the paged shadow path produces natively.
 """
 
 from __future__ import annotations
@@ -160,5 +163,37 @@ def quad_to_dict(report: QuadReport) -> dict[str, Any]:
     }
 
 
+def quad_from_dict(data: dict[str, Any]) -> QuadReport:
+    """Rebuild a :class:`QuadReport` (UnMA fields come back as ``int``
+    cardinalities — exactly the paged shadow's native form, so all report
+    rendering and the QDU graph work unchanged)."""
+    if data.get("kind") != "quad":
+        raise ValueError("not a serialised QUAD report")
+    from .quad.tracker import KernelIO
+
+    kernels = {
+        name: KernelIO(
+            in_bytes_incl=k["in_incl"], in_bytes_excl=k["in_excl"],
+            out_bytes_incl=k["out_incl"], out_bytes_excl=k["out_excl"],
+            in_unma_incl=k["in_unma_incl"], in_unma_excl=k["in_unma_excl"],
+            out_unma_incl=k["out_unma_incl"],
+            out_unma_excl=k["out_unma_excl"],
+            reads=k["reads"], writes=k["writes"],
+            reads_nonstack=k["reads_nonstack"],
+            writes_nonstack=k["writes_nonstack"])
+        for name, k in data["kernels"].items()
+    }
+    bindings = {(b["producer"], b["consumer"]):
+                [b["bytes_incl"], b["bytes_excl"]]
+                for b in data.get("bindings", [])}
+    return QuadReport(kernels=kernels, bindings=bindings,
+                      images=dict(data.get("images", {})),
+                      total_instructions=data["total_instructions"])
+
+
 def quad_to_json(report: QuadReport, **json_kwargs) -> str:
     return json.dumps(quad_to_dict(report), **json_kwargs)
+
+
+def quad_from_json(text: str) -> QuadReport:
+    return quad_from_dict(json.loads(text))

@@ -1,0 +1,1 @@
+"""Integration test package (importable so modules can share fixtures)."""

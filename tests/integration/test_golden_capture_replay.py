@@ -1,0 +1,121 @@
+"""Golden tables and figures regenerated from one capture.
+
+The mirror image of ``test_golden_tables.py``: the ``small`` WFS preset
+executes exactly *once* under ``capture_run`` (all three tool streams, at
+the gcd of the three published slice intervals), and every artifact —
+Tables I–IV, Figures 6 and 7 — is rebuilt by vectorized replay and
+compared byte-for-byte against the same frozen fixtures the direct path
+must match.  A diff here with a green ``test_golden_tables.py`` means
+the capture replay drifted from the live tools.
+"""
+
+import io
+import math
+import pathlib
+
+import pytest
+
+from repro.analysis import bandwidth_strips
+from repro.apps.wfs import SMALL, build_wfs_program, make_workspace
+from repro.capture import (CaptureReader, capture_run, replay_gprof,
+                           replay_quad, replay_tquad)
+from repro.core import TQuadOptions, cluster_kernel_phases
+from repro.quad import instrumented_profile, rank_shifts
+
+from .test_golden_tables import (COARSE_INTERVAL, FINE_INTERVAL,
+                                 MEDIUM_INTERVAL, PAPER_KERNELS)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+
+#: One capture serves all three tQUAD intervals.
+GRAIN = math.gcd(FINE_INTERVAL, COARSE_INTERVAL, MEDIUM_INTERVAL)
+
+
+def _check(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    assert path.exists(), (
+        f"missing golden fixture {path}; generate it via "
+        f"test_golden_tables.py --update-golden first")
+    assert text + "\n" == path.read_text(), (
+        f"capture replay drifted from tests/golden/{name} — the direct "
+        f"path and the replay path no longer agree")
+
+
+@pytest.fixture(scope="module")
+def reader():
+    program = build_wfs_program(SMALL)
+    buf = io.BytesIO()
+    capture_run(program, buf, fs=make_workspace(SMALL),
+                options=TQuadOptions(slice_interval=GRAIN),
+                label="golden-small")
+    buf.seek(0)
+    with CaptureReader(buf) as r:
+        yield r
+
+
+@pytest.fixture(scope="module")
+def flat(reader):
+    return replay_gprof(reader)
+
+
+@pytest.fixture(scope="module")
+def quad(reader):
+    return replay_quad(reader)
+
+
+def test_table1_flat_profile(flat):
+    _check("table1_flat_profile.txt", flat.format_table(top=21))
+
+
+def test_table2_quad(quad):
+    _check("table2_quad.txt", quad.format_table())
+
+
+def test_table3_instrumented(flat, quad):
+    inst = instrumented_profile(flat, quad)
+    shifts = {s.kernel: s for s in rank_shifts(flat, inst)}
+    lines = [f"{'kernel':<26}{'%time':>8}{'self s':>10}{'rank':>6}"
+             f"{'trend':>7}"]
+    for row in inst.rows[:12]:
+        s = shifts.get(row.name)
+        lines.append(f"{row.name:<26}{inst.percent(row.name):>8.2f}"
+                     f"{inst.self_seconds(row.name):>10.4f}"
+                     f"{inst.rank(row.name):>6}"
+                     f"{(s.trend if s else '?'):>7}")
+    _check("table3_instrumented.txt", "\n".join(lines))
+
+
+def test_table4_phases(reader):
+    report = replay_tquad(reader,
+                          TQuadOptions(slice_interval=FINE_INTERVAL))
+    analysis = cluster_kernel_phases(report, kernels=PAPER_KERNELS,
+                                     max_phases=5)
+    _check("table4_phases.txt", analysis.format_table())
+
+
+def test_fig6_read_bandwidth(reader):
+    report = replay_tquad(reader,
+                          TQuadOptions(slice_interval=COARSE_INTERVAL))
+    kernels = report.top_kernels(10)
+    names, mat = report.bandwidth_matrix(kernels, write=False,
+                                         include_stack=True)
+    text = bandwidth_strips(
+        names, mat, interval=report.interval, width=100,
+        title="Figure 6 analogue: read bandwidth incl. stack, top 10")
+    _check("fig6_read_bandwidth.txt", text)
+
+
+def test_fig7_write_bandwidth(reader):
+    report = replay_tquad(reader,
+                          TQuadOptions(slice_interval=MEDIUM_INTERVAL))
+    top10 = report.top_kernels(10)
+    bottom = [k for k in PAPER_KERNELS
+              if k in report.ledger.kernels() and k not in top10][:10]
+    names, mat = report.bandwidth_matrix(bottom, write=True,
+                                         include_stack=False)
+    half = mat[:, :mat.shape[1] // 2]
+    text = bandwidth_strips(
+        names, half, interval=report.interval, width=100,
+        title="Figure 7 analogue: write bandwidth excl. stack, "
+              "last 10 kernels, first half")
+    _check("fig7_write_bandwidth.txt", text)

@@ -1,0 +1,198 @@
+"""CLI tests for the capture workflow: ``tquad capture run/info``,
+``--capture-out``, and ``--from-capture`` — happy paths print byte-identical
+reports, and every misuse or bad file fails with a clean exit-2 message."""
+
+import pytest
+
+from repro.cli import main
+
+APP = """
+int a[64];
+int w() { int i; for (i = 0; i < 64; i++) { a[i] = i; } return 0; }
+int r() { int i; int s = 0; for (i = 0; i < 64; i++) { s += a[i]; } return s; }
+int main() { w(); return r() & 15; }
+"""
+
+OTHER = "int main() { return 1; }\n"
+
+
+@pytest.fixture()
+def app(tmp_path):
+    path = tmp_path / "app.mc"
+    path.write_text(APP)
+    return path
+
+
+@pytest.fixture()
+def capture(app, tmp_path, capsys):
+    path = tmp_path / "app.capture"
+    rc = main(["capture", "run", str(app), "--out", str(path),
+               "--interval", "250"])
+    assert rc == 0
+    capsys.readouterr()
+    return path
+
+
+class TestCaptureRun:
+    def test_run_reports_streams(self, app, tmp_path, capsys):
+        out = tmp_path / "c.capture"
+        rc = main(["capture", "run", str(app), "--out", str(out),
+                   "--interval", "500", "--label", "smoke"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "instructions" in text and "streams" in text
+        assert out.exists()
+
+    def test_info_summarises_manifest(self, capture, capsys):
+        rc = main(["capture", "info", str(capture)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "grain=250" in out
+        assert "tquad.read" in out and "quad.raw" in out
+
+    def test_tool_subset(self, app, tmp_path, capsys):
+        out = tmp_path / "g.capture"
+        rc = main(["capture", "run", str(app), "--out", str(out),
+                   "--tools", "gprof"])
+        assert rc == 0
+        rc = main(["capture", "info", str(out)])
+        assert rc == 0
+        assert "tools: gprof" in capsys.readouterr().out
+
+    def test_bad_tools_rejected(self, app, tmp_path, capsys):
+        rc = main(["capture", "run", str(app), "--out", "x", "--tools",
+                   "tquad,bogus"])
+        assert rc == 2
+        assert "--tools" in capsys.readouterr().err
+
+    def test_bad_interval_rejected(self, app, capsys):
+        rc = main(["capture", "run", str(app), "--out", "x",
+                   "--interval", "0"])
+        assert rc == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        rc = main(["capture", "info", str(tmp_path / "nope.capture")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReplayMatchesDirect:
+    @pytest.mark.parametrize("argv", [
+        ["--interval", "500"],
+        ["--interval", "1000", "--figure", "--phases"],
+        ["--tool", "gprof", "--callgraph"],
+        ["--tool", "quad", "--stats"],
+    ])
+    def test_from_capture_prints_identically(self, app, capture, capsys,
+                                             argv):
+        assert main(["profile", str(app), *argv]) == 0
+        direct = capsys.readouterr().out
+        assert main(["profile", str(app), *argv,
+                     "--from-capture", str(capture)]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_capture_out_prints_identically(self, app, tmp_path, capsys):
+        assert main(["profile", str(app), "--interval", "500"]) == 0
+        direct = capsys.readouterr().out
+        out = tmp_path / "rec.capture"
+        assert main(["profile", str(app), "--interval", "500",
+                     "--capture-out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == direct
+        assert str(out) in captured.err
+        # and the file it wrote replays identically too
+        assert main(["profile", str(app), "--interval", "500",
+                     "--from-capture", str(out)]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_json_export_from_capture(self, app, capture, tmp_path,
+                                      capsys):
+        j1, j2 = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["profile", str(app), "--interval", "500",
+                     "--json", str(j1)]) == 0
+        assert main(["profile", str(app), "--interval", "500",
+                     "--json", str(j2), "--from-capture",
+                     str(capture)]) == 0
+        assert j1.read_text() == j2.read_text()
+
+
+class TestUsageErrors:
+    @pytest.mark.parametrize("argv,needle", [
+        (["--from-capture", "c", "--capture-out", "d"], "mutually"),
+        (["--from-capture", "c", "--jobs", "2"], "--jobs"),
+        (["--from-capture", "c", "--cache"], "--cache"),
+        (["--from-capture", "c", "--imix"], "--cache"),
+        (["--from-capture", "c", "--tool", "quad", "--shadow", "legacy"],
+         "legacy"),
+        (["--capture-out", "d", "--tool", "quad", "--shadow", "legacy"],
+         "paged"),
+        (["--capture-out", "d", "--jobs", "2", "--tool", "gprof"],
+         "--tool tquad"),
+    ])
+    def test_flag_combinations(self, app, capsys, argv, needle):
+        rc = main(["profile", str(app), *argv])
+        assert rc == 2
+        assert needle in capsys.readouterr().err
+
+    def test_missing_capture_file(self, app, tmp_path, capsys):
+        rc = main(["profile", str(app), "--from-capture",
+                   str(tmp_path / "nope.capture")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_capture_file(self, app, tmp_path, capsys):
+        bad = tmp_path / "bad.capture"
+        bad.write_bytes(b"garbage, not a zip container")
+        rc = main(["profile", str(app), "--from-capture", str(bad)])
+        assert rc == 2
+        assert "not a capture" in capsys.readouterr().err
+
+    def test_wrong_program_rejected(self, capture, tmp_path, capsys):
+        other = tmp_path / "other.mc"
+        other.write_text(OTHER)
+        rc = main(["profile", str(other), "--from-capture", str(capture)])
+        assert rc == 2
+        assert "different program" in capsys.readouterr().err
+
+    def test_non_multiple_interval_rejected(self, app, capture, capsys):
+        rc = main(["profile", str(app), "--interval", "375",
+                   "--from-capture", str(capture)])
+        assert rc == 2
+        assert "multiple" in capsys.readouterr().err
+
+    def test_option_mismatch_rejected(self, app, capture, capsys):
+        rc = main(["profile", str(app), "--interval", "500",
+                   "--exclude-libs", "--from-capture", str(capture)])
+        assert rc == 2
+        assert "librar" in capsys.readouterr().err
+
+    def test_missing_tool_stream_rejected(self, app, tmp_path, capsys):
+        out = tmp_path / "g.capture"
+        assert main(["capture", "run", str(app), "--out", str(out),
+                     "--tools", "tquad"]) == 0
+        capsys.readouterr()
+        rc = main(["profile", str(app), "--tool", "gprof",
+                   "--from-capture", str(out)])
+        assert rc == 2
+        assert "gprof" in capsys.readouterr().err
+
+    def test_wfs_report_flag_conflicts(self, tmp_path, capsys):
+        for flag in ("--from-capture", "--capture-out"):
+            rc = main(["wfs", "--report", str(tmp_path / "r.md"), flag,
+                       str(tmp_path / "c.capture")])
+            assert rc == 2
+            assert "--report" in capsys.readouterr().err
+
+
+class TestWfsCapture:
+    def test_wfs_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "wfs.capture"
+        assert main(["wfs", "--preset", "tiny", "--interval", "2500"]) == 0
+        direct = capsys.readouterr().out
+        assert main(["wfs", "--preset", "tiny", "--interval", "2500",
+                     "--capture-out", str(out)]) == 0
+        assert capsys.readouterr().out == direct
+        assert main(["wfs", "--preset", "tiny", "--interval", "2500",
+                     "--from-capture", str(out)]) == 0
+        assert capsys.readouterr().out == direct
