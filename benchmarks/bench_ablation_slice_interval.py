@@ -11,9 +11,10 @@ normalised RMS error grows monotonically-ish with the interval, and
 activity-span resolution degrades.
 
 The guest executes exactly once: the run is recorded through
-:mod:`repro.capture` at the finest interval and every coarser view is a
-vectorized replay (byte-identical to a direct run — the capture test
-suites assert that).
+:mod:`repro.capture` at the finest interval and every interval comes out
+of one :func:`repro.sweep.sweep_tquad` pass that decodes each captured
+page once (each cell byte-identical to a direct run — the capture and
+sweep test suites assert that).
 """
 
 import io
@@ -22,8 +23,9 @@ import numpy as np
 
 from conftest import save_artifact
 from repro.apps.wfs import TINY, build_wfs_program, make_workspace
-from repro.capture import CaptureReader, capture_run, replay_tquad
+from repro.capture import CaptureReader, capture_run
 from repro.core import TQuadOptions
+from repro.sweep import SweepGrid, sweep_tquad
 
 BASE_INTERVAL = 500
 COARSE_INTERVALS = [1000, 4000, 16000, 64000]  # all multiples of the grain
@@ -55,18 +57,18 @@ def test_ablation_slice_interval(benchmark, outdir):
 
     reader = benchmark.pedantic(capture, rounds=1, iterations=1)
 
-    def profile(interval):
-        return replay_tquad(reader,
-                            TQuadOptions(slice_interval=interval))
+    grid = SweepGrid(intervals=(BASE_INTERVAL, *COARSE_INTERVALS))
+    sweep = sweep_tquad(reader, grid)
+    by_interval = sweep.by_interval()
 
-    fine = profile(BASE_INTERVAL)
+    fine = by_interval[BASE_INTERVAL]
     kernels = fine.top_kernels(6)
     grid_points = 32
     reference = {k: _bandwidth_grid(fine, k, grid_points) for k in kernels}
 
     rows = []
     errors = []
-    coarse_reports = {i: profile(i) for i in COARSE_INTERVALS}
+    coarse_reports = {i: by_interval[i] for i in COARSE_INTERVALS}
     for interval, coarse in coarse_reports.items():
         errs = []
         for k in kernels:

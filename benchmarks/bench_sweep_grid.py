@@ -1,0 +1,135 @@
+"""A7 — batched sweep: one decode pass fills a 16-point config grid.
+
+The paper's analyses revisit the same execution under many configs —
+Table IV's interval ladder, the stack-policy views of Figure 6, the
+library-accounting modes.  The sweep engine (:mod:`repro.sweep`) serves
+the whole interval × stack × library grid from a *single* walk over the
+capture pages, where N standalone replays decode and un-delta every page
+N times.  This benchmark pins two contracts on the ``tiny`` WFS case
+study:
+
+* **batching wins** — filling the 16-cell grid must cost <= 2.5x one
+  standalone replay (the naive route costs ~16x);
+* **exactness** — every grid cell serialises byte-identically to the
+  standalone :func:`repro.capture.replay.replay_tquad` with the same
+  options, always.
+
+Results land in ``sweep_grid.txt`` (human) and ``BENCH_sweep_grid.json``
+(machine-readable, tracked across PRs).
+"""
+
+import io
+import json
+import time
+
+from conftest import save_artifact
+from repro.apps.wfs import TINY, build_wfs_program, make_workspace
+from repro.capture import CaptureReader, capture_run, replay_tquad
+from repro.core import TQuadOptions
+from repro.core.options import StackPolicy
+from repro.serialize import tquad_to_json
+from repro.sweep import SweepGrid, sweep_tquad
+
+#: 4 intervals × 2 stack policies × 2 library modes = 16 grid cells.
+INTERVALS = (500, 1000, 2000, 4000)
+STACKS = (StackPolicy.BOTH, StackPolicy.EXCLUDE)
+LIB_MODES = (False, True)
+
+#: The whole grid may cost at most this many single-replay equivalents.
+COST_CEILING = 2.5
+ROUNDS = 3  # best-of-N wall-clock for the short measurements
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_sweep_grid(benchmark, outdir):
+    program = build_wfs_program(TINY)
+    buf = io.BytesIO()
+    capture_run(program, buf, fs=make_workspace(TINY),
+                options=TQuadOptions(slice_interval=INTERVALS[0]),
+                tools=("tquad",), label="sweep-bench")
+
+    grid = SweepGrid(intervals=INTERVALS, stacks=STACKS,
+                     library_modes=LIB_MODES)
+    assert len(grid) == 16
+
+    # --- baseline: one standalone replay (the per-config unit cost) -----
+    def one_replay():
+        buf.seek(0)
+        with CaptureReader(buf) as reader:
+            return replay_tquad(
+                reader, TQuadOptions(slice_interval=INTERVALS[0]))
+
+    t_single, _ = _best_of(one_replay)
+
+    # --- the naive route: one standalone replay per grid cell -----------
+    def replay_each():
+        buf.seek(0)
+        out = {}
+        with CaptureReader(buf) as reader:
+            for cell in grid.cells():
+                out[cell] = replay_tquad(reader, cell.options())
+        return out
+
+    t_naive, standalone = _best_of(replay_each)
+
+    # --- the sweep engine: decode once, fill the whole grid -------------
+    def sweep():
+        buf.seek(0)
+        with CaptureReader(buf) as reader:
+            return sweep_tquad(reader, grid)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    t_sweep, _ = _best_of(sweep)
+
+    cost = t_sweep / t_single
+    assert cost <= COST_CEILING, (
+        f"16-cell sweep costs {cost:.2f}x a single replay "
+        f"({t_sweep:.3f}s vs {t_single:.3f}s; ceiling {COST_CEILING}x)")
+
+    # --- exactness: every cell byte-identical to the standalone replay --
+    assert len(result) == 16
+    for cell, report in result:
+        assert tquad_to_json(report) == tquad_to_json(standalone[cell]), (
+            f"sweep cell {cell.key} diverges from its standalone replay")
+
+    speedup = t_naive / t_sweep
+    lines = [f"{'configuration':<40}{'seconds':>10}{'vs single':>11}",
+             f"{'single replay (finest interval)':<40}"
+             f"{t_single:>10.3f}{1.0:>11.2f}",
+             f"{'16 standalone replays (naive grid)':<40}"
+             f"{t_naive:>10.3f}{t_naive / t_single:>11.2f}",
+             f"{'sweep engine (one decode pass)':<40}"
+             f"{t_sweep:>10.3f}{cost:>11.2f}",
+             f"grid: {len(INTERVALS)} intervals x {len(STACKS)} stacks x "
+             f"{len(LIB_MODES)} library modes "
+             f"(grain {result.grain}, {result.stats['pages_walked']} pages, "
+             f"{result.stats['combos']} row-filter combos)",
+             f"sweep fills the grid {speedup:.1f}x faster than "
+             f"cell-by-cell replay",
+             "all 16 cells byte-identical to standalone replays"]
+    save_artifact(outdir, "sweep_grid.txt", "\n".join(lines))
+    payload = {
+        "benchmark": "sweep_grid",
+        "workload": f"wfs(tiny), {len(grid)}-cell tquad sweep "
+                    f"{list(INTERVALS)}",
+        "seconds": {"single_replay": round(t_single, 4),
+                    "naive_grid": round(t_naive, 4),
+                    "sweep": round(t_sweep, 4)},
+        "sweep_cost_vs_single_replay": round(cost, 2),
+        "sweep_speedup_vs_naive": round(speedup, 2),
+        "cells": len(result),
+        "pages_walked": result.stats["pages_walked"],
+        "exact": True,
+        "gate": {"cost_ceiling_vs_single_replay": COST_CEILING,
+                 "cell_equality": "always"},
+    }
+    (outdir / "BENCH_sweep_grid.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

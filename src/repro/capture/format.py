@@ -18,7 +18,9 @@ Streams (all rows are ``int64`` columns):
     stride 4: ``(icount, incl_bytes, excl_bytes, kernel_id)`` quads — the
     exact buffers of :class:`repro.core.recording.RecordingSink`, spilled
     before aggregation.  ``kernel_id`` indexes the manifest's ``kernels``
-    table (-1 = dropped access).
+    table; -1 = dropped access, and ``-2 - id`` marks an access made inside
+    a library frame attributed to kernel ``id`` (``options.library_rows``
+    says whether a capture carries such markers).
 ``calls``
     stride 2: ``(icount, routine_id)`` for routine entries and
     ``(icount, -1)`` for returns.  ``routine_id`` indexes the manifest's
@@ -124,8 +126,20 @@ def make_manifest(*, program_sha: str, label: str, grain: int, stack: str,
                   tools: list[str] | tuple[str, ...] = (),
                   quad_kernels: list[str] | None = None,
                   routines: list[tuple[str, str]] | None = None,
-                  prefetches_skipped: int = 0) -> dict[str, Any]:
-    """Assemble the manifest (stream directory is added by the writer)."""
+                  prefetches_skipped: int = 0,
+                  library_rows: str | None = None) -> dict[str, Any]:
+    """Assemble the manifest (stream directory is added by the writer).
+
+    ``library_rows`` describes how library-frame accesses appear in the
+    tQUAD streams: ``"marked"`` (kernel ids carry the ``-2 - id`` library
+    marker, so replays can serve either library-inclusion view),
+    ``"dropped"`` (recorded under ``--exclude-libs``; the rows are gone),
+    or ``"merged"`` (pre-marker captures: library rows are indistinguishable
+    from their caller's own).  Defaults from ``exclude_libraries`` to what
+    the current recording sinks produce.
+    """
+    if library_rows is None:
+        library_rows = "dropped" if exclude_libraries else "marked"
     return {
         "format": CAPTURE_VERSION,
         "kind": "capture",
@@ -136,6 +150,7 @@ def make_manifest(*, program_sha: str, label: str, grain: int, stack: str,
             "grain": grain,
             "stack": stack,
             "exclude_libraries": exclude_libraries,
+            "library_rows": library_rows,
         },
         "total_instructions": total_instructions,
         "exit_code": exit_code,
@@ -146,6 +161,13 @@ def make_manifest(*, program_sha: str, label: str, grain: int, stack: str,
         "mem_size": mem_size,
         "prefetches_skipped": prefetches_skipped,
     }
+
+
+def library_rows_of(manifest: dict[str, Any]) -> str:
+    """How library-frame accesses appear in a capture's tQUAD streams
+    (``"marked"`` / ``"dropped"`` / ``"merged"``; pre-marker captures
+    default to ``"merged"``)."""
+    return manifest.get("options", {}).get("library_rows", "merged")
 
 
 def require_tool(manifest: dict[str, Any], tool: str) -> None:

@@ -17,13 +17,22 @@ from .format import (CAPTURE_VERSION, CaptureFormatError,
 class CaptureReader:
     """Random access to a capture's manifest and page streams.
 
+    The manifest is parsed and validated exactly once, at construction,
+    and the ZIP handle stays open for the reader's lifetime — replaying
+    the same reader many times (multipass, sweeps) re-reads pages, never
+    re-validates the container.
+
     Pages decode lazily — :meth:`pages` yields one ``(rows, stride)``
     array at a time so replays stay bounded in memory even for long
     runs; :meth:`column` concatenates them for streams known to be
-    small (call events).
+    small (call events).  With ``cache_pages=True`` every decoded page
+    is kept and served back on later passes (the analyze-many pattern:
+    multipass ladders and sweep grids trade bounded memory for
+    decode-once).  ``stats`` counts ``decoded_pages`` and
+    ``page_cache_hits`` either way.
     """
 
-    def __init__(self, file: str | BinaryIO):
+    def __init__(self, file: str | BinaryIO, *, cache_pages: bool = False):
         if isinstance(file, (str, os.PathLike)) and not os.path.exists(file):
             raise CaptureFormatError(f"capture file not found: {file}")
         try:
@@ -48,6 +57,10 @@ class CaptureReader:
                 f"unsupported capture format version "
                 f"{self.manifest.get('format')!r} "
                 f"(this build reads version {CAPTURE_VERSION})")
+        self.cache_pages = cache_pages
+        self._page_cache: dict[tuple[str, int], np.ndarray] = {}
+        self.stats: dict[str, int] = {"decoded_pages": 0,
+                                      "page_cache_hits": 0}
 
     # ------------------------------------------------------------- access
     @property
@@ -66,17 +79,35 @@ class CaptureReader:
                 f"{have}); re-record with the matching tool enabled")
         return info
 
+    def page(self, stream: str, index: int, stride: int) -> np.ndarray:
+        """One decoded page (cached when ``cache_pages`` is set).
+
+        Cached arrays are shared between callers and marked read-only, so
+        one decode can safely serve many grid cells.
+        """
+        key = (stream, index)
+        cached = self._page_cache.get(key)
+        if cached is not None:
+            self.stats["page_cache_hits"] += 1
+            return cached
+        try:
+            blob = self._zf.read(page_name(stream, index))
+        except (KeyError, zipfile.BadZipFile) as exc:
+            raise CaptureFormatError(
+                f"corrupt capture page {stream}[{index}]: {exc}"
+            ) from None
+        arr = decode_page(blob, stride)
+        self.stats["decoded_pages"] += 1
+        if self.cache_pages:
+            arr.flags.writeable = False
+            self._page_cache[key] = arr
+        return arr
+
     def pages(self, stream: str) -> Iterator[np.ndarray]:
         info = self.require_stream(stream)
         stride = info["stride"]
         for index in range(info["pages"]):
-            try:
-                blob = self._zf.read(page_name(stream, index))
-            except (KeyError, zipfile.BadZipFile) as exc:
-                raise CaptureFormatError(
-                    f"corrupt capture page {stream}[{index}]: {exc}"
-                ) from None
-            yield decode_page(blob, stride)
+            yield self.page(stream, index, stride)
 
     def column(self, stream: str) -> np.ndarray:
         """All rows of a stream as one ``(n, stride)`` array."""
@@ -86,7 +117,13 @@ class CaptureReader:
             return np.empty((0, info["stride"]), dtype=np.int64)
         return np.concatenate(parts, axis=0)
 
+    def format_stats(self) -> str:
+        return (f"capture reader: {self.stats['decoded_pages']} pages "
+                f"decoded, {self.stats['page_cache_hits']} cache hits "
+                f"(cache {'on' if self.cache_pages else 'off'})")
+
     def close(self) -> None:
+        self._page_cache.clear()
         self._zf.close()
 
     def __enter__(self) -> "CaptureReader":
@@ -94,3 +131,37 @@ class CaptureReader:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class PageCursor:
+    """Decode-once iteration over one stream for many consumers.
+
+    The sweep engine walks each tQUAD stream exactly once; every page it
+    yields is decoded/undeltaed a single time and handed out as a
+    read-only array that all grid cells slice views from.  Unlike
+    ``reader.pages``, a cursor never re-reads the ZIP on later passes
+    over the same page — it pins the reader's page cache on for the
+    streams it serves.
+    """
+
+    def __init__(self, reader: CaptureReader, stream: str):
+        self.reader = reader
+        self.stream = stream
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        reader = self.reader
+        if not reader.has_stream(self.stream):
+            return
+        info = reader.require_stream(self.stream)
+        stride = info["stride"]
+        for index in range(info["pages"]):
+            arr = reader.page(self.stream, index, stride)
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+            yield arr
+
+    @property
+    def n_pages(self) -> int:
+        if not self.reader.has_stream(self.stream):
+            return 0
+        return self.reader.require_stream(self.stream)["pages"]

@@ -28,7 +28,8 @@ from ..core.report import TQuadReport
 from ..gprofsim.report import FlatProfile, FlatRow
 from ..obs import TELEMETRY
 from .format import (CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
-                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, require_tool)
+                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, library_rows_of,
+                     require_tool)
 from .reader import CaptureReader
 
 
@@ -42,13 +43,16 @@ def _resolve_tquad_options(manifest: dict,
         return TQuadOptions(slice_interval=grain, stack=captured,
                             exclude_libraries=bool(mo["exclude_libraries"]))
     if bool(options.exclude_libraries) != bool(mo["exclude_libraries"]):
-        want = "--exclude-libs" if mo["exclude_libraries"] else \
-            "no --exclude-libs"
-        raise CaptureMismatchError(
-            f"capture was recorded with "
-            f"{'--exclude-libs' if mo['exclude_libraries'] else 'library accesses included'}; "
-            f"replay requires {want} (library exclusion happens at record "
-            f"time)")
+        if mo["exclude_libraries"]:
+            raise CaptureMismatchError(
+                "capture was recorded with --exclude-libs; replay requires "
+                "--exclude-libs too (the dropped library accesses are not "
+                "in the file)")
+        if library_rows_of(manifest) != "marked":
+            raise CaptureMismatchError(
+                "capture predates library-marked kernel ids and cannot "
+                "derive the --exclude-libs view; re-record the capture")
+        # marked capture: the exclude-libs view is a row mask (below)
     if options.slice_interval % grain:
         raise CaptureMismatchError(
             f"slice interval {options.slice_interval} is not a multiple of "
@@ -81,6 +85,10 @@ def replay_tquad(reader: CaptureReader,
                  and options.stack is StackPolicy.INCLUDE)
     excl_only = (captured is StackPolicy.BOTH
                  and options.stack is StackPolicy.EXCLUDE)
+    # Serving --exclude-libs from a library-marked capture: drop the
+    # marked rows, exactly what a direct exclude-libs run records as -1.
+    drop_lib = (options.exclude_libraries
+                and not manifest["options"]["exclude_libraries"])
     with telemetry.span("replay", cat="capture", tool="tquad",
                         interval=interval):
         for stream, write in ((STREAM_TQUAD_READ, False),
@@ -89,14 +97,20 @@ def replay_tquad(reader: CaptureReader,
                 continue
             for page in reader.pages(stream):
                 kid = page[:, 3]
-                mask = kid >= 0
+                lib = kid < -1
+                mask = kid != -1
+                if drop_lib:
+                    mask &= ~lib
                 if excl_only:
-                    mask &= page[:, 2] > 0
+                    mask = mask & (page[:, 2] > 0)
                 if not mask.all():
                     page = page[mask]
                     if page.shape[0] == 0:
                         continue
                     kid = page[:, 3]
+                    lib = kid < -1
+                if lib.any():
+                    kid = np.where(lib, -2 - kid, kid)
                 ic = page[:, 0]
                 incl = np.zeros_like(kid) if excl_only else page[:, 1]
                 excl = np.zeros_like(kid) if zero_excl else page[:, 2]

@@ -51,5 +51,10 @@ def merge_capture_segments(results, writer) -> list[str]:
                 arr = arr.copy()
                 mask = kid >= 0
                 arr[mask, 3] = lut[arr[mask, 3]]
+                # library-marked rows (kid <= -2, see CallStack.mark_library)
+                # remap through the same LUT under the marker encoding
+                lib = kid < -1
+                if lib.any():
+                    arr[lib, 3] = -2 - lut[-2 - arr[lib, 3]]
                 writer.add(stream, arr.tobytes())
     return names

@@ -17,6 +17,12 @@ Capture once, analyze many (see ``docs/capture.md``)::
     tquad profile app.mc --from-capture app.capture --interval 4000
     tquad profile app.mc --tool gprof --from-capture app.capture
     tquad capture info app.capture
+
+Batched sweeps — one capture pass, a whole config grid::
+
+    tquad sweep app.mc --intervals 500,1000,4000 \\
+        --stacks both,exclude --libs include,exclude --json grid.json
+    tquad sweep app.mc --intervals 1000,2000 --from-capture app.capture
 """
 
 from __future__ import annotations
@@ -62,8 +68,10 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
         return _bad_usage("--deadline must be a positive number of seconds")
     if getattr(args, "shadow", "paged") not in ("paged", "legacy"):
         return _bad_usage("--shadow must be 'paged' or 'legacy'")
-    if getattr(args, "stats", False) and getattr(args, "tool", "") != "quad":
-        return _bad_usage("--stats requires --tool quad")
+    if (getattr(args, "stats", False)
+            and getattr(args, "tool", "") != "quad"
+            and not getattr(args, "from_capture", None)):
+        return _bad_usage("--stats requires --tool quad or --from-capture")
     from_capture = getattr(args, "from_capture", None)
     capture_out = getattr(args, "capture_out", None)
     if from_capture and capture_out:
@@ -168,10 +176,15 @@ def _captured_report(args: argparse.Namespace, program, options, *,
             reader = _open_capture(source, program)
         with reader:
             if tool == "tquad":
-                return replay_tquad(reader, options)
-            if tool == "quad":
-                return replay_quad(reader)
-            return replay_gprof(reader)
+                result = replay_tquad(reader, options)
+            elif tool == "quad":
+                result = replay_quad(reader)
+            else:
+                result = replay_gprof(reader)
+            if getattr(args, "stats", False) and getattr(
+                    args, "from_capture", None):
+                print(reader.format_stats(), file=sys.stderr)
+            return result
     except CaptureError as err:
         return _bad_usage(str(err))
 
@@ -428,6 +441,90 @@ def _cmd_wcet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core.options import StackPolicy
+    from .sweep import SweepGrid
+
+    if args.from_capture and args.capture_out:
+        return _bad_usage("--from-capture and --capture-out are mutually "
+                          "exclusive (one reads a capture, one records it)")
+    try:
+        intervals = tuple(int(t) for t in args.intervals.split(",")
+                          if t.strip())
+    except ValueError:
+        return _bad_usage("--intervals takes a comma-separated list of "
+                          "positive instruction counts")
+    stacks = [t.strip() for t in args.stacks.split(",") if t.strip()]
+    if not stacks or any(s not in ("both", "include", "exclude")
+                         for s in stacks):
+        return _bad_usage("--stacks takes a comma-separated subset of "
+                          "both,include,exclude")
+    libs = [t.strip() for t in args.libs.split(",") if t.strip()]
+    if not libs or any(m not in ("include", "exclude") for m in libs):
+        return _bad_usage("--libs takes a comma-separated subset of "
+                          "include,exclude")
+    try:
+        grid = SweepGrid(intervals=intervals,
+                         stacks=tuple(StackPolicy(s) for s in stacks),
+                         library_modes=tuple(m == "exclude" for m in libs))
+    except ValueError as err:
+        return _bad_usage(str(err))
+    program = _load_program(args.file)
+    trace = _start_trace(args)
+    try:
+        return _sweep_body(args, program, grid)
+    finally:
+        _finish_trace(args, trace)
+
+
+def _sweep_body(args: argparse.Namespace, program, grid) -> int:
+    import io
+    import math
+    from functools import reduce
+
+    from .capture import CaptureError, CaptureReader, capture_run
+    from .sweep import sweep_tquad
+
+    try:
+        if args.from_capture:
+            reader = _open_capture(args.from_capture, program)
+        else:
+            # one instrumented run at the gcd grain, recorded both-sided
+            # with library markers — serves the entire grid
+            grain = reduce(math.gcd, grid.intervals)
+            options = TQuadOptions(slice_interval=grain)
+            target = args.capture_out or io.BytesIO()
+            capture_run(program, target, options=options, tools=("tquad",),
+                        label=args.label, max_instructions=args.budget)
+            if args.capture_out:
+                print(f"wrote {args.capture_out}", file=sys.stderr)
+                reader = CaptureReader(args.capture_out)
+            else:
+                target.seek(0)
+                reader = CaptureReader(target)
+        with reader:
+            result = sweep_tquad(reader, grid)
+            if args.stats:
+                print(reader.format_stats(), file=sys.stderr)
+    except CaptureError as err:
+        return _bad_usage(str(err))
+    if args.json:
+        from .serialize import sweep_to_json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(sweep_to_json(result))
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(f"sweep: {len(result)} cells from one capture pass "
+          f"(grain {result.grain}, "
+          f"{result.stats['pages_walked']} pages walked)")
+    for cell, report in result:
+        lib_mode = "exclude" if cell.exclude_libraries else "include"
+        print(f"  interval={cell.interval} stack={cell.stack.value} "
+              f"libs={lib_mode}: {len(report.kernels())} kernels, "
+              f"{report.n_slices} slices")
+    return 0
+
+
 def _cmd_capture_run(args: argparse.Namespace) -> int:
     from .capture import capture_run
     from .capture.record import CAPTURE_TOOLS
@@ -575,6 +672,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay the case study from a capture file")
     observability(p)
     p.set_defaults(fn=_cmd_wfs)
+
+    p = sub.add_parser("sweep",
+                       help="batched re-analysis: one capture pass fills "
+                            "an interval × stack × library config grid")
+    p.add_argument("file")
+    p.add_argument("--intervals", required=True, metavar="N,N,...",
+                   help="comma-separated slice intervals (the grid's first "
+                        "axis); the capture grain is their gcd")
+    p.add_argument("--stacks", default="both",
+                   metavar="{both,include,exclude},...",
+                   help="stack policies to sweep (default: both)")
+    p.add_argument("--libs", default="include",
+                   metavar="{include,exclude},...",
+                   help="library-accounting modes to sweep "
+                        "(default: include)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the whole grid as one JSON artifact")
+    p.add_argument("--capture-out", metavar="PATH",
+                   help="also persist the capture the sweep ran from")
+    p.add_argument("--from-capture", metavar="PATH",
+                   help="sweep an existing capture instead of executing "
+                        "the program")
+    p.add_argument("--label", default="sweep",
+                   help="free-form label stored in the capture manifest")
+    p.add_argument("--stats", action="store_true",
+                   help="print capture-reader decode/cache counters to "
+                        "stderr")
+    common(p)
+    observability(p)
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("capture",
                        help="record or inspect execution captures "

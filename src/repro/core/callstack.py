@@ -30,9 +30,10 @@ class CallStack:
 
     __slots__ = ("_frames", "current_kernel", "in_library",
                  "max_depth", "underflows", "exclude_library_accesses",
-                 "rec_id", "_intern_ids", "interned_names")
+                 "mark_library", "rec_id", "_intern_ids", "interned_names")
 
-    def __init__(self, *, exclude_library_accesses: bool = False) -> None:
+    def __init__(self, *, exclude_library_accesses: bool = False,
+                 mark_library: bool = False) -> None:
         # each frame: (attributed kernel name, frame-is-library, rec_id at
         # the time this frame is on top) — carrying rec_id in the frame lets
         # enter/ret restore it without re-interning the kernel name
@@ -48,7 +49,15 @@ class CallStack:
         # ``rec_id`` into flat buffers instead of the name, keeping the hot
         # path string-free; ``interned_names[id]`` recovers the name at
         # flush time.
+        #
+        # With ``mark_library`` set, accesses made inside library frames
+        # carry ``-2 - kernel_id`` instead of the bare kernel id: the flush
+        # (and capture replay) folds them back into the caller's kernel, but
+        # the marker survives in captured pages, so one capture can serve
+        # both library-inclusion views by a column mask (see
+        # :mod:`repro.capture.replay`).  -1 keeps meaning "drop".
         self.exclude_library_accesses = exclude_library_accesses
+        self.mark_library = mark_library
         self.rec_id = -1
         self._intern_ids: dict[str, int] = {}
         self.interned_names: list[str] = []
@@ -85,11 +94,18 @@ class CallStack:
             # a library frame attributes to the caller's kernel, whose id
             # the caller's frame already carries (unless excluded)
             kernel = frames[-1][0]
-            rid = -1 if self.exclude_library_accesses else frames[-1][2]
+            if self.exclude_library_accesses:
+                rid = -1
+            else:
+                rid = frames[-1][2]
+                if self.mark_library and rid >= 0:
+                    rid = -2 - rid
         else:
             kernel = name
             if is_lib and self.exclude_library_accesses:
                 rid = -1
+            elif is_lib and self.mark_library:
+                rid = -2 - self.intern(name)
             else:
                 rid = self.intern(name)
         frames.append((kernel, is_lib, rid))

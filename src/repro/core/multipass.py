@@ -12,9 +12,10 @@ carries the paper's ``<`` upper-bound marker.
 
 Since the capture backend (:mod:`repro.capture`) landed, the passes no
 longer re-execute the VM per interval: one instrumented run captures the
-access quads at the gcd of the requested intervals, and each pass is a
-vectorized replay (byte-identical to a direct run at that interval — the
-property tests assert this).  ``reexecute=True`` keeps the legacy
+access quads at the gcd of the requested intervals, and the whole ladder
+comes out of one :func:`repro.sweep.sweep_tquad` pass that decodes each
+captured page once (byte-identical to a direct run at each interval —
+the property tests assert this).  ``reexecute=True`` keeps the legacy
 one-VM-run-per-interval path for differential reference.
 """
 
@@ -144,10 +145,15 @@ def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
     ``build()`` must return a fresh ``(program, fs)`` pair per call (the
     machine is single-shot).  ``options`` provides the non-interval
     settings.  By default the guest executes *once*, capturing at the gcd
-    of the intervals, and each pass replays from the capture;
-    ``reexecute=True`` forces the legacy one-run-per-interval path (also
-    taken for a single interval, where a capture buys nothing).
+    of the intervals, and the whole ladder is one sweep-engine pass over
+    the capture; ``reexecute=True`` forces the legacy
+    one-run-per-interval path (also taken for a single interval, where a
+    capture buys nothing).  An empty ``intervals`` list, or any
+    non-positive interval, raises :class:`ValueError` before any run.
     """
+    from ..sweep.grid import validate_intervals
+
+    validate_intervals(intervals)
     base = options or TQuadOptions()
     reports: dict[int, TQuadReport] = {}
     if reexecute or len(set(intervals)) < 2:
@@ -162,7 +168,8 @@ def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
             reports[interval] = tool.report()
         return MultiPassResult(reports=reports)
 
-    from ..capture import CaptureReader, capture_run, replay_tquad
+    from ..capture import CaptureReader, capture_run
+    from ..sweep import SweepGrid, sweep_tquad
 
     grain = reduce(math.gcd, intervals)
     program, fs = build()
@@ -174,11 +181,11 @@ def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
                 tools=("tquad",), label="multipass",
                 max_instructions=max_instructions)
     buf.seek(0)
+    grid = SweepGrid(intervals=tuple(intervals), stacks=(base.stack,),
+                     library_modes=(base.exclude_libraries,),
+                     kernels=base.kernels)
     with CaptureReader(buf) as reader:
-        for interval in intervals:
-            reports[interval] = replay_tquad(
-                reader,
-                TQuadOptions(slice_interval=interval, stack=base.stack,
-                             exclude_libraries=base.exclude_libraries,
-                             kernels=base.kernels))
+        result = sweep_tquad(reader, grid)
+    reports = result.by_interval(stack=base.stack,
+                                 exclude_libraries=base.exclude_libraries)
     return MultiPassResult(reports=reports)

@@ -52,8 +52,14 @@ class TQuadTool:
         self.capture = capture
         if capture is not None and not buffered:
             raise ValueError("capture requires the buffered recording path")
+        # Library-frame accesses are recorded with marked kernel ids
+        # (``-2 - id``) so captured pages can serve either library-inclusion
+        # view by a column mask; the buffered flush folds them back, keeping
+        # live reports unchanged.  The legacy per-event path never reads
+        # ``rec_id``, so the flag is harmless there.
         self.callstack = CallStack(
-            exclude_library_accesses=self.options.exclude_libraries)
+            exclude_library_accesses=self.options.exclude_libraries,
+            mark_library=not self.options.exclude_libraries)
         self.ledger = BandwidthLedger(self.options.slice_interval)
         self._engine: PinEngine | None = None
         self._machine = None

@@ -88,14 +88,19 @@ class RecordingSink:
         arr = np.frombuffer(buf, dtype=np.int64).reshape(n, 4).copy()
         del buf[:]
         kid = arr[:, 3]
-        mask = kid >= 0
-        if not mask.all():
-            # dropped accesses (no kernel yet / excluded library frames) are
-            # recorded with kid == -1 by the per-instruction recorders
-            arr = arr[mask]
-            if arr.shape[0] == 0:
-                return
-            kid = arr[:, 3]
+        if kid.min() < 0:
+            # kid == -1 marks dropped accesses (no kernel yet / excluded
+            # library frames); kid <= -2 marks library-frame accesses
+            # attributed to kernel ``-2 - kid`` (see CallStack.mark_library)
+            mask = kid != -1
+            if not mask.all():
+                arr = arr[mask]
+                if arr.shape[0] == 0:
+                    return
+                kid = arr[:, 3]
+            lib = kid < -1
+            if lib.any():
+                kid = np.where(lib, -2 - kid, kid)
         ic, incl, excl = arr[:, 0], arr[:, 1], arr[:, 2]
         sl = (ic - 1) // self.interval
         base = int(sl.max()) + 1

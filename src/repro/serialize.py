@@ -85,6 +85,68 @@ def tquad_from_json(text: str) -> TQuadReport:
     return tquad_from_dict(json.loads(text))
 
 
+# --------------------------------------------------------------- sweeps
+def sweep_to_dict(result) -> dict[str, Any]:
+    """Serialise a :class:`~repro.sweep.engine.SweepResult`: the grid
+    axes plus every cell's full tQUAD report, in canonical cell order —
+    one artifact for the whole config grid."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "tquad_sweep",
+        "grid": {
+            "intervals": list(result.grid.intervals),
+            "stacks": [s.value for s in result.grid.stacks],
+            "library_modes": [bool(m) for m in result.grid.library_modes],
+            "kernels": (list(result.grid.kernels)
+                        if result.grid.kernels is not None else None),
+        },
+        "grain": result.grain,
+        "total_instructions": result.total_instructions,
+        "stats": dict(result.stats),
+        "cells": [
+            {"interval": cell.interval, "stack": cell.stack.value,
+             "exclude_libraries": cell.exclude_libraries,
+             "report": tquad_to_dict(report)}
+            for cell, report in result
+        ],
+    }
+
+
+def sweep_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.sweep.engine.SweepResult`; every cell
+    comes back as a full, queryable :class:`TQuadReport`."""
+    if data.get("kind") != "tquad_sweep":
+        raise ValueError("not a serialised tQUAD sweep")
+    from .sweep.engine import SweepResult
+    from .sweep.grid import SweepCell, SweepGrid
+
+    g = data["grid"]
+    kernels = tuple(g["kernels"]) if g.get("kernels") is not None else None
+    grid = SweepGrid(intervals=tuple(g["intervals"]),
+                     stacks=tuple(StackPolicy(s) for s in g["stacks"]),
+                     library_modes=tuple(bool(m)
+                                         for m in g["library_modes"]),
+                     kernels=kernels)
+    reports = {}
+    for c in data["cells"]:
+        cell = SweepCell(interval=c["interval"],
+                         stack=StackPolicy(c["stack"]),
+                         exclude_libraries=bool(c["exclude_libraries"]),
+                         kernels=kernels)
+        reports[cell] = tquad_from_dict(c["report"])
+    return SweepResult(grid=grid, reports=reports,
+                       total_instructions=data["total_instructions"],
+                       grain=data["grain"], stats=dict(data.get("stats", {})))
+
+
+def sweep_to_json(result, **json_kwargs) -> str:
+    return json.dumps(sweep_to_dict(result), **json_kwargs)
+
+
+def sweep_from_json(text: str):
+    return sweep_from_dict(json.loads(text))
+
+
 # ---------------------------------------------------------------- gprof
 def flat_to_dict(profile: FlatProfile) -> dict[str, Any]:
     return {

@@ -1,0 +1,27 @@
+"""Batched "multiverse" sweeps: one capture pass, a whole config grid.
+
+The analyses in the paper (Table IV's multipass ladder, the slice-interval
+ablation, stack-policy comparisons) all re-read the same execution under
+different configs.  A :class:`SweepGrid` names the configs;
+:func:`sweep_tquad` decodes each captured page *once* and produces every
+grid cell as a normal :class:`~repro.core.report.TQuadReport`,
+byte-identical to the standalone replay with the same options.
+
+Typical use::
+
+    from repro.capture import CaptureReader
+    from repro.sweep import SweepGrid, sweep_tquad
+
+    grid = SweepGrid(intervals=(500, 1000, 4000),
+                     stacks=(StackPolicy.BOTH, StackPolicy.EXCLUDE),
+                     library_modes=(False, True))
+    with CaptureReader("run.capture") as reader:
+        result = sweep_tquad(reader, grid)
+    report = result.report(1000, StackPolicy.EXCLUDE, exclude_libraries=True)
+"""
+
+from .engine import SweepResult, sweep_tquad
+from .grid import SweepCell, SweepGrid, validate_intervals
+
+__all__ = ["SweepCell", "SweepGrid", "SweepResult", "sweep_tquad",
+           "validate_intervals"]

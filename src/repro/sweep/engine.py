@@ -1,0 +1,292 @@
+"""The batched sweep engine: decode each capture page once, fill a grid.
+
+A sweep answers "what does this run look like under *every* analysis
+config" without paying the per-config replay cost.  Where N calls to
+:func:`repro.capture.replay.replay_tquad` decode and un-delta every page
+N times, :func:`sweep_tquad` walks each tQUAD stream exactly once
+(through a :class:`~repro.capture.reader.PageCursor`) and serves the
+whole interval × stack-policy × library-mode grid from that single pass:
+
+* **decode** — each page is decoded once; the library markers
+  (``kernel_id <= -2``) and dropped-row sentinels (``-1``) become column
+  masks, and every row is bucketed at the *gcd grain* of the requested
+  intervals.  Only the distinct row-filter combinations the grid actually
+  needs (library rows kept/dropped × exclusive-only) are accumulated.
+* **bucket** — the per-page partial sums merge into one sparse
+  ``(kernel, fine-slice) -> (incl, excl)`` table per stream and combo.
+* **fold** — each coarser interval ``m * grain`` is an exact segment-sum
+  of the fine table (``slice // m``); no re-read, no re-decode.
+* **report** — every cell materialises as a normal
+  :class:`~repro.core.report.TQuadReport`, byte-identical (at the
+  ``tquad_to_json`` level) to the standalone replay with the same
+  options — the property suite in ``tests/property/test_prop_sweep.py``
+  asserts this cell by cell.
+
+Each phase runs under an :mod:`repro.obs` span (``cat="sweep"``) so
+traces show where sweep time goes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import reduce
+from typing import Iterator
+
+import numpy as np
+
+from ..capture.format import (STREAM_TQUAD_READ, STREAM_TQUAD_WRITE,
+                              require_tool)
+from ..capture.reader import CaptureReader, PageCursor
+from ..capture.replay import _resolve_tquad_options
+from ..core.ledger import BandwidthLedger
+from ..core.options import StackPolicy
+from ..core.report import TQuadReport
+from ..obs import TELEMETRY
+from .grid import SweepCell, SweepGrid
+
+_STREAMS = ((STREAM_TQUAD_READ, False), (STREAM_TQUAD_WRITE, True))
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class SweepResult:
+    """The filled grid: one :class:`TQuadReport` per cell."""
+
+    grid: SweepGrid
+    reports: dict[SweepCell, TQuadReport]
+    total_instructions: int
+    grain: int
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def report(self, interval: int,
+               stack: StackPolicy = StackPolicy.BOTH,
+               exclude_libraries: bool = False) -> TQuadReport:
+        cell = SweepCell(interval=interval, stack=StackPolicy(stack),
+                         exclude_libraries=bool(exclude_libraries),
+                         kernels=self.grid.kernels)
+        try:
+            return self.reports[cell]
+        except KeyError:
+            raise KeyError(
+                f"cell (interval={interval}, stack={StackPolicy(stack).value}, "
+                f"exclude_libraries={exclude_libraries}) is not in this "
+                f"sweep's grid") from None
+
+    def by_interval(self, *, stack: StackPolicy = StackPolicy.BOTH,
+                    exclude_libraries: bool = False
+                    ) -> dict[int, TQuadReport]:
+        """One row of the grid, keyed by interval (the multipass shape)."""
+        return {iv: self.report(iv, stack, exclude_libraries)
+                for iv in self.grid.intervals}
+
+    def __iter__(self) -> Iterator[tuple[SweepCell, TQuadReport]]:
+        for cell in sorted(self.reports, key=lambda c: c.key):
+            yield cell, self.reports[cell]
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+
+def _cell_combo(cell: SweepCell, captured: StackPolicy,
+                captured_excl_libs: bool) -> tuple[bool, bool]:
+    """The row-filter combination a cell reads from: (drop library rows,
+    keep only rows with exclusive bytes)."""
+    drop_lib = cell.exclude_libraries and not captured_excl_libs
+    excl_only = (captured is StackPolicy.BOTH
+                 and cell.stack is StackPolicy.EXCLUDE)
+    return (drop_lib, excl_only)
+
+
+def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
+                telemetry=TELEMETRY) -> SweepResult:
+    """Fill ``grid`` from one decode pass over ``reader``'s tQUAD streams.
+
+    Raises :class:`~repro.capture.format.CaptureMismatchError` if any
+    grid cell is not derivable from the capture (non-multiple interval,
+    underivable stack policy or library mode) — validation runs for the
+    whole grid before any page is read.
+    """
+    manifest = reader.manifest
+    require_tool(manifest, "tquad")
+    mo = manifest["options"]
+    captured = StackPolicy(mo["stack"])
+    captured_excl_libs = bool(mo["exclude_libraries"])
+    cells = grid.cells()
+    for cell in cells:
+        _resolve_tquad_options(manifest, cell.options())
+
+    fine = reduce(math.gcd, grid.intervals)
+    total = int(manifest["total_instructions"])
+    n_fine = (max(total, 1) - 1) // fine + 1
+    names = manifest["kernels"]
+    images = dict(manifest["images"])
+    combos = {_cell_combo(c, captured, captured_excl_libs) for c in cells}
+
+    reports: dict[SweepCell, TQuadReport] = {}
+    pages_walked = 0
+    with telemetry.span("sweep", cat="sweep", tool="tquad",
+                        cells=len(cells), grain=fine,
+                        intervals=",".join(map(str, grid.intervals))):
+        # ------------------------------------------------ decode (one pass)
+        # per (stream, combo): lists of per-page (keys, incl, excl) partials
+        parts: dict[tuple[str, tuple[bool, bool]], list] = {
+            (stream, combo): [] for stream, _ in _STREAMS
+            for combo in combos}
+        with telemetry.span("sweep.decode", cat="sweep"):
+            for stream, _ in _STREAMS:
+                for page in PageCursor(reader, stream):
+                    pages_walked += 1
+                    kid_raw = page[:, 3]
+                    lib = kid_raw < -1
+                    valid = kid_raw != -1
+                    kid = np.where(lib, -2 - kid_raw, kid_raw)
+                    sl = (page[:, 0] - 1) // fine
+                    key = kid * n_fine + sl
+                    incl, excl = page[:, 1], page[:, 2]
+                    # one sort per page serves every combo: the per-combo
+                    # row filters become weight masks over the shared
+                    # group inverse (absent groups filtered by presence);
+                    # combos whose filters coincide on this page (no library
+                    # rows, no exclusive-free rows) share one summation
+                    uniq, inv = np.unique(key, return_inverse=True)
+                    nb = uniq.size
+                    has_lib = bool(lib.any())
+                    excl_pos = None
+                    done: dict[tuple[bool, bool], tuple] = {}
+                    for combo in combos:
+                        drop_lib, excl_only = combo
+                        if excl_only and excl_pos is None:
+                            excl_pos = excl > 0
+                            excl_all = bool(excl_pos.all())
+                        eff = (drop_lib and has_lib,
+                               excl_only and not excl_all)
+                        chunk = done.get(eff)
+                        if chunk is not None:
+                            if chunk:
+                                parts[stream, combo].append(chunk)
+                            continue
+                        mask = valid
+                        if eff[0]:
+                            mask = mask & ~lib
+                        if eff[1]:
+                            mask = mask & excl_pos
+                        if mask.all():
+                            chunk = (
+                                uniq,
+                                np.bincount(inv, weights=incl,
+                                            minlength=nb)
+                                .astype(np.int64),
+                                np.bincount(inv, weights=excl,
+                                            minlength=nb)
+                                .astype(np.int64))
+                        else:
+                            minv = inv[mask]
+                            if minv.size == 0:
+                                done[eff] = ()
+                                continue
+                            present = np.bincount(minv, minlength=nb) > 0
+                            chunk = (
+                                uniq[present],
+                                np.bincount(minv, weights=incl[mask],
+                                            minlength=nb)[present]
+                                .astype(np.int64),
+                                np.bincount(minv, weights=excl[mask],
+                                            minlength=nb)[present]
+                                .astype(np.int64))
+                        done[eff] = chunk
+                        parts[stream, combo].append(chunk)
+        # ------------------------------- bucket (merge partials, fine grain)
+        fine_tables: dict[tuple[str, tuple[bool, bool]],
+                          tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        with telemetry.span("sweep.bucket", cat="sweep"):
+            for loc, chunks in parts.items():
+                if not chunks:
+                    fine_tables[loc] = (_EMPTY, _EMPTY, _EMPTY)
+                    continue
+                keys = np.concatenate([c[0] for c in chunks])
+                uniq, inv = np.unique(keys, return_inverse=True)
+                incl_s = np.bincount(
+                    inv, weights=np.concatenate([c[1] for c in chunks]),
+                    minlength=uniq.size).astype(np.int64)
+                excl_s = np.bincount(
+                    inv, weights=np.concatenate([c[2] for c in chunks]),
+                    minlength=uniq.size).astype(np.int64)
+                fine_tables[loc] = (uniq, incl_s, excl_s)
+        # -------------------------------- fold (exact coarse segment sums)
+        folded: dict[tuple[str, tuple[bool, bool], int],
+                     tuple[np.ndarray, ...]] = {}
+        with telemetry.span("sweep.fold", cat="sweep"):
+            for cell in cells:
+                combo = _cell_combo(cell, captured, captured_excl_libs)
+                m = cell.interval // fine
+                for stream, _ in _STREAMS:
+                    loc = (stream, combo, cell.interval)
+                    if loc in folded:
+                        continue
+                    keys, incl_s, excl_s = fine_tables[stream, combo]
+                    if keys.size == 0:
+                        folded[loc] = (_EMPTY, _EMPTY, _EMPTY, _EMPTY)
+                        continue
+                    kid = keys // n_fine
+                    csl = (keys % n_fine) // m
+                    if m == 1:
+                        folded[loc] = (kid, csl, incl_s, excl_s)
+                        continue
+                    # fine keys are sorted kid-major, so the coarse keys
+                    # are nondecreasing: segment-sum with reduceat instead
+                    # of a sort-based regroup
+                    ckey = kid * n_fine + csl
+                    starts = np.flatnonzero(
+                        np.concatenate(([True], ckey[1:] != ckey[:-1])))
+                    uniq = ckey[starts]
+                    folded[loc] = (
+                        uniq // n_fine, uniq % n_fine,
+                        np.add.reduceat(incl_s, starts),
+                        np.add.reduceat(excl_s, starts))
+        # ----------------------------------- report (one ledger per cell)
+        with telemetry.span("sweep.report", cat="sweep"):
+            for cell in cells:
+                combo = _cell_combo(cell, captured, captured_excl_libs)
+                excl_only = combo[1]
+                zero_excl = (captured is StackPolicy.BOTH
+                             and cell.stack is StackPolicy.INCLUDE)
+                # merge the read/write tables into one (group × 4-counter)
+                # matrix, then materialise the ledger dict in a single
+                # tolist pass — no per-group accumulate calls
+                stream_keys = []
+                for stream, _ in _STREAMS:
+                    kid_a, sl_a, _, _ = folded[stream, combo, cell.interval]
+                    stream_keys.append(kid_a * n_fine + sl_a)
+                keys = np.unique(np.concatenate(stream_keys))
+                mat = np.zeros((keys.size, 4), dtype=np.int64)
+                for (stream, write), skeys in zip(_STREAMS, stream_keys):
+                    _, _, incl_a, excl_a = folded[
+                        stream, combo, cell.interval]
+                    if skeys.size == 0:
+                        continue
+                    idx = np.searchsorted(keys, skeys)
+                    col = 2 if write else 0
+                    if not excl_only:
+                        mat[idx, col] = incl_a
+                    if not zero_excl:
+                        mat[idx, col + 1] = excl_a
+                ledger = BandwidthLedger(cell.interval)
+                history: dict[str, dict[int, tuple]] = {}
+                kid_l = (keys // n_fine).tolist()
+                sl_l = (keys % n_fine).tolist()
+                for k_id, s, row in zip(kid_l, sl_l, mat.tolist()):
+                    history.setdefault(names[k_id], {})[s] = tuple(row)
+                ledger.history = history
+                ledger.flushed = True
+                reports[cell] = TQuadReport(
+                    ledger=ledger, options=cell.options(),
+                    total_instructions=total, images=dict(images),
+                    complete=True)
+    telemetry.count("sweep/runs")
+    telemetry.gauge("sweep/cells", len(cells))
+    stats = {"cells": len(cells), "pages_walked": pages_walked,
+             "grain": fine, "combos": len(combos), **reader.stats}
+    return SweepResult(grid=grid, reports=reports,
+                       total_instructions=total, grain=fine, stats=stats)

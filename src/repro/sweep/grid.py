@@ -1,0 +1,99 @@
+"""Sweep grids: the analysis-config cross product one capture serves.
+
+A :class:`SweepGrid` names the axes of a batched re-analysis — slice
+intervals × stack policies × library-inclusion modes — and expands them
+into :class:`SweepCell` coordinates.  Construction validates the axes
+eagerly (empty or non-positive intervals are a :class:`ValueError`, the
+same contract :func:`repro.core.multipass.profile_passes` enforces), so a
+bad grid fails before any capture work starts; compatibility with a
+*specific* capture (grain multiples, derivable policies) is checked by
+the engine against the manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.options import StackPolicy, TQuadOptions
+
+
+def validate_intervals(intervals) -> tuple[int, ...]:
+    """Normalise a slice-interval axis: sorted, deduplicated, all positive.
+
+    Raises :class:`ValueError` for an empty list or any non-positive
+    entry — the shared contract of sweep grids and multipass ladders.
+    """
+    items = list(intervals)
+    if not items:
+        raise ValueError("at least one slice interval is required")
+    for iv in items:
+        if int(iv) != iv or iv <= 0:
+            raise ValueError(
+                f"slice intervals must be positive integers (got {iv!r})")
+    return tuple(sorted({int(iv) for iv in items}))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid coordinate — exactly the options of a standalone replay."""
+
+    interval: int
+    stack: StackPolicy
+    exclude_libraries: bool
+    kernels: tuple[str, ...] | None = None
+
+    def options(self) -> TQuadOptions:
+        return TQuadOptions(slice_interval=self.interval, stack=self.stack,
+                            exclude_libraries=self.exclude_libraries,
+                            kernels=self.kernels)
+
+    @property
+    def key(self) -> tuple[int, str, bool]:
+        """Canonical sortable identity (used for serialisation order)."""
+        return (self.interval, self.stack.value, self.exclude_libraries)
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """The full config grid served by one decode pass over a capture."""
+
+    intervals: tuple[int, ...]
+    stacks: tuple[StackPolicy, ...] = (StackPolicy.BOTH,)
+    library_modes: tuple[bool, ...] = (False,)
+    kernels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "intervals",
+                           validate_intervals(self.intervals))
+        stacks = []
+        for s in self.stacks:
+            p = StackPolicy(s)
+            if p not in stacks:
+                stacks.append(p)
+        if not stacks:
+            raise ValueError("at least one stack policy is required")
+        object.__setattr__(self, "stacks", tuple(stacks))
+        modes = []
+        for m in self.library_modes:
+            b = bool(m)
+            if b not in modes:
+                modes.append(b)
+        if not modes:
+            raise ValueError("at least one library mode is required")
+        object.__setattr__(self, "library_modes", tuple(modes))
+        if self.kernels is not None:
+            object.__setattr__(self, "kernels", tuple(self.kernels))
+
+    def cells(self) -> list[SweepCell]:
+        """All grid coordinates in canonical (sorted-key) order."""
+        out = [SweepCell(interval=iv, stack=st, exclude_libraries=xl,
+                         kernels=self.kernels)
+               for iv in self.intervals
+               for st in self.stacks
+               for xl in self.library_modes]
+        out.sort(key=lambda c: c.key)
+        return out
+
+    def __len__(self) -> int:
+        return (len(self.intervals) * len(self.stacks)
+                * len(self.library_modes))

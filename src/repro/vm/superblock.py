@@ -68,7 +68,9 @@ A record sink (see :class:`repro.core.recording.RecordingSink`) exposes:
 * ``read_buf`` / ``write_buf`` — flat ``array('q')`` buffers receiving
   ``(icount, incl_bytes, excl_bytes, kernel_id)`` quads;
 * ``tag`` — an object with a ``rec_id`` attribute (the interned id of the
-  kernel accesses currently attribute to, or -1 to drop);
+  kernel accesses currently attribute to, -1 to drop, or ``-2 - id`` for
+  library-marked attribution — see
+  :class:`repro.core.callstack.CallStack`);
 * ``track_incl`` / ``track_excl`` — which byte columns the sink wants
   (``excl`` only counts accesses below the stack pointer);
 * ``interval`` — the slice width in instructions;
@@ -349,7 +351,9 @@ class _Records:
         excl = vE if sink.track_excl else "0"
         E.add(f"if {primary}:")
         E.add(f"    K = {tag}.rec_id")
-        E.add(f"    if K >= 0: {buf}.extend((ic + 1, {incl}, {excl}, K))")
+        # K == -1 drops; K <= -2 is a library-marked kernel id and must be
+        # recorded (the flush / capture replay folds it back)
+        E.add(f"    if K != -1: {buf}.extend((ic + 1, {incl}, {excl}, K))")
         names = []
         if sink.track_incl:
             names.append(vI)

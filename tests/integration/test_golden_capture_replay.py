@@ -21,6 +21,7 @@ from repro.capture import (CaptureReader, capture_run, replay_gprof,
                            replay_quad, replay_tquad)
 from repro.core import TQuadOptions, cluster_kernel_phases
 from repro.quad import instrumented_profile, rank_shifts
+from repro.sweep import SweepGrid, sweep_tquad
 
 from .test_golden_tables import (COARSE_INTERVAL, FINE_INTERVAL,
                                  MEDIUM_INTERVAL, PAPER_KERNELS)
@@ -51,6 +52,14 @@ def reader():
     buf.seek(0)
     with CaptureReader(buf) as r:
         yield r
+
+
+@pytest.fixture(scope="module")
+def sweep(reader):
+    """All three published tQUAD intervals from one sweep-engine pass."""
+    grid = SweepGrid(intervals=(FINE_INTERVAL, MEDIUM_INTERVAL,
+                                COARSE_INTERVAL))
+    return sweep_tquad(reader, grid)
 
 
 @pytest.fixture(scope="module")
@@ -91,6 +100,26 @@ def test_table4_phases(reader):
     analysis = cluster_kernel_phases(report, kernels=PAPER_KERNELS,
                                      max_phases=5)
     _check("table4_phases.txt", analysis.format_table())
+
+
+def test_table4_phases_via_sweep(sweep):
+    # third route to the same bytes: direct run, standalone replay, and
+    # now the batched sweep cell must all print the frozen Table IV
+    report = sweep.report(FINE_INTERVAL)
+    analysis = cluster_kernel_phases(report, kernels=PAPER_KERNELS,
+                                     max_phases=5)
+    _check("table4_phases.txt", analysis.format_table())
+
+
+def test_fig6_bandwidth_via_sweep(sweep):
+    report = sweep.report(COARSE_INTERVAL)
+    kernels = report.top_kernels(10)
+    names, mat = report.bandwidth_matrix(kernels, write=False,
+                                         include_stack=True)
+    text = bandwidth_strips(
+        names, mat, interval=report.interval, width=100,
+        title="Figure 6 analogue: read bandwidth incl. stack, top 10")
+    _check("fig6_read_bandwidth.txt", text)
 
 
 def test_fig6_read_bandwidth(reader):

@@ -1,0 +1,115 @@
+"""Property-based byte-identity of the batched sweep engine.
+
+Every cell of a sweep grid must serialise to *exactly* the bytes the
+standalone :func:`repro.capture.replay.replay_tquad` produces for the
+same options — which the capture property suite in turn pins to the
+direct re-executing run.  Holds across random MiniC guests, random
+interval ladders, every stack policy, both library modes (including the
+exclude-libs view *derived* from a library-marked capture), and captures
+merged from parallel shards.
+"""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.capture import (CaptureReader, CaptureWriter, capture_run,
+                           make_manifest, program_digest, replay_tquad)
+from repro.core import TQuadOptions, run_tquad
+from repro.core.options import StackPolicy
+from repro.minic import build_program
+from repro.serialize import tquad_to_json
+from repro.sweep import SweepGrid, sweep_tquad
+
+from test_prop_capture import guest_programs
+
+
+@st.composite
+def sweep_grids(draw, grain):
+    """A random grid whose intervals are all multiples of ``grain``."""
+    factors = draw(st.lists(st.integers(min_value=1, max_value=8),
+                            min_size=1, max_size=4, unique=True))
+    stacks = draw(st.lists(st.sampled_from(list(StackPolicy)),
+                           min_size=1, max_size=3, unique=True))
+    libs = draw(st.lists(st.booleans(), min_size=1, max_size=2,
+                         unique=True))
+    return SweepGrid(intervals=tuple(grain * f for f in factors),
+                     stacks=tuple(stacks), library_modes=tuple(libs))
+
+
+class TestSweepMatchesReplay:
+    @given(source=guest_programs(), grain=st.sampled_from([25, 50, 100]),
+           data=st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_every_cell_is_byte_identical_to_standalone_replay(
+            self, source, grain, data):
+        program = build_program(source)
+        buf = io.BytesIO()
+        capture_run(program, buf, tools=("tquad",),
+                    options=TQuadOptions(slice_interval=grain))
+        grid = data.draw(sweep_grids(grain))
+        buf.seek(0)
+        with CaptureReader(buf) as reader:
+            result = sweep_tquad(reader, grid)
+        assert len(result) == len(grid)
+        for cell, report in result:
+            buf.seek(0)
+            with CaptureReader(buf) as reader:
+                standalone = replay_tquad(reader, cell.options())
+            assert tquad_to_json(report) == tquad_to_json(standalone), \
+                f"cell {cell.key} diverges from standalone replay"
+
+    @given(source=guest_programs(), factor=st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_exclude_libs_cell_matches_direct_run(self, source, factor):
+        # the library axis is *derived* (marked rows masked out); pin it
+        # to a direct re-executing run with --exclude-libs, not just to
+        # the replay path
+        program = build_program(source)
+        buf = io.BytesIO()
+        capture_run(program, buf, tools=("tquad",),
+                    options=TQuadOptions(slice_interval=50))
+        interval = 50 * factor
+        grid = SweepGrid(intervals=(interval,), library_modes=(True,))
+        buf.seek(0)
+        with CaptureReader(buf) as reader:
+            result = sweep_tquad(reader, grid)
+        direct = run_tquad(program, options=TQuadOptions(
+            slice_interval=interval, exclude_libraries=True))
+        cell_report = result.report(interval, exclude_libraries=True)
+        assert tquad_to_json(cell_report) == tquad_to_json(direct)
+
+    @given(source=guest_programs(), jobs=st.integers(2, 4))
+    @settings(max_examples=6, deadline=None)
+    def test_parallel_captured_merge_sweeps_identically(self, source,
+                                                        jobs):
+        from repro.parallel import TQuadSpec, parallel_profile
+
+        program = build_program(source)
+        options = TQuadOptions(slice_interval=50)
+        buf = io.BytesIO()
+        writer = CaptureWriter(buf)
+        run = parallel_profile(program,
+                               TQuadSpec(options=options, capture=True),
+                               jobs=jobs, executor="inline",
+                               capture_writer=writer)
+        writer.finalize(make_manifest(
+            program_sha=program_digest(program), label="", grain=50,
+            stack="both", exclude_libraries=False,
+            total_instructions=run.total_instructions,
+            exit_code=run.exit_code, images=run.images,
+            kernels=run.capture_kernels, mem_size=run.mem_size,
+            tools=("tquad",),
+            prefetches_skipped=run.prefetches_skipped))
+        grid = SweepGrid(intervals=(50, 100, 200),
+                         stacks=(StackPolicy.BOTH, StackPolicy.INCLUDE),
+                         library_modes=(False, True))
+        buf.seek(0)
+        with CaptureReader(buf) as reader:
+            result = sweep_tquad(reader, grid)
+        for cell, report in result:
+            buf.seek(0)
+            with CaptureReader(buf) as reader:
+                standalone = replay_tquad(reader, cell.options())
+            assert tquad_to_json(report) == tquad_to_json(standalone), \
+                f"merged-capture cell {cell.key} diverges"

@@ -161,11 +161,29 @@ class TestUsageErrors:
         assert rc == 2
         assert "multiple" in capsys.readouterr().err
 
-    def test_option_mismatch_rejected(self, app, capture, capsys):
+    def test_exclude_libs_derives_from_marked_capture(self, app, capture,
+                                                      capsys):
+        # captures record library-marked kernel ids, so the exclude-libs
+        # view is derivable — and byte-identical to the direct run
+        assert main(["profile", str(app), "--interval", "500",
+                     "--exclude-libs"]) == 0
+        direct = capsys.readouterr().out
         rc = main(["profile", str(app), "--interval", "500",
                    "--exclude-libs", "--from-capture", str(capture)])
+        assert rc == 0
+        assert capsys.readouterr().out == direct
+
+    def test_include_libs_from_dropped_capture_rejected(self, app, tmp_path,
+                                                        capsys):
+        # the reverse is impossible: rows dropped at record time are gone
+        path = tmp_path / "nolib.capture"
+        assert main(["capture", "run", str(app), "--out", str(path),
+                     "--interval", "250", "--exclude-libs"]) == 0
+        capsys.readouterr()
+        rc = main(["profile", str(app), "--interval", "500",
+                   "--from-capture", str(path)])
         assert rc == 2
-        assert "librar" in capsys.readouterr().err
+        assert "--exclude-libs" in capsys.readouterr().err
 
     def test_missing_tool_stream_rejected(self, app, tmp_path, capsys):
         out = tmp_path / "g.capture"
