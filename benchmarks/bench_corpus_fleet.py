@@ -1,0 +1,81 @@
+"""A8 — corpus fleet: capture-once regression coverage stays cheap.
+
+The capture-corpus fleet (:mod:`repro.corpus`) is the repo's scenario
+regression net: every roster guest is captured once, replayed through
+all three tools plus a sweep grid, and byte-diffed against golden
+fixtures.  For that net to run on every PR it must stay fast, and its
+content-addressed store must actually dedupe work.  This benchmark pins:
+
+* **fleet health** — the PR-tier fleet runs green end to end;
+* **capture reuse** — a second pass over the same store executes zero
+  guests (every capture is reused by content address);
+* **verification matches the committed tree** — the golden fixtures in
+  ``tests/golden/corpus`` reproduce exactly.
+
+Results land in ``corpus_fleet.txt`` (human) and
+``BENCH_corpus_fleet.json`` (machine-readable, tracked across PRs).
+"""
+
+import json
+import pathlib
+import tempfile
+import time
+
+from conftest import save_artifact
+from repro.corpus import CaptureStore, run_fleet, verify_fleet
+
+GOLDEN = (pathlib.Path(__file__).resolve().parent.parent
+          / "tests" / "golden" / "corpus")
+
+
+def test_corpus_fleet(benchmark, outdir):
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CaptureStore(tmp)
+
+        t0 = time.perf_counter()
+        cold = run_fleet(store=store)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = run_fleet(store=store)
+        warm_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        verified = verify_fleet(golden_root=GOLDEN, store=store)
+        verify_s = time.perf_counter() - t0
+
+    assert cold.ok, [e.to_json() for e in cold.entries
+                     if e.status != "ok"]
+    assert cold.captures_executed == len(cold.entries)
+    assert warm.ok and warm.captures_executed == 0, \
+        "content-addressed store failed to reuse captures"
+    assert verified.ok, ("committed golden corpus fixtures drifted: "
+                         + json.dumps([e.to_json() for e in
+                                       verified.entries
+                                       if e.status != "ok"]))
+
+    per_entry = sorted(((e.seconds, e.name) for e in cold.entries),
+                       reverse=True)
+    lines = [
+        "corpus fleet (PR tier)",
+        f"  entries: {len(cold.entries)}",
+        f"  cold run (capture + replay): {cold_s:.2f}s",
+        f"  warm run (captures reused):  {warm_s:.2f}s",
+        f"  verify vs committed golden:  {verify_s:.2f}s",
+        "  slowest entries (cold):",
+    ]
+    lines += [f"    {name}: {s:.2f}s" for s, name in per_entry[:5]]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(outdir, "corpus_fleet.txt", text)
+    (outdir / "BENCH_corpus_fleet.json").write_text(json.dumps({
+        "entries": len(cold.entries),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "verify_seconds": round(verify_s, 3),
+        "per_entry_cold_seconds": {name: round(s, 3)
+                                   for s, name in per_entry},
+        "captures_reused_warm": warm.captures_reused,
+    }, indent=2, sort_keys=True) + "\n")
+    benchmark.pedantic(lambda: None, rounds=1)

@@ -1,5 +1,6 @@
-"""Guest applications: the hArtes-wfs case study and auxiliary kernels."""
+"""Guest applications: the hArtes-wfs case study, the corpus guests
+(hash join, BFS, stencil, codec) and auxiliary kernels."""
 
-from . import kernels, wfs
+from . import bfs, codec, hashjoin, kernels, stencil, wfs
 
-__all__ = ["wfs", "kernels"]
+__all__ = ["wfs", "kernels", "codec", "hashjoin", "bfs", "stencil"]

@@ -1,0 +1,273 @@
+"""A graph BFS guest: frontier-driven bandwidth bursts.
+
+The corpus' second structurally new workload.  A CSR graph (offsets +
+adjacency targets) is generated host-side from a seeded LCG and read from
+the guest FS; the guest runs level-synchronous breadth-first search with
+explicit current/next frontier arrays swapped by pointer.  Memory traffic
+arrives in *bursts*: a level with a wide frontier touches a large slice
+of the adjacency array at once, then the frontier collapses — unlike the
+join's steady pointer chasing or the stencil's uniform streaming.
+
+Every node has exactly ``degree`` out-edges (targets random, duplicates
+and self-loops allowed), so the CSR shape — and therefore the compiled
+binary — depends only on the preset's sizes, never on its seed.
+
+The oracle (:func:`reference_bfs`) computes the same distances with a
+plain Python BFS; level-synchronous search makes distances independent
+of intra-level visiting order, so ``dist.out`` is byte-exact.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..minic import build_program
+from ..testing.workloads import Lcg as _Lcg
+from ..vm import GuestFS
+from ..vm.program import Program
+
+_TEMPLATE = r"""
+int off[@N1@];
+int adj[@M@];
+int dist[@N@];
+int cur[@N@];
+int nxt[@N@];
+char stage[@STAGE@];
+
+char graph_name[10] = "graph.csr";
+char out_name[9]  = "dist.out";
+
+// ------------------------------------------------------------- staging I/O
+int read_exact(int fd, int want) {
+    int got = 0;
+    while (got < want) {
+        int n = read(fd, stage + got, want - got);
+        if (n <= 0) { return got; }
+        got += n;
+    }
+    return got;
+}
+
+int decode_i32(int o) {
+    return (int)stage[o]
+         | ((int)stage[o + 1] << 8)
+         | ((int)stage[o + 2] << 16)
+         | ((int)stage[o + 3] << 24);
+}
+
+int load_ints(int fd, int* dst, int count) {
+    int i = 0;
+    while (i < count) {
+        int chunk = @CHUNK@;
+        if (chunk > count - i) { chunk = count - i; }
+        if (read_exact(fd, chunk * 4) != chunk * 4) { return -1; }
+        int r;
+        for (r = 0; r < chunk; r++) {
+            dst[i] = decode_i32(r * 4);
+            i++;
+        }
+    }
+    return 0;
+}
+
+int load_graph() {
+    int fd = open(graph_name, 0);
+    if (fd < 0) { return -1; }
+    if (load_ints(fd, off, @N1@) < 0) { close(fd); return -1; }
+    if (load_ints(fd, adj, @M@) < 0) { close(fd); return -1; }
+    close(fd);
+    return 0;
+}
+
+// ----------------------------------------------------- frontier expansion
+int expand(int* a, int ncur, int* b, int level) {
+    // one BFS level: scan the current frontier, gather unvisited
+    // neighbours into the next one — the bursty inner loop
+    int nnxt = 0;
+    int i;
+    for (i = 0; i < ncur; i++) {
+        int u = a[i];
+        int e;
+        for (e = off[u]; e < off[u + 1]; e++) {
+            int v = adj[e];
+            if (dist[v] < 0) {
+                dist[v] = level;
+                b[nnxt] = v;
+                nnxt++;
+            }
+        }
+    }
+    return nnxt;
+}
+
+int run_bfs() {
+    int i;
+    for (i = 0; i < @N@; i++) { dist[i] = -1; }
+    int* a = cur;
+    int* b = nxt;
+    a[0] = @SRC@;
+    dist[@SRC@] = 0;
+    int ncur = 1;
+    int level = 0;
+    int reached = 1;
+    while (ncur > 0) {
+        level++;
+        int nnxt = expand(a, ncur, b, level);
+        reached += nnxt;
+        int* t = a;
+        a = b;
+        b = t;
+        ncur = nnxt;
+    }
+    return reached;
+}
+
+// ----------------------------------------------------------------- output
+void emit_i32(int o, int v) {
+    stage[o]     = (char)(v & 255);
+    stage[o + 1] = (char)((v >> 8) & 255);
+    stage[o + 2] = (char)((v >> 16) & 255);
+    stage[o + 3] = (char)((v >> 24) & 255);
+}
+
+int write_dist() {
+    int fd = open(out_name, 1);
+    if (fd < 0) { return -1; }
+    int i = 0;
+    while (i < @N@) {
+        int chunk = @CHUNK@;
+        if (chunk > @N@ - i) { chunk = @N@ - i; }
+        int r;
+        for (r = 0; r < chunk; r++) {
+            emit_i32(r * 4, dist[i]);
+            i++;
+        }
+        write(fd, stage, chunk * 4);
+    }
+    close(fd);
+    return 0;
+}
+
+int main() {
+    if (load_graph() < 0) { return 1; }
+    int reached = run_bfs();
+    if (write_dist() < 0) { return 2; }
+    print_int(reached);
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class BfsConfig:
+    """Knobs of the BFS workload.  ``n_nodes``/``degree`` are compile-time
+    sizes; ``seed`` only shapes the workspace graph."""
+
+    name: str = "small"
+    n_nodes: int = 384
+    degree: int = 3
+    seed: int = 0xBF5
+    source: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError("graph needs at least two nodes")
+        if self.degree < 1:
+            raise ValueError("degree must be positive")
+        if not 0 <= self.source < self.n_nodes:
+            raise ValueError("source out of range")
+
+    @property
+    def n_edges(self) -> int:
+        return self.n_nodes * self.degree
+
+
+TINY_BFS = BfsConfig(name="tiny", n_nodes=96, degree=2, seed=0xBF5)
+TINY_ALT_BFS = BfsConfig(name="tiny-alt", n_nodes=96, degree=2, seed=0x90D)
+SMALL_BFS = BfsConfig(name="small")
+STRESS_BFS = BfsConfig(name="stress", n_nodes=1536, degree=4, seed=0x6AF)
+
+BFS_PRESETS: dict[str, BfsConfig] = {
+    c.name: c for c in (TINY_BFS, TINY_ALT_BFS, SMALL_BFS, STRESS_BFS)
+}
+
+
+def bfs_source(cfg: BfsConfig = SMALL_BFS) -> str:
+    subs = {"@N@": str(cfg.n_nodes), "@N1@": str(cfg.n_nodes + 1),
+            "@M@": str(cfg.n_edges), "@SRC@": str(cfg.source),
+            "@STAGE@": "512", "@CHUNK@": "128"}
+    text = _TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        raise ValueError("unsubstituted template token")
+    return text
+
+
+def build_bfs_program(cfg: BfsConfig = SMALL_BFS) -> Program:
+    return build_program(bfs_source(cfg))
+
+
+def make_bfs_graph(cfg: BfsConfig) -> tuple[list[int], list[int]]:
+    """The deterministic CSR graph: ``(offsets, targets)`` with exactly
+    ``cfg.degree`` out-edges per node."""
+    rng = _Lcg(cfg.seed)
+    offsets = [u * cfg.degree for u in range(cfg.n_nodes + 1)]
+    targets = [rng.next() % cfg.n_nodes for _ in range(cfg.n_edges)]
+    return offsets, targets
+
+
+def make_bfs_workspace(cfg: BfsConfig = SMALL_BFS) -> GuestFS:
+    offsets, targets = make_bfs_graph(cfg)
+    fs = GuestFS()
+    fs.put("graph.csr",
+           b"".join(struct.pack("<i", v) for v in offsets + targets))
+    return fs
+
+
+@dataclass(frozen=True)
+class BfsResult:
+    distances: tuple[int, ...]
+    reached: int
+
+    @property
+    def output(self) -> bytes:
+        """The exact ``dist.out`` byte stream (-1 = unreachable)."""
+        return b"".join(struct.pack("<i", d) for d in self.distances)
+
+
+def reference_bfs(cfg: BfsConfig = SMALL_BFS) -> BfsResult:
+    """Pure-Python oracle: level-synchronous BFS distances from the
+    configured source (order within a level cannot change them)."""
+    offsets, targets = make_bfs_graph(cfg)
+    dist = [-1] * cfg.n_nodes
+    dist[cfg.source] = 0
+    frontier = [cfg.source]
+    level = 0
+    reached = 1
+    while frontier:
+        level += 1
+        nxt = []
+        for u in frontier:
+            for e in range(offsets[u], offsets[u + 1]):
+                v = targets[e]
+                if dist[v] < 0:
+                    dist[v] = level
+                    nxt.append(v)
+                    reached += 1
+        frontier = nxt
+    return BfsResult(distances=tuple(dist), reached=reached)
+
+
+def run_bfs_in_guest(cfg: BfsConfig = SMALL_BFS,
+                     max_instructions: int = 200_000_000) -> bytes:
+    """Execute the guest and return its ``dist.out`` bytes."""
+    from ..vm import Machine
+
+    fs = make_bfs_workspace(cfg)
+    machine = Machine(build_bfs_program(cfg), fs=fs)
+    code = machine.run(max_instructions=max_instructions)
+    if code != 0:
+        raise RuntimeError(f"BFS guest failed with exit code {code}")
+    return fs.get("dist.out")

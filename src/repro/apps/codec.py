@@ -434,6 +434,7 @@ int main() {
 class CodecConfig:
     width: int = 64
     height: int = 48
+    name: str = "custom"
 
     def __post_init__(self) -> None:
         if self.width % 8 or self.height % 8:
@@ -450,8 +451,12 @@ class CodecConfig:
         return self.width // 8, self.height // 8
 
 
-TINY_CODEC = CodecConfig(width=32, height=24)
-SMALL_CODEC = CodecConfig(width=64, height=48)
+TINY_CODEC = CodecConfig(width=32, height=24, name="tiny")
+SMALL_CODEC = CodecConfig(width=64, height=48, name="small")
+
+CODEC_PRESETS: dict[str, CodecConfig] = {
+    c.name: c for c in (TINY_CODEC, SMALL_CODEC)
+}
 
 
 def codec_source(cfg: CodecConfig = SMALL_CODEC) -> str:

@@ -1,0 +1,307 @@
+"""A database-style hash-join guest: pointer-chasing, irregular traffic.
+
+The corpus' first structurally new workload (ROADMAP item 5).  The guest
+builds a chained hash table over a build relation read from the guest FS,
+then streams a probe relation through it.  Bucket chains are index-linked
+lists (``head``/``nxt`` arrays), so the probe phase is dependent-load
+pointer chasing over a working set with no spatial locality — the
+opposite bandwidth shape of the codec's streaming block pipeline.
+
+Relations are generated host-side from a seeded LCG
+(:func:`make_join_tables`), so the *sizes* live in the program text while
+the *data* lives in the workspace: two presets with equal sizes but
+different seeds compile to the identical binary (same
+``program_sha256``), which is exactly the hazard the capture-label check
+guards (see ``repro.capture.format.check_label``).
+
+A pure-Python oracle (:func:`reference_join`) mirrors the guest's
+arithmetic bit-for-bit, so the produced ``join.out`` is byte-identical.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..minic import build_program
+from ..testing.workloads import Lcg as _Lcg
+from ..vm import GuestFS
+from ..vm.program import Program
+
+#: Aggregate masks (powers of two minus one, so the reduction is modular
+#: and therefore order-independent — the oracle need not replay chains).
+_AGG_MASK = 0xFFFFF
+_SUM_MASK = 0x3FFFFFFF
+
+_TEMPLATE = r"""
+int head[@NBUCKETS@];
+int nxt[@NBUILD@];
+int bkey[@NBUILD@];
+int bval[@NBUILD@];
+int hits[@NPROBE@];
+char stage[@STAGE@];
+int g_matches;
+int g_agg;
+
+char build_name[10] = "build.tbl";
+char probe_name[10] = "probe.tbl";
+char out_name[9]  = "join.out";
+
+// ------------------------------------------------------------- staging I/O
+int read_exact(int fd, int want) {
+    int got = 0;
+    while (got < want) {
+        int n = read(fd, stage + got, want - got);
+        if (n <= 0) { return got; }
+        got += n;
+    }
+    return got;
+}
+
+int decode_i32(int off) {
+    return (int)stage[off]
+         | ((int)stage[off + 1] << 8)
+         | ((int)stage[off + 2] << 16)
+         | ((int)stage[off + 3] << 24);
+}
+
+void emit_i32(int off, int v) {
+    stage[off]     = (char)(v & 255);
+    stage[off + 1] = (char)((v >> 8) & 255);
+    stage[off + 2] = (char)((v >> 16) & 255);
+    stage[off + 3] = (char)((v >> 24) & 255);
+}
+
+// ------------------------------------------------------------- hash table
+int hash_key(int k) {
+    int h = k * 2654435761;
+    h = h ^ (h >> 15);
+    return h & (@NBUCKETS@ - 1);
+}
+
+void init_table() {
+    int b;
+    for (b = 0; b < @NBUCKETS@; b++) { head[b] = -1; }
+}
+
+void insert_row(int i) {
+    int b = hash_key(bkey[i]);
+    nxt[i] = head[b];
+    head[b] = i;
+}
+
+int load_build() {
+    int fd = open(build_name, 0);
+    if (fd < 0) { return -1; }
+    int i = 0;
+    while (i < @NBUILD@) {
+        int chunk = @BUILD_CHUNK@;
+        if (chunk > @NBUILD@ - i) { chunk = @NBUILD@ - i; }
+        if (read_exact(fd, chunk * 8) != chunk * 8) {
+            close(fd);
+            return -1;
+        }
+        int r;
+        for (r = 0; r < chunk; r++) {
+            bkey[i] = decode_i32(r * 8);
+            bval[i] = decode_i32(r * 8 + 4);
+            insert_row(i);
+            i++;
+        }
+    }
+    close(fd);
+    return 0;
+}
+
+// ------------------------------------------------------------ probe phase
+int probe_one(int k) {
+    int count = 0;
+    int p = head[hash_key(k)];
+    while (p >= 0) {                       // dependent-load chain walk
+        if (bkey[p] == k) {
+            count++;
+            g_agg = (g_agg + ((k ^ bval[p]) & @AGG_MASK@)) & @SUM_MASK@;
+        }
+        p = nxt[p];
+    }
+    g_matches += count;
+    return count;
+}
+
+int probe_all() {
+    int fd = open(probe_name, 0);
+    if (fd < 0) { return -1; }
+    int i = 0;
+    while (i < @NPROBE@) {
+        int chunk = @PROBE_CHUNK@;
+        if (chunk > @NPROBE@ - i) { chunk = @NPROBE@ - i; }
+        if (read_exact(fd, chunk * 4) != chunk * 4) {
+            close(fd);
+            return -1;
+        }
+        int r;
+        for (r = 0; r < chunk; r++) {
+            hits[i] = probe_one(decode_i32(r * 4));
+            i++;
+        }
+    }
+    close(fd);
+    return 0;
+}
+
+// ----------------------------------------------------------------- output
+int write_hits() {
+    int fd = open(out_name, 1);
+    if (fd < 0) { return -1; }
+    int i = 0;
+    while (i < @NPROBE@) {
+        int chunk = @PROBE_CHUNK@;
+        if (chunk > @NPROBE@ - i) { chunk = @NPROBE@ - i; }
+        int r;
+        for (r = 0; r < chunk; r++) {
+            emit_i32(r * 4, hits[i]);
+            i++;
+        }
+        write(fd, stage, chunk * 4);
+    }
+    emit_i32(0, g_matches);
+    emit_i32(4, g_agg);
+    write(fd, stage, 8);
+    close(fd);
+    return 0;
+}
+
+int main() {
+    init_table();
+    if (load_build() < 0) { return 1; }
+    if (probe_all() < 0) { return 2; }
+    if (write_hits() < 0) { return 3; }
+    print_int(g_matches);
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Knobs of the hash-join workload.
+
+    ``n_build``/``n_probe``/``n_buckets`` are compile-time sizes (they
+    shape the binary); ``key_space`` and ``seed`` only shape the
+    workspace data.
+    """
+
+    name: str = "small"
+    n_build: int = 320
+    n_probe: int = 768
+    n_buckets: int = 64
+    key_space: int = 240
+    seed: int = 0x5EED
+
+
+    def __post_init__(self) -> None:
+        if self.n_buckets & (self.n_buckets - 1) or self.n_buckets < 2:
+            raise ValueError("n_buckets must be a power of two >= 2")
+        if self.n_build < 1 or self.n_probe < 1:
+            raise ValueError("relations must be non-empty")
+        if self.key_space < 1:
+            raise ValueError("key_space must be positive")
+
+
+TINY_JOIN = JoinConfig(name="tiny", n_build=64, n_probe=128, n_buckets=32,
+                       key_space=48, seed=0x5EED)
+#: Same binary as ``tiny`` (equal sizes), different data — the preset
+#: pair the capture-label mismatch check exists for.
+TINY_ALT_JOIN = JoinConfig(name="tiny-alt", n_build=64, n_probe=128,
+                           n_buckets=32, key_space=48, seed=0xA17)
+SMALL_JOIN = JoinConfig(name="small")
+STRESS_JOIN = JoinConfig(name="stress", n_build=1024, n_probe=2048,
+                         n_buckets=128, key_space=640, seed=0x57E55)
+
+JOIN_PRESETS: dict[str, JoinConfig] = {
+    c.name: c for c in (TINY_JOIN, TINY_ALT_JOIN, SMALL_JOIN, STRESS_JOIN)
+}
+
+
+def join_source(cfg: JoinConfig = SMALL_JOIN) -> str:
+    subs = {"@NBUILD@": str(cfg.n_build), "@NPROBE@": str(cfg.n_probe),
+            "@NBUCKETS@": str(cfg.n_buckets), "@STAGE@": "512",
+            "@BUILD_CHUNK@": "64", "@PROBE_CHUNK@": "128",
+            "@AGG_MASK@": str(_AGG_MASK), "@SUM_MASK@": str(_SUM_MASK)}
+    text = _TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        raise ValueError("unsubstituted template token")
+    return text
+
+
+def build_join_program(cfg: JoinConfig = SMALL_JOIN) -> Program:
+    return build_program(join_source(cfg))
+
+
+def make_join_tables(cfg: JoinConfig) -> tuple[list[tuple[int, int]],
+                                               list[int]]:
+    """The deterministic relations: build ``(key, value)`` rows and probe
+    keys, both drawn from one seeded LCG stream."""
+    rng = _Lcg(cfg.seed)
+    rows = [(rng.next() % cfg.key_space, rng.next() % 65536)
+            for _ in range(cfg.n_build)]
+    probes = [rng.next() % cfg.key_space for _ in range(cfg.n_probe)]
+    return rows, probes
+
+
+def make_join_workspace(cfg: JoinConfig = SMALL_JOIN) -> GuestFS:
+    rows, probes = make_join_tables(cfg)
+    fs = GuestFS()
+    fs.put("build.tbl",
+           b"".join(struct.pack("<ii", k, v) for k, v in rows))
+    fs.put("probe.tbl", b"".join(struct.pack("<i", k) for k in probes))
+    return fs
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """What the oracle predicts (and the guest must produce)."""
+
+    hits: tuple[int, ...]
+    matches: int
+    agg: int
+
+    @property
+    def output(self) -> bytes:
+        """The exact ``join.out`` byte stream."""
+        body = b"".join(struct.pack("<i", h) for h in self.hits)
+        return body + struct.pack("<ii", self.matches, self.agg)
+
+
+def reference_join(cfg: JoinConfig = SMALL_JOIN) -> JoinResult:
+    """Pure-Python oracle: per-probe match counts and the modular
+    aggregate (masking makes the reduction order-independent, so a plain
+    dict join predicts the chained table exactly)."""
+    rows, probes = make_join_tables(cfg)
+    table: dict[int, list[int]] = {}
+    for key, value in rows:
+        table.setdefault(key, []).append(value)
+    hits = []
+    matches = agg = 0
+    for key in probes:
+        values = table.get(key, ())
+        for value in values:
+            agg = (agg + ((key ^ value) & _AGG_MASK)) & _SUM_MASK
+        hits.append(len(values))
+        matches += len(values)
+    return JoinResult(hits=tuple(hits), matches=matches, agg=agg)
+
+
+def run_join_in_guest(cfg: JoinConfig = SMALL_JOIN,
+                      max_instructions: int = 200_000_000) -> bytes:
+    """Execute the guest and return its ``join.out`` bytes."""
+    from ..vm import Machine
+
+    fs = make_join_workspace(cfg)
+    machine = Machine(build_join_program(cfg), fs=fs)
+    code = machine.run(max_instructions=max_instructions)
+    if code != 0:
+        raise RuntimeError(f"hash-join guest failed with exit code {code}")
+    return fs.get("join.out")

@@ -1,0 +1,95 @@
+"""The guest-application registry: one uniform handle per workload.
+
+Every realistic guest the repo ships — the WFS case study, the DCT
+codec, and the corpus guests (hash join, BFS, stencil) — is registered
+here as a :class:`GuestApp`: named presets, a program builder, and a
+workspace factory.  The ``tquad guest`` subcommand and the capture-corpus
+fleet (:mod:`repro.corpus`) both drive guests exclusively through this
+table, so adding a workload is one entry, not one CLI.
+
+Labels: a capture of a guest records ``"<app>-<preset>"`` in its
+manifest (:func:`guest_label`).  Presets with equal sizes but different
+data seeds compile to the *same* binary, so the program digest alone
+cannot tell their captures apart — the label is the preset-identity the
+replay paths validate (``repro.capture.format.check_label``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..vm import GuestFS
+from ..vm.program import Program
+from . import bfs, codec, hashjoin, stencil
+from .wfs import PRESETS as WFS_PRESETS
+from .wfs import build_wfs_program, make_workspace as make_wfs_workspace
+
+
+@dataclass(frozen=True)
+class GuestApp:
+    """One registered guest workload."""
+
+    name: str
+    description: str
+    presets: Mapping[str, Any]
+    build_program: Callable[[Any], Program]
+    make_workspace: Callable[[Any], GuestFS]
+    #: Default tQUAD slice interval for this guest's scale.
+    default_interval: int = 1000
+    #: Preset names that exist for documentation but cannot execute on
+    #: the Python VM (the WFS ``paper`` preset).
+    unrunnable: tuple[str, ...] = field(default=())
+
+    def config(self, preset: str):
+        try:
+            return self.presets[preset]
+        except KeyError:
+            raise KeyError(
+                f"unknown preset {preset!r} for guest {self.name!r} "
+                f"(have: {', '.join(sorted(self.presets))})") from None
+
+
+def guest_label(app: str, cfg) -> str:
+    """The manifest label identifying a guest capture's preset."""
+    return f"{app}-{cfg.name}"
+
+
+GUEST_APPS: dict[str, GuestApp] = {
+    "hashjoin": GuestApp(
+        name="hashjoin",
+        description="chained hash join — pointer-chasing, irregular",
+        presets=hashjoin.JOIN_PRESETS,
+        build_program=hashjoin.build_join_program,
+        make_workspace=hashjoin.make_join_workspace,
+        default_interval=1000),
+    "bfs": GuestApp(
+        name="bfs",
+        description="level-synchronous graph BFS — frontier bursts",
+        presets=bfs.BFS_PRESETS,
+        build_program=bfs.build_bfs_program,
+        make_workspace=bfs.make_bfs_workspace,
+        default_interval=500),
+    "stencil": GuestApp(
+        name="stencil",
+        description="blur/edge stencil chain — streaming regular",
+        presets=stencil.STENCIL_PRESETS,
+        build_program=stencil.build_stencil_program,
+        make_workspace=stencil.make_stencil_workspace,
+        default_interval=2000),
+    "codec": GuestApp(
+        name="codec",
+        description="DCT image codec — block-strided multimedia",
+        presets=codec.CODEC_PRESETS,
+        build_program=codec.build_codec_program,
+        make_workspace=codec.make_codec_workspace,
+        default_interval=2000),
+    "wfs": GuestApp(
+        name="wfs",
+        description="hArtes wave-field-synthesis case study (the paper's)",
+        presets=WFS_PRESETS,
+        build_program=build_wfs_program,
+        make_workspace=make_wfs_workspace,
+        default_interval=5000,
+        unrunnable=("paper",)),
+}

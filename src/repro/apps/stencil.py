@@ -1,0 +1,255 @@
+"""An image-pipeline stencil guest: streaming, regular traffic.
+
+The corpus' third structurally new workload.  A grayscale frame read
+from the guest FS flows through an alternating chain of 3x3-ish integer
+stencils — a centre-weighted box blur and a gradient-magnitude edge
+pass — ping-ponged between two full-frame buffers by pointer swap.  The
+access pattern is the streaming-regular extreme of the corpus: long
+unit-stride row scans with a fixed reuse distance of one row, no data
+dependence in the addresses.
+
+All arithmetic is integral (shifts, clamps), so the pure-Python oracle
+(:func:`reference_stencil`) reproduces ``frame.out`` byte-for-byte.  The
+frame *sizes and pass count* are compile-time; the frame *content* comes
+from the workspace, seeded — as with the join, equal-size presets with
+different seeds share one binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..minic import build_program
+from ..testing.workloads import Lcg as _Lcg
+from ..vm import GuestFS
+from ..vm.program import Program
+
+_TEMPLATE = r"""
+char img[@PIX@];
+char tmp[@PIX@];
+
+char in_name[10]  = "frame.raw";
+char out_name[10] = "frame.out";
+
+// ----------------------------------------------------------------- frame I/O
+int load_frame() {
+    int fd = open(in_name, 0);
+    if (fd < 0) { return -1; }
+    int done = 0;
+    while (done < @PIX@) {
+        int got = read(fd, img + done, @PIX@ - done);
+        if (got <= 0) { close(fd); return -1; }
+        done += got;
+    }
+    close(fd);
+    return 0;
+}
+
+int store_frame(char* src) {
+    int fd = open(out_name, 1);
+    if (fd < 0) { return -1; }
+    int done = 0;
+    while (done < @PIX@) {
+        int n = @PIX@ - done;
+        if (n > @CHUNK@) { n = @CHUNK@; }
+        write(fd, src + done, n);
+        done += n;
+    }
+    close(fd);
+    return 0;
+}
+
+// -------------------------------------------------------------- the stencils
+void blur_pass(char* src, char* dst) {
+    // centre-weighted cross blur, clamped-replicate borders
+    int y;
+    for (y = 0; y < @H@; y++) {
+        int x;
+        for (x = 0; x < @W@; x++) {
+            int c = (int)src[y * @W@ + x];
+            int n = c;
+            int s = c;
+            int w = c;
+            int e = c;
+            if (y > 0)        { n = (int)src[(y - 1) * @W@ + x]; }
+            if (y < @H@ - 1)  { s = (int)src[(y + 1) * @W@ + x]; }
+            if (x > 0)        { w = (int)src[y * @W@ + x - 1]; }
+            if (x < @W@ - 1)  { e = (int)src[y * @W@ + x + 1]; }
+            dst[y * @W@ + x] = (char)((c * 4 + n + s + w + e + 4) >> 3);
+        }
+    }
+}
+
+void edge_pass(char* src, char* dst) {
+    // forward-difference gradient magnitude, saturated to 255
+    int y;
+    for (y = 0; y < @H@; y++) {
+        int x;
+        for (x = 0; x < @W@; x++) {
+            int c = (int)src[y * @W@ + x];
+            int r = c;
+            int d = c;
+            if (x < @W@ - 1) { r = (int)src[y * @W@ + x + 1]; }
+            if (y < @H@ - 1) { d = (int)src[(y + 1) * @W@ + x]; }
+            int gx = c - r;
+            if (gx < 0) { gx = -gx; }
+            int gy = c - d;
+            if (gy < 0) { gy = -gy; }
+            int v = gx + gy;
+            if (v > 255) { v = 255; }
+            dst[y * @W@ + x] = (char)v;
+        }
+    }
+}
+
+int checksum(char* src) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < @PIX@; i++) {
+        acc = (acc * 31 + (int)src[i]) & 1073741823;
+    }
+    return acc;
+}
+
+int main() {
+    if (load_frame() < 0) { return 1; }
+    char* a = img;
+    char* b = tmp;
+    int p;
+    for (p = 0; p < @PASSES@; p++) {
+        if (p % 2 == 0) { blur_pass(a, b); }
+        else            { edge_pass(a, b); }
+        char* t = a;
+        a = b;
+        b = t;
+    }
+    if (store_frame(a) < 0) { return 2; }
+    print_int(checksum(a));
+    return 0;
+}
+"""
+
+
+@dataclass(frozen=True)
+class StencilConfig:
+    """Knobs of the stencil pipeline.  ``width``/``height``/``passes``
+    are compile-time; ``seed`` only shapes the input frame."""
+
+    name: str = "small"
+    width: int = 64
+    height: int = 48
+    passes: int = 4
+    seed: int = 0x57E9C
+
+    def __post_init__(self) -> None:
+        if self.width < 2 or self.height < 2:
+            raise ValueError("frame too small")
+        if self.passes < 1:
+            raise ValueError("need at least one pass")
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+TINY_STENCIL = StencilConfig(name="tiny", width=32, height=24, passes=3,
+                             seed=0x57E9C)
+TINY_ALT_STENCIL = StencilConfig(name="tiny-alt", width=32, height=24,
+                                 passes=3, seed=0x1C0DE)
+SMALL_STENCIL = StencilConfig(name="small")
+STRESS_STENCIL = StencilConfig(name="stress", width=96, height=64, passes=6,
+                               seed=0xF00D)
+
+STENCIL_PRESETS: dict[str, StencilConfig] = {
+    c.name: c for c in (TINY_STENCIL, TINY_ALT_STENCIL, SMALL_STENCIL,
+                        STRESS_STENCIL)
+}
+
+
+def stencil_source(cfg: StencilConfig = SMALL_STENCIL) -> str:
+    subs = {"@PIX@": str(cfg.pixels), "@W@": str(cfg.width),
+            "@H@": str(cfg.height), "@PASSES@": str(cfg.passes),
+            "@CHUNK@": "256"}
+    text = _TEMPLATE
+    for token, value in subs.items():
+        text = text.replace(token, value)
+    if "@" in text:
+        raise ValueError("unsubstituted template token")
+    return text
+
+
+def build_stencil_program(cfg: StencilConfig = SMALL_STENCIL) -> Program:
+    return build_program(stencil_source(cfg))
+
+
+def make_frame(cfg: StencilConfig) -> bytes:
+    """The deterministic input frame: LCG noise over a coarse gradient,
+    so both smooth regions and speckle survive the blur/edge chain."""
+    rng = _Lcg(cfg.seed)
+    out = bytearray()
+    for y in range(cfg.height):
+        for x in range(cfg.width):
+            base = (4 * x + 3 * y) % 160
+            out.append((base + rng.next() % 96) & 0xFF)
+    return bytes(out)
+
+
+def make_stencil_workspace(cfg: StencilConfig = SMALL_STENCIL) -> GuestFS:
+    fs = GuestFS()
+    fs.put("frame.raw", make_frame(cfg))
+    return fs
+
+
+@dataclass(frozen=True)
+class StencilResult:
+    output: bytes
+    checksum: int
+
+
+def reference_stencil(cfg: StencilConfig = SMALL_STENCIL) -> StencilResult:
+    """Pure-Python oracle: the same integer stencil chain, same clamped
+    borders, same polynomial checksum."""
+    w, h = cfg.width, cfg.height
+    frame = list(make_frame(cfg))
+    other = [0] * (w * h)
+
+    def blur(src, dst):
+        for y in range(h):
+            for x in range(w):
+                c = src[y * w + x]
+                n = src[(y - 1) * w + x] if y > 0 else c
+                s = src[(y + 1) * w + x] if y < h - 1 else c
+                ww = src[y * w + x - 1] if x > 0 else c
+                e = src[y * w + x + 1] if x < w - 1 else c
+                dst[y * w + x] = (c * 4 + n + s + ww + e + 4) >> 3
+
+    def edge(src, dst):
+        for y in range(h):
+            for x in range(w):
+                c = src[y * w + x]
+                r = src[y * w + x + 1] if x < w - 1 else c
+                d = src[(y + 1) * w + x] if y < h - 1 else c
+                v = abs(c - r) + abs(c - d)
+                dst[y * w + x] = min(v, 255)
+
+    a, b = frame, other
+    for p in range(cfg.passes):
+        (blur if p % 2 == 0 else edge)(a, b)
+        a, b = b, a
+    acc = 0
+    for byte in a:
+        acc = (acc * 31 + byte) & 0x3FFFFFFF
+    return StencilResult(output=bytes(a), checksum=acc)
+
+
+def run_stencil_in_guest(cfg: StencilConfig = SMALL_STENCIL,
+                         max_instructions: int = 200_000_000) -> bytes:
+    """Execute the guest and return its ``frame.out`` bytes."""
+    from ..vm import Machine
+
+    fs = make_stencil_workspace(cfg)
+    machine = Machine(build_stencil_program(cfg), fs=fs)
+    code = machine.run(max_instructions=max_instructions)
+    if code != 0:
+        raise RuntimeError(f"stencil guest failed with exit code {code}")
+    return fs.get("frame.out")

@@ -20,8 +20,9 @@ Typical use::
 
 from .format import (CAPTURE_VERSION, CaptureError, CaptureFormatError,
                      CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
-                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, check_program,
-                     library_rows_of, make_manifest, program_digest)
+                     STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, check_label,
+                     check_program, library_rows_of, make_manifest,
+                     program_digest)
 from .reader import CaptureReader, PageCursor
 from .record import CallEventRecorder, capture_run
 from .replay import replay_gprof, replay_quad, replay_tquad
@@ -33,7 +34,8 @@ __all__ = [
     "CaptureMismatchError", "STREAM_CALLS", "STREAM_QUAD",
     "STREAM_TQUAD_READ", "STREAM_TQUAD_WRITE",
     "CaptureCollector", "CaptureReader", "CaptureWriter",
-    "CallEventRecorder", "PageCursor", "capture_run", "check_program",
+    "CallEventRecorder", "PageCursor", "capture_run", "check_label",
+    "check_program",
     "library_rows_of", "make_manifest", "merge_capture_segments",
     "program_digest", "replay_gprof", "replay_quad", "replay_tquad",
 ]

@@ -189,3 +189,21 @@ def check_program(manifest: dict[str, Any], program) -> None:
             f"capture was recorded for a different program "
             f"(captured {str(want)[:12]}…, requested {got[:12]}…); "
             f"re-record the capture")
+
+
+def check_label(manifest: dict[str, Any], expected: str) -> None:
+    """Reject a replay whose capture was recorded for a different
+    workload identity.
+
+    The program digest covers only the binary; guest presets that differ
+    solely in workspace *data* (equal sizes, different seeds) compile to
+    the same ``program_sha256``, so a label mismatch is the only signal
+    that a capture belongs to a different preset.  Unlabelled captures
+    (and empty expectations) are accepted for compatibility.
+    """
+    recorded = manifest.get("label", "")
+    if expected and recorded and recorded != expected:
+        raise CaptureMismatchError(
+            f"capture was recorded for workload {recorded!r}, not "
+            f"{expected!r} (same binary, different input data); "
+            f"re-record the capture for {expected!r}")

@@ -105,13 +105,19 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
     return None
 
 
-def _open_capture(path: str, program):
+def _open_capture(path: str, program, label: str = ""):
     """Open + validate a capture for replaying ``program``; raises
-    :class:`repro.capture.CaptureError` with an operator-facing message."""
-    from .capture import CaptureReader, check_program
+    :class:`repro.capture.CaptureError` with an operator-facing message.
+
+    ``label`` is the expected workload identity (``"<app>-<preset>"``):
+    presets differing only in workspace data share a binary, so the
+    digest check alone would replay the wrong preset's capture silently.
+    """
+    from .capture import CaptureReader, check_label, check_program
 
     reader = CaptureReader(path)
     check_program(reader.manifest, program)
+    check_label(reader.manifest, label)
     return reader
 
 
@@ -173,7 +179,7 @@ def _captured_report(args: argparse.Namespace, program, options, *,
         if getattr(args, "capture_out", None):
             reader = CaptureReader(source)  # fresh file: digest matches
         else:
-            reader = _open_capture(source, program)
+            reader = _open_capture(source, program, label)
         with reader:
             if tool == "tquad":
                 result = replay_tquad(reader, options)
@@ -380,6 +386,105 @@ def _wfs_body(args: argparse.Namespace, cfg, program) -> int:
         print()
         print(cluster_kernel_phases(report, max_phases=5).format_table())
     return 0
+
+
+def _cmd_guest(args: argparse.Namespace) -> int:
+    from .apps.registry import GUEST_APPS, guest_label
+
+    app = GUEST_APPS[args.app]
+    if args.interval is None:
+        args.interval = app.default_interval
+    err = _validate_profile_args(args)
+    if err is not None:
+        return err
+    try:
+        cfg = app.config(args.preset)
+    except KeyError as exc:
+        return _bad_usage(exc.args[0])
+    if cfg.name in app.unrunnable:
+        return _bad_usage(
+            f"preset {cfg.name!r} of guest {app.name!r} documents the "
+            f"published scale and is not runnable on the Python VM")
+    program = app.build_program(cfg)
+    trace = _start_trace(args)
+    try:
+        return _guest_body(args, app, cfg, program,
+                           guest_label(app.name, cfg))
+    finally:
+        _finish_trace(args, trace)
+
+
+def _guest_body(args: argparse.Namespace, app, cfg, program,
+                label: str) -> int:
+    options = TQuadOptions(slice_interval=args.interval)
+    if args.from_capture or args.capture_out:
+        outcome = _captured_report(
+            args, program, options,
+            fs=None if args.from_capture else app.make_workspace(cfg),
+            label=label)
+        if isinstance(outcome, int):
+            return outcome
+        report = outcome
+    elif args.jobs > 1:
+        from .parallel import TQuadSpec, parallel_profile
+
+        report = parallel_profile(
+            program, TQuadSpec(options=options), jobs=args.jobs,
+            fs=app.make_workspace(cfg),
+            deadline=args.deadline).reports["tquad"]
+    else:
+        report = run_tquad(program, fs=app.make_workspace(cfg),
+                           options=options)
+    print(f"# guest {app.name!r} ({app.description}), preset "
+          f"{cfg.name!r}: {report.total_instructions} instructions, "
+          f"{report.n_slices} slices of {report.interval}")
+    print(report.format_table(top=args.top))
+    if args.figure:
+        kernels = report.top_kernels(args.top or 10)
+        names, mat = report.bandwidth_matrix(kernels, write=args.writes,
+                                             include_stack=not
+                                             args.exclude_stack)
+        print()
+        print(bandwidth_strips(names, mat, interval=report.interval))
+    if args.phases:
+        print()
+        print(cluster_kernel_phases(report, max_phases=5).format_table())
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .corpus import (CaptureStore, run_fleet, update_fleet,
+                         verify_fleet)
+
+    try:
+        store = CaptureStore(args.store)
+        kwargs = dict(store=store, nightly=args.nightly or None,
+                      only=args.only)
+        trace = _start_trace(args)
+        try:
+            if args.corpus_command == "run":
+                report = run_fleet(out_dir=args.out_dir, **kwargs)
+            elif args.corpus_command == "verify":
+                report = verify_fleet(golden_root=args.golden, **kwargs)
+            else:
+                report = update_fleet(golden_root=args.golden, **kwargs)
+        finally:
+            _finish_trace(args, trace)
+    except KeyError as exc:
+        return _bad_usage(exc.args[0])
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.report}", file=sys.stderr)
+    print(report.summary())
+    for entry in report.entries:
+        if entry.status == "ok":
+            continue
+        detail = (", ".join(entry.drifted + entry.missing)
+                  or entry.error)
+        print(f"  {entry.status}: {entry.name} ({detail})",
+              file=sys.stderr)
+    return report.exit_code
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -673,6 +778,33 @@ def build_parser() -> argparse.ArgumentParser:
     observability(p)
     p.set_defaults(fn=_cmd_wfs)
 
+    from .apps.registry import GUEST_APPS
+
+    p = sub.add_parser("guest",
+                       help="profile a registered guest workload "
+                            "(hash join, BFS, stencil, codec, wfs)")
+    p.add_argument("app", choices=sorted(GUEST_APPS),
+                   help="which registered guest to run")
+    p.add_argument("--preset", default="tiny",
+                   help="guest preset name (default: tiny)")
+    p.add_argument("--interval", type=int, default=None,
+                   help="time slice interval in instructions "
+                        "(default: the guest's registered interval)")
+    p.add_argument("--top", type=int, default=12)
+    p.add_argument("--exclude-stack", action="store_true")
+    p.add_argument("--writes", action="store_true")
+    p.add_argument("--figure", action="store_true")
+    p.add_argument("--phases", action="store_true")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="profile with N worker processes (exact results)")
+    p.add_argument("--capture-out", metavar="PATH",
+                   help="record a replayable capture of this guest run")
+    p.add_argument("--from-capture", metavar="PATH",
+                   help="replay the guest from a capture file (the "
+                        "manifest label must match this app and preset)")
+    observability(p)
+    p.set_defaults(fn=_cmd_guest)
+
     p = sub.add_parser("sweep",
                        help="batched re-analysis: one capture pass fills "
                             "an interval × stack × library config grid")
@@ -728,6 +860,46 @@ def build_parser() -> argparse.ArgumentParser:
     cp = csub.add_parser("info", help="print a capture's manifest summary")
     cp.add_argument("file")
     cp.set_defaults(fn=_cmd_capture_info)
+
+    p = sub.add_parser("corpus",
+                       help="the capture-corpus regression fleet: capture "
+                            "every roster guest once, replay all tools, "
+                            "diff against golden fixtures")
+    csub = p.add_subparsers(dest="corpus_command", required=True)
+
+    def corpus_common(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("--store", default=".tquad-corpus", metavar="DIR",
+                        help="content-addressed capture store (safe to "
+                             "delete; default: .tquad-corpus)")
+        cp.add_argument("--nightly", action="store_true",
+                        help="include the nightly tier (also enabled by "
+                             "TQUAD_NIGHTLY=1)")
+        cp.add_argument("--only", metavar="ENTRY", default=None,
+                        help="restrict to one roster entry by name")
+        cp.add_argument("--report", metavar="PATH", default=None,
+                        help="write the machine-readable fleet report "
+                             "JSON")
+        observability(cp)
+
+    cp = csub.add_parser("run", help="capture + replay the fleet, no "
+                                     "golden comparison")
+    cp.add_argument("--out-dir", metavar="DIR", default=None,
+                    help="also write each entry's artifact tree here")
+    corpus_common(cp)
+    cp.set_defaults(fn=_cmd_corpus)
+    cp = csub.add_parser("verify", help="byte-diff fleet artifacts "
+                                        "against the golden tree "
+                                        "(exit 1 on any drift)")
+    cp.add_argument("--golden", default="tests/golden/corpus",
+                    metavar="DIR", help="golden fixture tree")
+    corpus_common(cp)
+    cp.set_defaults(fn=_cmd_corpus)
+    cp = csub.add_parser("update", help="rewrite the golden tree and "
+                                        "prune stale fixtures")
+    cp.add_argument("--golden", default="tests/golden/corpus",
+                    metavar="DIR", help="golden fixture tree")
+    corpus_common(cp)
+    cp.set_defaults(fn=_cmd_corpus)
 
     p = sub.add_parser("disasm", help="disassemble a program")
     p.add_argument("file")

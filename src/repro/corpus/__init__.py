@@ -1,0 +1,24 @@
+"""The capture-corpus regression fleet (ROADMAP item 5).
+
+A roster of deterministic guest workloads — realistic applications at
+named presets plus generated shape workloads — each captured once into a
+content-addressed store and replayed through every analysis tool, with
+the full artifact set byte-diffed against committed golden fixtures.
+
+Driven by ``tquad corpus run|verify|update`` and by
+``tests/integration/test_corpus_fleet.py``; see ``docs/guests.md``.
+"""
+
+from .entries import (CorpusEntry, FLEET_ENTRIES, fleet_entries,
+                      nightly_enabled)
+from .fleet import (ARTIFACTS, DEFAULT_GOLDEN, EntryReport, FleetReport,
+                    entry_grid, render_artifacts, run_fleet, update_fleet,
+                    verify_fleet)
+from .store import DEFAULT_STORE, CaptureStore
+
+__all__ = [
+    "ARTIFACTS", "CaptureStore", "CorpusEntry", "DEFAULT_GOLDEN",
+    "DEFAULT_STORE", "EntryReport", "FLEET_ENTRIES", "FleetReport",
+    "entry_grid", "fleet_entries", "nightly_enabled", "render_artifacts",
+    "run_fleet", "update_fleet", "verify_fleet",
+]

@@ -1,0 +1,131 @@
+"""The corpus roster: which guests the regression fleet covers.
+
+Each :class:`CorpusEntry` names one deterministic workload — a
+registered guest application at a preset (:mod:`repro.apps.registry`) or
+a generated shape workload (:mod:`repro.testing.workloads`) — plus the
+capture grain the fleet records it at.  The roster is tiered:
+
+* the **PR tier** (``tier="pr"``): tiny presets and one generated
+  workload per shape — small enough to re-verify on every pull request;
+* the **nightly tier** (``tier="nightly"``): the small presets and the
+  remaining generated shapes, enabled by ``TQUAD_NIGHTLY=1`` (the same
+  switch the fuzz budget uses).
+
+Entries are identity-stable: the fleet's golden fixtures live under the
+entry name, and a directory under ``tests/golden/corpus/`` that matches
+no roster entry is *stale* — :func:`repro.corpus.fleet.verify_fleet`
+fails on it so renames cannot leave dead fixtures behind.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..apps.registry import GUEST_APPS, guest_label
+from ..testing.workloads import CORPUS_SPECS, WorkloadSpec, workload_program
+
+TIERS = ("pr", "nightly")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One fleet workload: a name, how to build it, how to capture it."""
+
+    name: str                  #: fixture-directory / report identity
+    kind: str                  #: ``"guest"`` or ``"generated"``
+    tier: str = "pr"
+    app: str = ""              #: guest kind: registry key
+    preset: str = ""           #: guest kind: preset name
+    spec: WorkloadSpec | None = None   #: generated kind: the spec
+    interval: int = 1000       #: capture grain (and base replay interval)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("guest", "generated"):
+            raise ValueError(f"unknown entry kind {self.kind!r}")
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}")
+        if self.kind == "guest" and (not self.app or not self.preset):
+            raise ValueError("guest entries need app and preset")
+        if self.kind == "generated" and self.spec is None:
+            raise ValueError("generated entries need a spec")
+
+    @property
+    def label(self) -> str:
+        """The capture-manifest label (preset identity on replay)."""
+        if self.kind == "guest":
+            return guest_label(self.app, self._config())
+        return f"gen-{self.spec.slug}"
+
+    def _config(self):
+        return GUEST_APPS[self.app].config(self.preset)
+
+    def build_program(self):
+        if self.kind == "guest":
+            return GUEST_APPS[self.app].build_program(self._config())
+        return workload_program(self.spec)
+
+    def make_workspace(self):
+        """A fresh input workspace (``None`` for self-contained guests)."""
+        if self.kind == "guest":
+            return GUEST_APPS[self.app].make_workspace(self._config())
+        return None
+
+
+def _guest(name: str, app: str, preset: str, interval: int,
+           tier: str = "pr") -> CorpusEntry:
+    return CorpusEntry(name=name, kind="guest", tier=tier, app=app,
+                       preset=preset, interval=interval)
+
+
+def _generated(spec: WorkloadSpec, tier: str = "pr") -> CorpusEntry:
+    return CorpusEntry(name=f"gen-{spec.slug}", kind="generated",
+                       tier=tier, spec=spec, interval=500)
+
+
+#: The full roster, PR tier first.  Generated entries reuse the checked-in
+#: fuzz seed specs so one spec list feeds both the fuzzer and the fleet.
+FLEET_ENTRIES: tuple[CorpusEntry, ...] = (
+    _guest("hashjoin-tiny", "hashjoin", "tiny", 500),
+    _guest("bfs-tiny", "bfs", "tiny", 250),
+    _guest("stencil-tiny", "stencil", "tiny", 1000),
+    _guest("codec-tiny", "codec", "tiny", 1000),
+    _guest("wfs-tiny", "wfs", "tiny", 2500),
+    _generated(CORPUS_SPECS[0]),              # pointer_0011
+    _generated(CORPUS_SPECS[2]),              # bursty_0033
+    _generated(CORPUS_SPECS[4]),              # streaming_0055
+    _guest("hashjoin-small", "hashjoin", "small", 2000, tier="nightly"),
+    _guest("bfs-small", "bfs", "small", 1000, tier="nightly"),
+    _guest("stencil-small", "stencil", "small", 5000, tier="nightly"),
+    _guest("codec-small", "codec", "small", 5000, tier="nightly"),
+    _guest("wfs-small", "wfs", "small", 10000, tier="nightly"),
+    _generated(CORPUS_SPECS[1], tier="nightly"),   # pointer_0022
+    _generated(CORPUS_SPECS[3], tier="nightly"),   # bursty_0044
+    _generated(CORPUS_SPECS[5], tier="nightly"),   # streaming_0066
+)
+
+
+def nightly_enabled() -> bool:
+    """Whether the environment asks for the nightly tier
+    (``TQUAD_NIGHTLY=1`` — shared with the fuzz budget)."""
+    return os.environ.get("TQUAD_NIGHTLY", "") == "1"
+
+
+def fleet_entries(*, nightly: bool | None = None,
+                  only: str | None = None) -> tuple[CorpusEntry, ...]:
+    """The active roster: PR tier always, nightly tier when asked.
+
+    ``only`` filters by exact entry name (for focused local reruns) and
+    ignores the tier, so a nightly entry can be regenerated directly.
+    """
+    if only is not None:
+        picked = tuple(e for e in FLEET_ENTRIES if e.name == only)
+        if not picked:
+            raise KeyError(
+                f"unknown corpus entry {only!r} (have: "
+                f"{', '.join(e.name for e in FLEET_ENTRIES)})")
+        return picked
+    if nightly is None:
+        nightly = nightly_enabled()
+    tiers = ("pr", "nightly") if nightly else ("pr",)
+    return tuple(e for e in FLEET_ENTRIES if e.tier in tiers)

@@ -1,0 +1,278 @@
+"""The capture-corpus regression fleet: run, verify, update.
+
+For every roster entry (:mod:`repro.corpus.entries`) the fleet captures
+the guest once into a content-addressed store, replays all three tools
+plus a small sweep grid *from the capture*, and renders a fixed artifact
+set — JSON and table text per tool, the sweep grid, and a deterministic
+``meta.json``:
+
+========== =====================================================
+artifact    contents
+========== =====================================================
+tquad.json  :func:`repro.serialize.tquad_to_json` at the entry grain
+tquad.txt   the rendered tQUAD table
+gprof.json  :func:`repro.serialize.flat_to_json`
+gprof.txt   flat profile + call graph
+quad.json   :func:`repro.serialize.quad_to_json`
+quad.txt    the rendered QUAD table
+sweep.json  a 2 intervals x 2 stack-policy grid from the capture
+meta.json   run identity (label, digest, icount, exit code, grain)
+========== =====================================================
+
+``verify`` byte-diffs each artifact against the committed golden tree
+(``tests/golden/corpus/<entry>/``); ``update`` rewrites the tree and
+prunes stale fixture directories.  Every artifact is a pure function of
+the guest binary + workspace, so any diff is a real behaviour change in
+the VM, the instrumentation, the capture codec, or the replay engines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..capture import CaptureReader, replay_gprof, replay_quad, replay_tquad
+from ..core import TQuadOptions
+from ..core.options import StackPolicy
+from ..obs import TELEMETRY
+from ..serialize import (flat_to_json, quad_to_json, sweep_to_json,
+                         tquad_to_json)
+from ..sweep import SweepGrid, sweep_tquad
+from .entries import CorpusEntry, fleet_entries
+from .store import CaptureStore
+
+#: Default golden-fixture tree (relative to the repo root / CI checkout).
+DEFAULT_GOLDEN = Path("tests") / "golden" / "corpus"
+
+ARTIFACTS = ("tquad.json", "tquad.txt", "gprof.json", "gprof.txt",
+             "quad.json", "quad.txt", "sweep.json", "meta.json")
+
+
+def entry_grid(entry: CorpusEntry) -> SweepGrid:
+    """The per-entry sweep grid: both interval doublings, both derivable
+    stack views (the capture records ``StackPolicy.BOTH``)."""
+    return SweepGrid(intervals=(entry.interval, 2 * entry.interval),
+                     stacks=(StackPolicy.BOTH, StackPolicy.EXCLUDE))
+
+
+def render_artifacts(entry: CorpusEntry, store: CaptureStore
+                     ) -> dict[str, str]:
+    """Capture (or reuse) ``entry`` and render its full artifact set."""
+    from ..capture import program_digest
+
+    with TELEMETRY.span(f"fleet:{entry.name}", cat="corpus"):
+        program = entry.build_program()
+        sha = program_digest(program)
+        path = store.capture(entry, program, sha)
+        with CaptureReader(path) as reader, \
+                TELEMETRY.span(f"replay:{entry.name}", cat="corpus"):
+            tq = replay_tquad(
+                reader, TQuadOptions(slice_interval=entry.interval))
+            flat = replay_gprof(reader)
+            quad = replay_quad(reader)
+            sweep = sweep_tquad(reader, entry_grid(entry))
+            man = reader.manifest
+    meta = {
+        "entry": entry.name,
+        "kind": entry.kind,
+        "label": entry.label,
+        "program_sha256": sha,
+        "grain": entry.interval,
+        "total_instructions": man["total_instructions"],
+        "exit_code": man["exit_code"],
+        "kernels": len(man["kernels"]),
+        "routines": len(man["routines"]),
+        "sweep_cells": len(sweep),
+    }
+    return {
+        "tquad.json": tquad_to_json(tq),
+        "tquad.txt": tq.format_table() + "\n",
+        "gprof.json": flat_to_json(flat),
+        "gprof.txt": (flat.format_table() + "\n\n"
+                      + flat.format_call_graph() + "\n"),
+        "quad.json": quad_to_json(quad),
+        "quad.txt": quad.format_table() + "\n",
+        "sweep.json": sweep_to_json(sweep),
+        "meta.json": json.dumps(meta, indent=2, sort_keys=True) + "\n",
+    }
+
+
+# ------------------------------------------------------------ fleet report
+@dataclass
+class EntryReport:
+    """One entry's outcome in a fleet pass."""
+
+    name: str
+    label: str
+    status: str                    #: ok | drift | missing | error | stale
+    seconds: float = 0.0
+    drifted: list[str] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    error: str = ""
+
+    def to_json(self) -> dict:
+        out = {"name": self.name, "label": self.label,
+               "status": self.status,
+               "seconds": round(self.seconds, 3)}
+        if self.drifted:
+            out["drifted"] = list(self.drifted)
+        if self.missing:
+            out["missing"] = list(self.missing)
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class FleetReport:
+    """Machine-readable outcome of one ``run``/``verify``/``update``."""
+
+    mode: str
+    entries: list[EntryReport] = field(default_factory=list)
+    captures_reused: int = 0
+    captures_executed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(e.status == "ok" for e in self.entries)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "mode": self.mode,
+            "ok": self.ok,
+            "entries": [e.to_json() for e in self.entries],
+            "captures": {"reused": self.captures_reused,
+                         "executed": self.captures_executed},
+        }, indent=2, sort_keys=True) + "\n"
+
+    def summary(self) -> str:
+        counts: dict[str, int] = {}
+        for e in self.entries:
+            counts[e.status] = counts.get(e.status, 0) + 1
+        parts = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        return (f"corpus {self.mode}: {len(self.entries)} entries "
+                f"({parts}); captures: {self.captures_executed} executed, "
+                f"{self.captures_reused} reused")
+
+
+def _run_one(entry: CorpusEntry, store: CaptureStore,
+             ) -> tuple[EntryReport, dict[str, str] | None]:
+    start = time.perf_counter()
+    try:
+        artifacts = render_artifacts(entry, store)
+    except Exception as err:  # a broken guest must not sink the fleet
+        return EntryReport(name=entry.name, label=entry.label,
+                           status="error", error=f"{type(err).__name__}: "
+                                                 f"{err}",
+                           seconds=time.perf_counter() - start), None
+    return EntryReport(name=entry.name, label=entry.label, status="ok",
+                       seconds=time.perf_counter() - start), artifacts
+
+
+def run_fleet(*, store: CaptureStore | None = None,
+              nightly: bool | None = None, only: str | None = None,
+              out_dir: str | Path | None = None) -> FleetReport:
+    """Capture + replay every active entry; optionally write artifacts.
+
+    ``out_dir`` (when given) receives the same tree ``update`` would
+    write under the golden root — useful for inspecting a drift.
+    """
+    store = store or CaptureStore()
+    hits0, misses0 = store.hits, store.misses
+    report = FleetReport(mode="run")
+    for entry in fleet_entries(nightly=nightly, only=only):
+        entry_report, artifacts = _run_one(entry, store)
+        if artifacts is not None and out_dir is not None:
+            _write_tree(Path(out_dir) / entry.name, artifacts)
+        report.entries.append(entry_report)
+    report.captures_reused = store.hits - hits0
+    report.captures_executed = store.misses - misses0
+    return report
+
+
+def _write_tree(directory: Path, artifacts: dict[str, str]) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, text in artifacts.items():
+        (directory / name).write_text(text, encoding="utf-8")
+
+
+def _stale_dirs(golden_root: Path, *, all_tiers: bool) -> list[str]:
+    """Golden subdirectories no roster entry owns.
+
+    A PR-tier pass must not flag nightly fixtures, so staleness is judged
+    against the *full* roster unless ``all_tiers`` is False for a
+    filtered run (``only=...``), where staleness is skipped entirely.
+    """
+    if not all_tiers or not golden_root.is_dir():
+        return []
+    known = {e.name for e in fleet_entries(nightly=True)}
+    return sorted(p.name for p in golden_root.iterdir()
+                  if p.is_dir() and p.name not in known)
+
+
+def verify_fleet(*, golden_root: str | Path = DEFAULT_GOLDEN,
+                 store: CaptureStore | None = None,
+                 nightly: bool | None = None,
+                 only: str | None = None) -> FleetReport:
+    """Re-render every active entry and byte-diff it against the golden
+    tree; stale fixture directories fail the pass too."""
+    golden_root = Path(golden_root)
+    store = store or CaptureStore()
+    hits0, misses0 = store.hits, store.misses
+    report = FleetReport(mode="verify")
+    for entry in fleet_entries(nightly=nightly, only=only):
+        entry_report, artifacts = _run_one(entry, store)
+        if artifacts is not None:
+            base = golden_root / entry.name
+            for name, text in artifacts.items():
+                path = base / name
+                if not path.exists():
+                    entry_report.missing.append(name)
+                elif path.read_text(encoding="utf-8") != text:
+                    entry_report.drifted.append(name)
+            if entry_report.missing:
+                entry_report.status = "missing"
+            if entry_report.drifted:
+                entry_report.status = "drift"
+        report.entries.append(entry_report)
+    for name in _stale_dirs(golden_root, all_tiers=only is None):
+        report.entries.append(EntryReport(
+            name=name, label="", status="stale",
+            error="golden fixtures exist but no roster entry does; "
+                  "run `tquad corpus update` to prune"))
+    report.captures_reused = store.hits - hits0
+    report.captures_executed = store.misses - misses0
+    return report
+
+
+def update_fleet(*, golden_root: str | Path = DEFAULT_GOLDEN,
+                 store: CaptureStore | None = None,
+                 nightly: bool | None = None,
+                 only: str | None = None) -> FleetReport:
+    """Rewrite the golden tree from fresh renders and prune stale
+    fixture directories (full-roster passes only)."""
+    import shutil
+
+    golden_root = Path(golden_root)
+    store = store or CaptureStore()
+    hits0, misses0 = store.hits, store.misses
+    report = FleetReport(mode="update")
+    for entry in fleet_entries(nightly=nightly, only=only):
+        entry_report, artifacts = _run_one(entry, store)
+        if artifacts is not None:
+            _write_tree(golden_root / entry.name, artifacts)
+        report.entries.append(entry_report)
+    for name in _stale_dirs(golden_root, all_tiers=only is None):
+        shutil.rmtree(golden_root / name)
+        report.entries.append(EntryReport(name=name, label="",
+                                          status="ok",
+                                          error="stale fixtures pruned"))
+    report.captures_reused = store.hits - hits0
+    report.captures_executed = store.misses - misses0
+    return report

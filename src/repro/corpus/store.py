@@ -1,0 +1,61 @@
+"""A content-addressed capture store: each fleet guest executes once.
+
+Captures are filed under ``<sha16>-<label>.capture`` — the program
+digest plus the workload label, because presets that differ only in
+workspace data share a binary (see
+:func:`repro.capture.format.check_label`).  ``run``/``verify``/``update``
+invocations against the same store therefore re-decode pages instead of
+re-executing guests, and a stale file (digest no longer matching its
+name, e.g. after a guest source edit) is silently re-captured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..capture import CaptureError, CaptureReader, capture_run
+from ..core import TQuadOptions
+from ..obs import TELEMETRY
+from .entries import CorpusEntry
+
+#: Default store location (created on demand, safe to delete any time).
+DEFAULT_STORE = Path(".tquad-corpus")
+
+
+class CaptureStore:
+    """Content-addressed capture files under one root directory."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE) -> None:
+        self.root = Path(root)
+        self.hits = 0      #: captures reused from disk
+        self.misses = 0    #: guests actually executed
+
+    def path_for(self, sha: str, label: str) -> Path:
+        return self.root / f"{sha[:16]}-{label}.capture"
+
+    def _reusable(self, path: Path, sha: str, label: str) -> bool:
+        if not path.exists():
+            return False
+        try:
+            with CaptureReader(path) as reader:
+                man = reader.manifest
+                return (man.get("program_sha256") == sha
+                        and man.get("label", "") == label)
+        except CaptureError:
+            return False   # truncated/corrupt: recapture over it
+
+    def capture(self, entry: CorpusEntry, program, sha: str) -> Path:
+        """The capture file for ``entry``, executing the guest only when
+        no valid capture for this exact binary + label exists yet."""
+        path = self.path_for(sha, entry.label)
+        if self._reusable(path, sha, entry.label):
+            self.hits += 1
+            return path
+        self.root.mkdir(parents=True, exist_ok=True)
+        with TELEMETRY.span(f"capture:{entry.name}", cat="corpus"):
+            capture_run(
+                program, str(path), fs=entry.make_workspace(),
+                options=TQuadOptions(slice_interval=entry.interval),
+                tools=("tquad", "gprof", "quad"), label=entry.label)
+        self.misses += 1
+        return path

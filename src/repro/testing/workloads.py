@@ -1,0 +1,282 @@
+"""Deterministic MiniC workload generation from seed + shape specs.
+
+The guest corpus needs more access-pattern diversity than hand-written
+applications alone provide (ROADMAP item 5; Examem's argument that
+instrumentation must stay honest across patterns).  This module emits
+complete ``.mc`` programs from a :class:`WorkloadSpec` — same spec, same
+bytes, always — in three bandwidth shapes:
+
+``pointer``
+    Sattolo-shuffled permutation rings chased by dependent loads — the
+    irregular extreme (every access depends on the previous one).
+``bursty``
+    alternating phases: tight read-modify-write bursts over a small hot
+    buffer, then sparse strided walks over a cold array — bandwidth
+    arrives in spikes.
+``streaming``
+    unit-stride fill/copy/scale/reduce chains — the regular extreme.
+
+Uses: the checked-in fuzz seed corpus (``tests/fuzz/corpus/gen_*.mc``,
+regenerable via ``python -m repro.testing.workloads``), hypothesis
+strategies in the nightly differential fuzzer, and the generator-shape
+entries of the capture-corpus regression fleet (:mod:`repro.corpus`).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+
+class Lcg:
+    """A 31-bit LCG (glibc ``rand`` constants): the one PRNG every
+    deterministic workload in the repo draws from, host- and guest-side
+    (the MiniC mirror is emitted by :func:`generate_workload`)."""
+
+    MUL = 1103515245
+    INC = 12345
+    MASK = 0x7FFFFFFF
+
+    def __init__(self, seed: int) -> None:
+        self.state = (seed & self.MASK) or 1
+
+    def next(self) -> int:
+        self.state = (self.state * self.MUL + self.INC) & self.MASK
+        return self.state
+
+
+#: The generator's shape vocabulary.
+SHAPES = ("pointer", "bursty", "streaming")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One deterministic workload: a shape, a seed, and scale knobs."""
+
+    shape: str = "streaming"
+    seed: int = 1
+    size: int = 64        #: elements of the primary working array
+    kernels: int = 3      #: distinct kernel routines to emit
+    steps: int = 4        #: outer repetitions in ``main``
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ValueError(f"shape must be one of {SHAPES}, "
+                             f"got {self.shape!r}")
+        if self.size < 8:
+            raise ValueError("size must be >= 8")
+        if not 1 <= self.kernels <= 8:
+            raise ValueError("kernels must be within [1, 8]")
+        if not 1 <= self.steps <= 32:
+            raise ValueError("steps must be within [1, 32]")
+
+    @property
+    def slug(self) -> str:
+        return f"{self.shape}_{self.seed:04x}"
+
+
+def _guest_rng() -> str:
+    """The MiniC mirror of :class:`Lcg` (seeded by the generated main)."""
+    return (f"int g_rng;\n"
+            f"int rnd() {{\n"
+            f"    g_rng = (g_rng * {Lcg.MUL} + {Lcg.INC}) & {Lcg.MASK};\n"
+            f"    return g_rng;\n"
+            f"}}\n")
+
+
+def _pointer_body(spec, rng):
+    n = spec.size
+    decls = [f"int ring[{n}];", f"int vals[{n}];"]
+    funcs = [
+        # Sattolo's shuffle: one cycle, so every chase visits all slots
+        f"void build_ring() {{\n"
+        f"    int i;\n"
+        f"    for (i = 0; i < {n}; i++) {{\n"
+        f"        ring[i] = i;\n"
+        f"        vals[i] = rnd() & 65535;\n"
+        f"    }}\n"
+        f"    for (i = {n} - 1; i > 0; i--) {{\n"
+        f"        int j = rnd() % i;\n"
+        f"        int t = ring[i];\n"
+        f"        ring[i] = ring[j];\n"
+        f"        ring[j] = t;\n"
+        f"    }}\n"
+        f"}}",
+    ]
+    calls = ["build_ring();"]
+    for k in range(spec.kernels):
+        hops = n * (1 + rng.next() % 3)
+        mix = 1 + rng.next() % 255
+        funcs.append(
+            f"int chase{k}(int start) {{\n"
+            f"    int p = start % {n};\n"
+            f"    int acc = 0;\n"
+            f"    int s;\n"
+            f"    for (s = 0; s < {hops}; s++) {{\n"
+            f"        p = ring[p];\n"
+            f"        acc = (acc + vals[p] * {mix}) & 1073741823;\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}")
+        calls.append(f"r = (r + chase{k}(step + {k})) & 1073741823;")
+    return decls, funcs, calls
+
+
+def _bursty_body(spec, rng):
+    hot = max(8, spec.size // 4)
+    cold = spec.size * 4
+    decls = [f"int hot[{hot}];", f"int cold[{cold}];"]
+    funcs = []
+    calls = []
+    for k in range(spec.kernels):
+        reps = 2 + rng.next() % 4
+        add = 1 + rng.next() % 99
+        stride = 3 + 2 * (rng.next() % 4)          # odd-ish, never 0
+        funcs.append(
+            f"void burst{k}(int phase) {{\n"
+            f"    int r;\n"
+            f"    for (r = 0; r < {reps}; r++) {{\n"
+            f"        int i;\n"
+            f"        for (i = 0; i < {hot}; i++) {{\n"
+            f"            hot[i] = (hot[i] + phase * {add} + r) "
+            f"& 16777215;\n"
+            f"        }}\n"
+            f"    }}\n"
+            f"}}")
+        funcs.append(
+            f"int quiet{k}() {{\n"
+            f"    int acc = 0;\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {cold}; i += {stride}) {{\n"
+            f"        cold[i] = (cold[i] ^ acc) & 16777215;\n"
+            f"        acc = (acc + cold[i] + hot[i % {hot}]) "
+            f"& 1073741823;\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}")
+        calls.append(f"burst{k}(step);")
+        calls.append(f"r = (r + quiet{k}()) & 1073741823;")
+    return decls, funcs, calls
+
+
+def _streaming_body(spec, rng):
+    n = spec.size * 4
+    decls = [f"int src[{n}];", f"int dst[{n}];"]
+    funcs = [
+        f"void fill(int phase) {{\n"
+        f"    int i;\n"
+        f"    for (i = 0; i < {n}; i++) {{\n"
+        f"        src[i] = (i * 7 + phase) & 65535;\n"
+        f"    }}\n"
+        f"}}",
+    ]
+    calls = ["fill(step);"]
+    for k in range(spec.kernels):
+        scale = 1 + rng.next() % 9
+        bias = rng.next() % 1024
+        funcs.append(
+            f"void scale{k}() {{\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i++) {{\n"
+            f"        dst[i] = (src[i] * {scale} + {bias}) & 16777215;\n"
+            f"    }}\n"
+            f"}}")
+        funcs.append(
+            f"int reduce{k}() {{\n"
+            f"    int acc = 0;\n"
+            f"    int i;\n"
+            f"    for (i = 0; i < {n}; i++) {{\n"
+            f"        acc = (acc + dst[i]) & 1073741823;\n"
+            f"    }}\n"
+            f"    return acc;\n"
+            f"}}")
+        calls.append(f"scale{k}();")
+        calls.append(f"r = (r ^ reduce{k}()) & 1073741823;")
+    return decls, funcs, calls
+
+
+_BODIES = {"pointer": _pointer_body, "bursty": _bursty_body,
+           "streaming": _streaming_body}
+
+
+def generate_workload(spec: WorkloadSpec) -> str:
+    """Emit a complete, deterministic MiniC program for ``spec``."""
+    rng = Lcg(spec.seed)
+    decls, funcs, calls = _BODIES[spec.shape](spec, rng)
+    body = "\n        ".join(calls)
+    header = (f"// generated workload: shape={spec.shape} "
+              f"seed={spec.seed:#x} size={spec.size} "
+              f"kernels={spec.kernels} steps={spec.steps}\n"
+              f"// regenerate: python -m repro.testing.workloads\n")
+    main = (f"int main() {{\n"
+            f"    g_rng = {Lcg(spec.seed).state};\n"
+            f"    int r = 0;\n"
+            f"    int step;\n"
+            f"    for (step = 0; step < {spec.steps}; step++) {{\n"
+            f"        {body}\n"
+            f"    }}\n"
+            f"    print_int(r);\n"
+            f"    return 0;\n"
+            f"}}\n")
+    return (header + "\n".join(decls) + "\n\n" + _guest_rng() + "\n"
+            + "\n\n".join(funcs) + "\n\n" + main)
+
+
+def workload_program(spec: WorkloadSpec):
+    """Build the generated source into a loadable :class:`Program`."""
+    from ..minic import build_program
+
+    return build_program(generate_workload(spec))
+
+
+# --------------------------------------------------------- the seed corpus
+#: The checked-in fuzz seed corpus: two specs per shape, small enough for
+#: the real-process differential test.
+CORPUS_SPECS: tuple[WorkloadSpec, ...] = (
+    WorkloadSpec(shape="pointer", seed=0x11, size=48, kernels=2, steps=3),
+    WorkloadSpec(shape="pointer", seed=0x22, size=64, kernels=3, steps=2),
+    WorkloadSpec(shape="bursty", seed=0x33, size=40, kernels=2, steps=3),
+    WorkloadSpec(shape="bursty", seed=0x44, size=56, kernels=1, steps=4),
+    WorkloadSpec(shape="streaming", seed=0x55, size=32, kernels=2,
+                 steps=3),
+    WorkloadSpec(shape="streaming", seed=0x66, size=48, kernels=3,
+                 steps=2),
+)
+
+
+def corpus_file_name(spec: WorkloadSpec) -> str:
+    return f"gen_{spec.slug}.mc"
+
+
+def write_corpus(directory: str | Path,
+                 specs: tuple[WorkloadSpec, ...] = CORPUS_SPECS
+                 ) -> list[Path]:
+    """Write (or refresh) the generated seed-corpus files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for spec in specs:
+        path = directory / corpus_file_name(spec)
+        path.write_text(generate_workload(spec), encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def _default_corpus_dir() -> Path:
+    return (Path(__file__).resolve().parents[3] / "tests" / "fuzz"
+            / "corpus")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.testing.workloads [dir]`` — regenerate the seed
+    corpus (defaults to ``tests/fuzz/corpus/``)."""
+    args = sys.argv[1:] if argv is None else argv
+    directory = Path(args[0]) if args else _default_corpus_dir()
+    for path in write_corpus(directory):
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

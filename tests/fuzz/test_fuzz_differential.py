@@ -26,6 +26,8 @@ from repro.minic import build_program
 from repro.parallel import (GprofSpec, QuadSpec, TQuadSpec,
                             parallel_profile)
 from repro.serialize import flat_to_json, quad_to_json, tquad_to_json
+from repro.testing.workloads import (SHAPES, WorkloadSpec,
+                                     generate_workload)
 
 CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
 CORPUS = sorted(CORPUS_DIR.glob("*.mc"))
@@ -39,11 +41,18 @@ SPECS = (TQuadSpec(options=TQuadOptions(slice_interval=INTERVAL)),
          QuadSpec(), GprofSpec())
 
 
-def fingerprint(src: str, *, jobs: int = 1, jit: bool = True,
+def fingerprint(src, *, jobs: int = 1, jit: bool = True,
                 executor: str = "process",
-                quantum: int | None = None) -> tuple:
-    """Every byte-level artifact of one profiling configuration."""
-    run = parallel_profile(build_program(src), SPECS, jobs=jobs, jit=jit,
+                quantum: int | None = None, fs_factory=None) -> tuple:
+    """Every byte-level artifact of one profiling configuration.
+
+    ``src`` is MiniC source or a prebuilt ``Program``; ``fs_factory``
+    supplies a fresh workspace per run for guests that read input files
+    (the corpus property tests reuse this harness).
+    """
+    program = src if not isinstance(src, str) else build_program(src)
+    fs = fs_factory() if fs_factory is not None else None
+    run = parallel_profile(program, SPECS, jobs=jobs, jit=jit, fs=fs,
                            executor=executor, quantum=quantum, align=False)
     tq, q, g = (run.reports["tquad"], run.reports["quad"],
                 run.reports["gprof"])
@@ -53,11 +62,12 @@ def fingerprint(src: str, *, jobs: int = 1, jit: bool = True,
             run.exit_code, run.total_instructions)
 
 
-def assert_all_configs_agree(src: str, *, executor: str = "inline",
-                             quantum: int = 173) -> None:
-    reference = fingerprint(src)
-    sharded = fingerprint(src, jobs=4, executor=executor, quantum=quantum)
-    nojit = fingerprint(src, jit=False)
+def assert_all_configs_agree(src, *, executor: str = "inline",
+                             quantum: int = 173, fs_factory=None) -> None:
+    reference = fingerprint(src, fs_factory=fs_factory)
+    sharded = fingerprint(src, jobs=4, executor=executor, quantum=quantum,
+                          fs_factory=fs_factory)
+    nojit = fingerprint(src, jit=False, fs_factory=fs_factory)
     for i, (a, b) in enumerate(zip(reference, sharded)):
         assert a == b, f"serial vs jobs=4 diverged at artifact {i}"
     for i, (a, b) in enumerate(zip(reference, nojit)):
@@ -114,6 +124,18 @@ def guest_programs(draw):
             + " print_int(r); return r & 255; }")
 
 
+@st.composite
+def workload_specs(draw, max_size: int = 48):
+    """Specs for the deterministic shape generator — the corpus' three
+    bandwidth shapes (pointer / bursty / streaming) at fuzz scale."""
+    return WorkloadSpec(
+        shape=draw(st.sampled_from(SHAPES)),
+        seed=draw(st.integers(min_value=1, max_value=0x7FFFFFFF)),
+        size=draw(st.integers(min_value=8, max_value=max_size)),
+        kernels=draw(st.integers(min_value=1, max_value=3)),
+        steps=draw(st.integers(min_value=1, max_value=3)))
+
+
 # -------------------------------------------------------------- the tests
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
 def test_corpus_differential_with_real_processes(path):
@@ -134,6 +156,14 @@ def test_fuzz_differential(src):
     assert_all_configs_agree(src)
 
 
+@given(workload_specs(max_size=24))
+@settings(max_examples=max(3, FUZZ_EXAMPLES // 3), deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fuzz_generated_workloads(spec):
+    """Shape-generator guests: all three configurations byte-agree."""
+    assert_all_configs_agree(generate_workload(spec))
+
+
 @pytest.mark.nightly
 @pytest.mark.skipif(not NIGHTLY, reason="nightly budget (TQUAD_NIGHTLY=1)")
 @given(guest_programs())
@@ -142,5 +172,17 @@ def test_fuzz_differential(src):
 def test_fuzz_differential_nightly(src):
     """The same property at the nightly example budget, with shard
     boundaries forced off slice edges at a second quantum."""
+    assert_all_configs_agree(src)
+    assert_all_configs_agree(src, quantum=311)
+
+
+@pytest.mark.nightly
+@pytest.mark.skipif(not NIGHTLY, reason="nightly budget (TQUAD_NIGHTLY=1)")
+@given(workload_specs())
+@settings(max_examples=FUZZ_NIGHTLY_EXAMPLES, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fuzz_generated_workloads_nightly(spec):
+    """Shape-generator guests at the nightly budget and second quantum."""
+    src = generate_workload(spec)
     assert_all_configs_agree(src)
     assert_all_configs_agree(src, quantum=311)

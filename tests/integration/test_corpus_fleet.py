@@ -1,0 +1,187 @@
+"""The capture-corpus regression fleet end to end.
+
+Covers the ``repro.corpus`` engine (run/verify/update round-trips, drift
+and stale-fixture detection, capture-store reuse) and the ``tquad
+corpus`` CLI (exit codes, fleet-report JSON), plus the guardrail that
+the *committed* golden tree verifies clean for the PR tier.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import (ARTIFACTS, CaptureStore, fleet_entries,
+                          run_fleet, update_fleet, verify_fleet)
+
+ENTRY = "gen-streaming_0055"     # smallest roster entry: fast fixture
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return CaptureStore(tmp_path / "store")
+
+
+class TestRoster:
+    def test_pr_tier_is_a_strict_subset(self):
+        pr = {e.name for e in fleet_entries(nightly=False)}
+        full = {e.name for e in fleet_entries(nightly=True)}
+        assert pr < full
+        assert len(pr) >= 8
+
+    def test_entry_names_and_labels_unique(self):
+        entries = fleet_entries(nightly=True)
+        assert len({e.name for e in entries}) == len(entries)
+        assert len({e.label for e in entries}) == len(entries)
+
+    def test_unknown_only_filter(self):
+        with pytest.raises(KeyError):
+            fleet_entries(only="no-such-entry")
+
+
+class TestFleetEngine:
+    def test_update_then_verify_roundtrip(self, tmp_path, store):
+        golden = tmp_path / "golden"
+        up = update_fleet(golden_root=golden, store=store, only=ENTRY)
+        assert up.ok and up.exit_code == 0
+        for name in ARTIFACTS:
+            assert (golden / ENTRY / name).exists()
+        ver = verify_fleet(golden_root=golden, store=store, only=ENTRY)
+        assert ver.ok
+        assert ver.captures_reused == 1 and ver.captures_executed == 0
+
+    def test_drift_detected_per_artifact(self, tmp_path, store):
+        golden = tmp_path / "golden"
+        update_fleet(golden_root=golden, store=store, only=ENTRY)
+        path = golden / ENTRY / "tquad.txt"
+        path.write_text(path.read_text() + "tampered\n")
+        ver = verify_fleet(golden_root=golden, store=store, only=ENTRY)
+        assert not ver.ok and ver.exit_code == 1
+        (entry,) = ver.entries
+        assert entry.status == "drift"
+        assert entry.drifted == ["tquad.txt"]
+
+    def test_missing_fixture_detected(self, tmp_path, store):
+        golden = tmp_path / "golden"
+        update_fleet(golden_root=golden, store=store, only=ENTRY)
+        (golden / ENTRY / "meta.json").unlink()
+        ver = verify_fleet(golden_root=golden, store=store, only=ENTRY)
+        (entry,) = ver.entries
+        assert entry.status == "missing"
+        assert entry.missing == ["meta.json"]
+
+    def test_stale_fixture_detected_and_pruned(self, tmp_path, store):
+        golden = tmp_path / "golden"
+        update_fleet(golden_root=golden, store=store, only=ENTRY)
+        ghost = golden / "renamed-away"
+        ghost.mkdir()
+        (ghost / "meta.json").write_text("{}")
+        ver = verify_fleet(golden_root=golden, store=store)
+        assert any(e.status == "stale" and e.name == "renamed-away"
+                   for e in ver.entries)
+        assert ver.exit_code == 1
+        update_fleet(golden_root=golden, store=store)
+        assert not ghost.exists()
+
+    def test_only_filter_skips_stale_scan(self, tmp_path, store):
+        golden = tmp_path / "golden"
+        update_fleet(golden_root=golden, store=store, only=ENTRY)
+        (golden / "renamed-away").mkdir()
+        ver = verify_fleet(golden_root=golden, store=store, only=ENTRY)
+        assert ver.ok, "focused verify must not police other fixtures"
+
+    def test_store_reuses_captures_across_modes(self, tmp_path, store):
+        run_fleet(store=store, only=ENTRY)
+        assert store.misses == 1
+        run_fleet(store=store, only=ENTRY)
+        assert store.misses == 1 and store.hits >= 1
+
+    def test_corrupt_store_entry_recaptured(self, tmp_path, store):
+        run_fleet(store=store, only=ENTRY)
+        (capture_file,) = store.root.iterdir()
+        capture_file.write_bytes(b"truncated garbage")
+        report = run_fleet(store=store, only=ENTRY)
+        assert report.ok
+        assert store.misses == 2
+
+    def test_run_writes_artifact_tree(self, tmp_path, store):
+        out = tmp_path / "artifacts"
+        report = run_fleet(store=store, only=ENTRY, out_dir=out)
+        assert report.ok
+        meta = json.loads((out / ENTRY / "meta.json").read_text())
+        assert meta["entry"] == ENTRY
+        assert meta["exit_code"] == 0
+        assert meta["sweep_cells"] == 4
+
+    def test_broken_entry_reports_error_not_crash(self, tmp_path, store,
+                                                  monkeypatch):
+        import repro.corpus.fleet as fleet_mod
+
+        def boom(entry, store):
+            raise RuntimeError("guest exploded")
+
+        monkeypatch.setattr(fleet_mod, "render_artifacts", boom)
+        report = run_fleet(store=store, only=ENTRY)
+        assert report.exit_code == 1
+        (entry,) = report.entries
+        assert entry.status == "error"
+        assert "guest exploded" in entry.error
+
+
+class TestCorpusCli:
+    def test_cli_verify_roundtrip_and_report(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        store = tmp_path / "store"
+        rc = main(["corpus", "update", "--golden", str(golden),
+                   "--store", str(store), "--only", ENTRY])
+        assert rc == 0
+        report_path = tmp_path / "fleet.json"
+        rc = main(["corpus", "verify", "--golden", str(golden),
+                   "--store", str(store), "--only", ENTRY,
+                   "--report", str(report_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 ok" in out
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert data["entries"][0]["name"] == ENTRY
+        assert data["captures"]["reused"] == 1
+
+    def test_cli_drift_exits_one(self, tmp_path, capsys):
+        golden = tmp_path / "golden"
+        store = tmp_path / "store"
+        assert main(["corpus", "update", "--golden", str(golden),
+                     "--store", str(store), "--only", ENTRY]) == 0
+        path = golden / ENTRY / "sweep.json"
+        path.write_text(path.read_text() + "\n")
+        rc = main(["corpus", "verify", "--golden", str(golden),
+                   "--store", str(store), "--only", ENTRY])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "drift" in err and "sweep.json" in err
+
+    def test_cli_unknown_entry_exits_two(self, tmp_path, capsys):
+        rc = main(["corpus", "run", "--store", str(tmp_path / "s"),
+                   "--only", "no-such-entry"])
+        assert rc == 2
+        assert "unknown corpus entry" in capsys.readouterr().err
+
+    def test_cli_run_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(["corpus", "run", "--store", str(tmp_path / "s"),
+                   "--only", ENTRY, "--trace-out", str(trace)])
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("name") == f"fleet:{ENTRY}" for e in events)
+        assert any(e.get("name") == f"capture:{ENTRY}" for e in events)
+
+
+class TestCommittedGolden:
+    def test_pr_tier_verifies_against_committed_fixtures(self, tmp_path):
+        """The repo's own golden tree is in sync with the code — the
+        same gate CI runs via ``tquad corpus verify``."""
+        report = verify_fleet(store=CaptureStore(tmp_path / "store"),
+                              nightly=False)
+        broken = [e.to_json() for e in report.entries
+                  if e.status != "ok"]
+        assert report.ok, f"committed corpus fixtures drifted: {broken}"

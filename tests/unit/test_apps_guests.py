@@ -1,0 +1,189 @@
+"""Oracle semantics of the corpus guest applications.
+
+Each guest ships a pure-Python oracle that predicts its output file
+byte-for-byte; these tests execute the MiniC guests on the VM and hold
+them to that prediction across presets.  They also pin the property the
+capture-label check exists for: equal-size presets with different data
+seeds compile to the *same* binary yet produce *different* outputs.
+"""
+
+import os
+
+import pytest
+
+from repro.apps import bfs, hashjoin, stencil
+from repro.apps.registry import GUEST_APPS, guest_label
+from repro.capture import program_digest
+from repro.testing import workloads
+
+NIGHTLY = os.environ.get("TQUAD_NIGHTLY", "") == "1"
+
+RUNNABLE = [name for name in ("tiny", "tiny-alt", "small")] + (
+    ["stress"] if NIGHTLY else [])
+
+
+def _presets(table):
+    return [p for p in table if p in RUNNABLE]
+
+
+# ---------------------------------------------------------------- hash join
+class TestHashJoin:
+    @pytest.mark.parametrize("preset", _presets(hashjoin.JOIN_PRESETS))
+    def test_guest_matches_oracle(self, preset):
+        cfg = hashjoin.JOIN_PRESETS[preset]
+        assert (hashjoin.run_join_in_guest(cfg)
+                == hashjoin.reference_join(cfg).output)
+
+    def test_oracle_counts_are_consistent(self):
+        cfg = hashjoin.TINY_JOIN
+        result = hashjoin.reference_join(cfg)
+        assert len(result.hits) == cfg.n_probe
+        assert result.matches == sum(result.hits)
+        assert result.matches > 0, "degenerate preset: no matches at all"
+
+    def test_seed_changes_data_not_binary(self):
+        same = program_digest(hashjoin.build_join_program(
+            hashjoin.TINY_JOIN))
+        alt = program_digest(hashjoin.build_join_program(
+            hashjoin.TINY_ALT_JOIN))
+        assert same == alt
+        assert (hashjoin.reference_join(hashjoin.TINY_JOIN).output
+                != hashjoin.reference_join(hashjoin.TINY_ALT_JOIN).output)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            hashjoin.JoinConfig(n_buckets=48)     # not a power of two
+        with pytest.raises(ValueError):
+            hashjoin.JoinConfig(n_build=0)
+        with pytest.raises(ValueError):
+            hashjoin.JoinConfig(key_space=0)
+
+
+# --------------------------------------------------------------------- BFS
+class TestBfs:
+    @pytest.mark.parametrize("preset", _presets(bfs.BFS_PRESETS))
+    def test_guest_matches_oracle(self, preset):
+        cfg = bfs.BFS_PRESETS[preset]
+        assert bfs.run_bfs_in_guest(cfg) == bfs.reference_bfs(cfg).output
+
+    def test_oracle_distances_are_bfs(self):
+        cfg = bfs.TINY_BFS
+        result = bfs.reference_bfs(cfg)
+        offsets, targets = bfs.make_bfs_graph(cfg)
+        assert result.distances[cfg.source] == 0
+        assert result.reached == sum(1 for d in result.distances if d >= 0)
+        # every edge from a reached node relaxes: d(v) <= d(u) + 1
+        for u in range(cfg.n_nodes):
+            if result.distances[u] < 0:
+                continue
+            for e in range(offsets[u], offsets[u + 1]):
+                v = targets[e]
+                assert 0 <= result.distances[v] <= result.distances[u] + 1
+
+    def test_seed_changes_data_not_binary(self):
+        assert (program_digest(bfs.build_bfs_program(bfs.TINY_BFS))
+                == program_digest(bfs.build_bfs_program(bfs.TINY_ALT_BFS)))
+        assert (bfs.reference_bfs(bfs.TINY_BFS).output
+                != bfs.reference_bfs(bfs.TINY_ALT_BFS).output)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            bfs.BfsConfig(n_nodes=1)
+        with pytest.raises(ValueError):
+            bfs.BfsConfig(degree=0)
+        with pytest.raises(ValueError):
+            bfs.BfsConfig(source=99, n_nodes=10)
+
+
+# ----------------------------------------------------------------- stencil
+class TestStencil:
+    @pytest.mark.parametrize("preset", _presets(stencil.STENCIL_PRESETS))
+    def test_guest_matches_oracle(self, preset):
+        cfg = stencil.STENCIL_PRESETS[preset]
+        assert (stencil.run_stencil_in_guest(cfg)
+                == stencil.reference_stencil(cfg).output)
+
+    def test_oracle_output_shape(self):
+        cfg = stencil.TINY_STENCIL
+        result = stencil.reference_stencil(cfg)
+        assert len(result.output) == cfg.pixels
+        assert all(0 <= b <= 255 for b in result.output)
+        assert result.checksum == result.checksum & 0x3FFFFFFF
+
+    def test_seed_changes_data_not_binary(self):
+        assert (program_digest(stencil.build_stencil_program(
+                    stencil.TINY_STENCIL))
+                == program_digest(stencil.build_stencil_program(
+                    stencil.TINY_ALT_STENCIL)))
+        assert (stencil.reference_stencil(stencil.TINY_STENCIL).output
+                != stencil.reference_stencil(
+                    stencil.TINY_ALT_STENCIL).output)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            stencil.StencilConfig(width=1)
+        with pytest.raises(ValueError):
+            stencil.StencilConfig(passes=0)
+
+
+# ---------------------------------------------------------------- registry
+class TestRegistry:
+    def test_every_app_has_runnable_tiny_preset(self):
+        for name, app in GUEST_APPS.items():
+            assert "tiny" in app.presets, name
+            assert "tiny" not in app.unrunnable, name
+
+    def test_labels_are_unique_per_app_preset(self):
+        labels = [guest_label(name, app.config(p))
+                  for name, app in GUEST_APPS.items()
+                  for p in app.presets]
+        assert len(labels) == len(set(labels))
+
+    def test_unknown_preset_message_lists_choices(self):
+        with pytest.raises(KeyError, match="tiny"):
+            GUEST_APPS["bfs"].config("bogus")
+
+
+# ---------------------------------------------------- workload generator
+class TestWorkloadGenerator:
+    def test_generation_is_deterministic(self):
+        spec = workloads.WorkloadSpec(shape="pointer", seed=7, size=16)
+        assert (workloads.generate_workload(spec)
+                == workloads.generate_workload(spec))
+
+    @pytest.mark.parametrize("shape", workloads.SHAPES)
+    def test_every_shape_builds_and_runs(self, shape):
+        from repro.vm import run_program
+
+        spec = workloads.WorkloadSpec(shape=shape, seed=3, size=12,
+                                      kernels=1, steps=1)
+        program = workloads.workload_program(spec)
+        machine = run_program(program, max_instructions=5_000_000)
+        assert machine.exit_code == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            workloads.WorkloadSpec(shape="zigzag")
+        with pytest.raises(ValueError):
+            workloads.WorkloadSpec(size=4)
+        with pytest.raises(ValueError):
+            workloads.WorkloadSpec(kernels=0)
+        with pytest.raises(ValueError):
+            workloads.WorkloadSpec(steps=0)
+
+    def test_checked_in_corpus_is_fresh(self):
+        """The committed gen_*.mc seed files must match the generator —
+        regenerate with ``python -m repro.testing.workloads`` on drift."""
+        directory = workloads._default_corpus_dir()
+        for spec in workloads.CORPUS_SPECS:
+            path = directory / workloads.corpus_file_name(spec)
+            assert path.exists(), f"missing seed corpus file {path.name}"
+            assert (path.read_text(encoding="utf-8")
+                    == workloads.generate_workload(spec)), \
+                (f"{path.name} is stale; regenerate with "
+                 f"`python -m repro.testing.workloads`")
+
+    def test_write_corpus_roundtrip(self, tmp_path):
+        paths = workloads.write_corpus(tmp_path)
+        assert len(paths) == len(workloads.CORPUS_SPECS)
+        assert workloads.main([str(tmp_path)]) == 0

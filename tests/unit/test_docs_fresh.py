@@ -51,6 +51,48 @@ class TestMinicDoc:
         assert "__prefetch" in text
 
 
+class TestGuestsDoc:
+    def test_every_registered_app_documented(self):
+        from repro.apps.registry import GUEST_APPS
+
+        text = (DOCS / "guests.md").read_text()
+        for name, app in GUEST_APPS.items():
+            assert f"`{name}`" in text, \
+                f"guest app {name} missing from docs/guests.md"
+            for preset in app.presets:
+                assert preset in text, \
+                    f"preset {preset} of {name} missing from docs/guests.md"
+
+    def test_every_shape_documented(self):
+        from repro.testing.workloads import SHAPES
+
+        text = (DOCS / "guests.md").read_text()
+        for shape in SHAPES:
+            assert f"`{shape}`" in text
+
+    def test_corpus_commands_and_artifacts_documented(self):
+        from repro.corpus import ARTIFACTS
+
+        text = (DOCS / "guests.md").read_text()
+        for command in ("corpus run", "corpus verify", "corpus update"):
+            assert f"tquad {command}" in text
+        for artifact in ARTIFACTS:
+            stem, _, ext = artifact.partition(".")
+            assert stem in text, \
+                f"artifact {artifact} missing from docs/guests.md"
+
+    def test_referenced_modules_and_tests_exist(self):
+        text = (DOCS / "guests.md").read_text()
+        for module in re.findall(r"`(repro(?:\.\w+)+)`", text):
+            name = module.rsplit(".", 1)
+            mod = importlib.import_module(
+                name[0] if len(name) == 2 else module)
+            if len(name) == 2 and not hasattr(mod, name[1]):
+                importlib.import_module(module)
+        for path in re.findall(r"`(tests/[\w/]+\.py)`", text):
+            assert (ROOT / path).exists(), path
+
+
 class TestReadme:
     def test_package_table_modules_exist(self):
         text = (ROOT / "README.md").read_text()
