@@ -9,6 +9,8 @@ content-addressed store must actually dedupe work.  This benchmark pins:
 * **fleet health** — the PR-tier fleet runs green end to end;
 * **capture reuse** — a second pass over the same store executes zero
   guests (every capture is reused by content address);
+* **parallel equivalence** — a ``--jobs 4`` pass over the warm store
+  produces a byte-identical canonical fleet report to the serial pass;
 * **verification matches the committed tree** — the golden fixtures in
   ``tests/golden/corpus`` reproduce exactly.
 
@@ -41,6 +43,10 @@ def test_corpus_fleet(benchmark, outdir):
         warm_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
+        jobs4 = run_fleet(store=store, jobs=4)
+        jobs4_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
         verified = verify_fleet(golden_root=GOLDEN, store=store)
         verify_s = time.perf_counter() - t0
 
@@ -49,6 +55,8 @@ def test_corpus_fleet(benchmark, outdir):
     assert cold.captures_executed == len(cold.entries)
     assert warm.ok and warm.captures_executed == 0, \
         "content-addressed store failed to reuse captures"
+    assert jobs4.canonical_json() == warm.canonical_json(), \
+        "--jobs 4 fleet report is not byte-identical to serial"
     assert verified.ok, ("committed golden corpus fixtures drifted: "
                          + json.dumps([e.to_json() for e in
                                        verified.entries
@@ -61,6 +69,7 @@ def test_corpus_fleet(benchmark, outdir):
         f"  entries: {len(cold.entries)}",
         f"  cold run (capture + replay): {cold_s:.2f}s",
         f"  warm run (captures reused):  {warm_s:.2f}s",
+        f"  warm run (--jobs 4, report byte-identical): {jobs4_s:.2f}s",
         f"  verify vs committed golden:  {verify_s:.2f}s",
         "  slowest entries (cold):",
     ]
@@ -73,6 +82,7 @@ def test_corpus_fleet(benchmark, outdir):
         "entries": len(cold.entries),
         "cold_seconds": round(cold_s, 3),
         "warm_seconds": round(warm_s, 3),
+        "warm_jobs4_seconds": round(jobs4_s, 3),
         "verify_seconds": round(verify_s, 3),
         "per_entry_cold_seconds": {name: round(s, 3)
                                    for s, name in per_entry},

@@ -1,0 +1,144 @@
+"""A9 — warm-replay fast path: fused replay over a warm page cache.
+
+The capture page cache (``.capture.pages`` sidecar) plus the fused
+multi-tool pass (:func:`repro.capture.replay.replay_many`) exist so
+that re-analyzing a capture is much cheaper than first contact.  This
+benchmark pins that claim with a gate:
+
+* **cold** — the page cache is cold (no sidecar on disk) and the four
+  analyses run as four standalone invocations — ``replay_tquad``,
+  ``replay_gprof``, ``replay_quad``, ``sweep_tquad`` — each opening the
+  capture fresh, exactly the pre-fused analyze-many workflow (the first
+  open pays the sidecar build, as any cold ``tquad capture replay``
+  does).
+* **warm** — the sidecar is present and one ``replay_many`` pass serves
+  every tool from the mmapped pages.
+
+Gate: warm fused replay is **>= 3x** faster than the cold four-pass
+(min over the timed reps, first interleaved rep discarded as warmup).
+Equality is always checked, outside the timed region: every warm report
+must be byte-identical to its cold standalone counterpart, JSON and
+rendered text both, and the sweep must match cell by cell.
+
+Results land in ``replay_cache.txt`` (human) and
+``BENCH_replay_cache.json`` (machine-readable, tracked across PRs).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from conftest import save_artifact
+from repro.capture import (CaptureReader, capture_run, replay_gprof,
+                           replay_many, replay_quad, replay_tquad)
+from repro.core import TQuadOptions
+from repro.core.options import StackPolicy
+from repro.minic import build_program
+from repro.serialize import flat_to_json, quad_to_json, tquad_to_json
+from repro.sweep import SweepGrid, sweep_tquad
+from repro.testing.workloads import WorkloadSpec, generate_workload
+
+#: Pointer-chasing guest: the irregular extreme, dense in both tQUAD
+#: rows and shadow traffic, so neither side of the gate idles.
+SPEC = WorkloadSpec(shape="pointer", seed=7, size=2048, kernels=8,
+                    steps=8)
+GRAIN = 16
+GRID = SweepGrid(intervals=(GRAIN, 4 * GRAIN),
+                 stacks=(StackPolicy.BOTH,))
+#: The gate: warm fused replay must beat the cold four-pass by this.
+SPEEDUP_FLOOR = 3.0
+#: Interleaved cold/warm reps; the first pair is warmup and discarded.
+REPS = 4
+
+
+def _cold_four_pass(path, opts):
+    """The pre-fused workflow: four standalone tool replays, each a
+    fresh reader open (the first one builds the cold sidecar)."""
+    with CaptureReader(path) as r:
+        tq = replay_tquad(r, opts)
+    with CaptureReader(path) as r:
+        flat = replay_gprof(r)
+    with CaptureReader(path) as r:
+        quad = replay_quad(r)
+    with CaptureReader(path) as r:
+        sweep = sweep_tquad(r, GRID)
+    return tq, flat, quad, sweep
+
+
+def test_replay_cache(benchmark, outdir):
+    program = build_program(generate_workload(SPEC))
+    opts = TQuadOptions(slice_interval=GRAIN)
+    cold_s, warm_s = [], []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "guest.capture")
+        sidecar = path + ".pages"
+        capture_run(program, path, tools=("tquad", "gprof", "quad"),
+                    options=opts)
+        for _ in range(REPS):
+            if os.path.exists(sidecar):
+                os.unlink(sidecar)                 # make the cache cold
+            t0 = time.perf_counter()
+            cold = _cold_four_pass(path, opts)
+            cold_s.append(time.perf_counter() - t0)
+
+            t0 = time.perf_counter()               # sidecar now warm
+            with CaptureReader(path) as r:
+                bundle = replay_many(r, options=opts, grid=GRID)
+            warm_s.append(time.perf_counter() - t0)
+
+    # ------------------------------------------------- equality, always
+    tq, flat, quad, sweep = cold
+    assert tquad_to_json(bundle.tquad) == tquad_to_json(tq)
+    assert bundle.tquad.format_table() == tq.format_table()
+    assert flat_to_json(bundle.gprof) == flat_to_json(flat)
+    assert bundle.gprof.format_table() == flat.format_table()
+    assert bundle.gprof.format_call_graph() == flat.format_call_graph()
+    assert quad_to_json(bundle.quad) == quad_to_json(quad)
+    assert bundle.quad.format_table() == quad.format_table()
+    assert bundle.sweep.grid == sweep.grid
+    assert bundle.sweep.stats["cells"] == sweep.stats["cells"]
+    for (cell, report), (cell2, report2) in zip(bundle.sweep, sweep):
+        assert cell == cell2
+        assert tquad_to_json(report) == tquad_to_json(report2)
+
+    # ------------------------------------------------------------ gate
+    cold_min = min(cold_s[1:])
+    warm_min = min(warm_s[1:])
+    ratio = cold_min / warm_min
+    assert warm_min * SPEEDUP_FLOOR <= cold_min, (
+        f"warm fused replay only {ratio:.2f}x over the cold four-pass "
+        f"(floor {SPEEDUP_FLOOR}x): cold={cold_min:.3f}s "
+        f"warm={warm_min:.3f}s")
+
+    lines = [
+        "replay cache (warm fused vs cold four-pass)",
+        f"  guest: {SPEC.shape} seed={SPEC.seed} size={SPEC.size} "
+        f"kernels={SPEC.kernels} steps={SPEC.steps}, grain {GRAIN}",
+        f"  grid: intervals={GRID.intervals} stacks="
+        f"{tuple(s.value for s in GRID.stacks)}",
+        f"  cold four-pass (no sidecar): {cold_min:.3f}s "
+        f"(reps {', '.join(f'{s:.2f}' for s in cold_s)})",
+        f"  warm fused (sidecar + replay_many): {warm_min:.3f}s "
+        f"(reps {', '.join(f'{s:.2f}' for s in warm_s)})",
+        f"  speedup: {ratio:.2f}x (floor {SPEEDUP_FLOOR}x)",
+        "  equality: all four tools byte-identical, sweep cell by cell",
+    ]
+    text = "\n".join(lines)
+    print()
+    print(text)
+    save_artifact(outdir, "replay_cache.txt", text)
+    (outdir / "BENCH_replay_cache.json").write_text(json.dumps({
+        "cold_seconds": [round(s, 3) for s in cold_s],
+        "warm_seconds": [round(s, 3) for s in warm_s],
+        "cold_min_seconds": round(cold_min, 3),
+        "warm_min_seconds": round(warm_min, 3),
+        "speedup": round(ratio, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "grain": GRAIN,
+        "grid_intervals": list(GRID.intervals),
+        "workload": {"shape": SPEC.shape, "seed": SPEC.seed,
+                     "size": SPEC.size, "kernels": SPEC.kernels,
+                     "steps": SPEC.steps},
+    }, indent=2, sort_keys=True) + "\n")
+    benchmark.pedantic(lambda: None, rounds=1)

@@ -23,19 +23,24 @@ from .format import (CAPTURE_VERSION, CaptureError, CaptureFormatError,
                      STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, check_label,
                      check_program, library_rows_of, make_manifest,
                      program_digest)
+from .pagecache import (MappedPages, PageCacheError, build_sidecar,
+                        capture_digest, load_sidecar, sidecar_path)
 from .reader import CaptureReader, PageCursor
 from .record import CallEventRecorder, capture_run
-from .replay import replay_gprof, replay_quad, replay_tquad
+from .replay import (REPLAY_TOOLS, ReplayBundle, replay_gprof, replay_many,
+                     replay_quad, replay_tquad)
 from .segments import merge_capture_segments
 from .writer import CaptureCollector, CaptureWriter
 
 __all__ = [
     "CAPTURE_VERSION", "CaptureError", "CaptureFormatError",
-    "CaptureMismatchError", "STREAM_CALLS", "STREAM_QUAD",
+    "CaptureMismatchError", "MappedPages", "PageCacheError",
+    "REPLAY_TOOLS", "ReplayBundle", "STREAM_CALLS", "STREAM_QUAD",
     "STREAM_TQUAD_READ", "STREAM_TQUAD_WRITE",
     "CaptureCollector", "CaptureReader", "CaptureWriter",
-    "CallEventRecorder", "PageCursor", "capture_run", "check_label",
-    "check_program",
-    "library_rows_of", "make_manifest", "merge_capture_segments",
-    "program_digest", "replay_gprof", "replay_quad", "replay_tquad",
+    "CallEventRecorder", "PageCursor", "build_sidecar", "capture_digest",
+    "capture_run", "check_label", "check_program",
+    "library_rows_of", "load_sidecar", "make_manifest",
+    "merge_capture_segments", "program_digest", "replay_gprof",
+    "replay_many", "replay_quad", "replay_tquad", "sidecar_path",
 ]

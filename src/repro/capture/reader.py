@@ -28,11 +28,22 @@ class CaptureReader:
     small (call events).  With ``cache_pages=True`` every decoded page
     is kept and served back on later passes (the analyze-many pattern:
     multipass ladders and sweep grids trade bounded memory for
-    decode-once).  ``stats`` counts ``decoded_pages`` and
-    ``page_cache_hits`` either way.
+    decode-once).
+
+    Path-backed captures additionally get a *persistent* decoded-page
+    sidecar (:mod:`repro.capture.pagecache`): the first open decodes
+    every page once into ``<file>.pages``, and every later open —
+    including forked workers — serves zero-copy read-only mmap views,
+    skipping inflate + cumsum entirely.  ``page_cache`` controls it:
+    ``None`` (default) auto-enables for path-backed files, ``False``
+    disables (the ``--no-page-cache`` escape hatch), ``True`` requires a
+    path.  ``page_cache_state`` reports what happened (``off`` / ``warm``
+    / ``built`` / ``rebuilt``).  ``stats`` counts ``decoded_pages``,
+    ``page_cache_hits`` (in-memory) and ``disk_cache_hits`` (sidecar).
     """
 
-    def __init__(self, file: str | BinaryIO, *, cache_pages: bool = False):
+    def __init__(self, file: str | BinaryIO, *, cache_pages: bool = False,
+                 page_cache: bool | None = None):
         if isinstance(file, (str, os.PathLike)) and not os.path.exists(file):
             raise CaptureFormatError(f"capture file not found: {file}")
         try:
@@ -60,7 +71,22 @@ class CaptureReader:
         self.cache_pages = cache_pages
         self._page_cache: dict[tuple[str, int], np.ndarray] = {}
         self.stats: dict[str, int] = {"decoded_pages": 0,
-                                      "page_cache_hits": 0}
+                                      "page_cache_hits": 0,
+                                      "disk_cache_hits": 0}
+        self._disk = None
+        self.page_cache_state = "off"
+        path_backed = isinstance(file, (str, os.PathLike))
+        if page_cache is None:
+            page_cache = path_backed
+        elif page_cache and not path_backed:
+            raise ValueError(
+                "page_cache=True needs a path-backed capture (in-memory "
+                "captures have nowhere to persist a sidecar)")
+        if page_cache:
+            from . import pagecache
+
+            self._disk, self.page_cache_state = pagecache.attach(
+                file, self._zf, self.manifest)
 
     # ------------------------------------------------------------- access
     @property
@@ -85,6 +111,11 @@ class CaptureReader:
         Cached arrays are shared between callers and marked read-only, so
         one decode can safely serve many grid cells.
         """
+        if self._disk is not None:
+            arr = self._disk.get(stream, index, stride)
+            if arr is not None:
+                self.stats["disk_cache_hits"] += 1
+                return arr
         key = (stream, index)
         cached = self._page_cache.get(key)
         if cached is not None:
@@ -119,11 +150,16 @@ class CaptureReader:
 
     def format_stats(self) -> str:
         return (f"capture reader: {self.stats['decoded_pages']} pages "
-                f"decoded, {self.stats['page_cache_hits']} cache hits "
-                f"(cache {'on' if self.cache_pages else 'off'})")
+                f"decoded, {self.stats['page_cache_hits']} cache hits, "
+                f"{self.stats['disk_cache_hits']} disk hits "
+                f"(page cache {self.page_cache_state}; mem cache "
+                f"{'on' if self.cache_pages else 'off'})")
 
     def close(self) -> None:
         self._page_cache.clear()
+        if self._disk is not None:
+            self._disk.close()
+            self._disk = None
         self._zf.close()
 
     def __enter__(self) -> "CaptureReader":

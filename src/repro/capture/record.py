@@ -94,7 +94,8 @@ def capture_run(program, dest: "str | BinaryIO | CaptureWriter", *, fs=None,
                 tools: tuple[str, ...] = CAPTURE_TOOLS, label: str = "",
                 max_instructions: int | None = None,
                 mem_size: int | None = None, jit: bool = True,
-                track_bindings: bool = True, telemetry=TELEMETRY) -> dict:
+                track_bindings: bool = True, on_engine=None,
+                telemetry=TELEMETRY) -> dict:
     """Execute ``program`` once, recording capture streams for ``tools``.
 
     ``options.slice_interval`` becomes the capture *grain*: tQUAD replays
@@ -115,6 +116,10 @@ def capture_run(program, dest: "str | BinaryIO | CaptureWriter", *, fs=None,
     if mem_size is not None:
         kwargs["mem_size"] = mem_size
     engine = PinEngine(program, **kwargs)
+    if on_engine is not None:
+        # expose the live engine (e.g. to a supervisor heartbeat that
+        # watches ``machine.icount`` for progress) before the run starts
+        on_engine(engine)
     tquad_tool = quad_tool = recorder = None
     if "tquad" in tools:
         tquad_tool = TQuadTool(options, capture=writer).attach(engine)

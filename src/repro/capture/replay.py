@@ -8,9 +8,12 @@ the golden-table tests assert this at the serialized-artifact level):
 * :func:`replay_tquad` — re-slicing is a grouped ``bincount`` over the
   icount column, one page at a time; a capture recorded at grain ``g``
   replays exactly at any interval that is a multiple of ``g``.
-* :func:`replay_gprof` — the call/return event stream drives the exact
-  :class:`~repro.gprofsim.tool.GprofTool` state machine (self/cumulative
-  charging, recursion depths, tail attribution), reproducing even its
+* :func:`replay_gprof` — the call/return event stream is a balanced-
+  parenthesis sequence, so the :class:`~repro.gprofsim.tool.GprofTool`
+  state machine is replayed *vectorized*: frames pair up under a stable
+  sort by depth, parents come from per-depth ``searchsorted``, and the
+  recursion rule reduces to a same-name-ancestor test.  The result is
+  byte-identical to the sequential walk, reproducing even its
   dict-insertion-order-dependent tie-breaking.
 * :func:`replay_quad` — the packed record pages are drained through a
   fresh :class:`~repro.quad.shadow.PagedQuadSink`, rebuilding the shadow
@@ -19,10 +22,14 @@ the golden-table tests assert this at the serialized-artifact level):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
 import numpy as np
 
 from ..core.callstack import CallStack
 from ..core.ledger import BandwidthLedger
+from ..core.npsort import stable_argsort
 from ..core.options import StackPolicy, TQuadOptions
 from ..core.report import TQuadReport
 from ..gprofsim.report import FlatProfile, FlatRow
@@ -31,6 +38,10 @@ from .format import (CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
                      STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, library_rows_of,
                      require_tool)
 from .reader import CaptureReader
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
+    from ..sweep.engine import SweepResult
+    from ..sweep.grid import SweepGrid
 
 
 # ------------------------------------------------------------------ tQUAD
@@ -138,63 +149,158 @@ def replay_tquad(reader: CaptureReader,
 
 
 # -------------------------------------------------------------- gprof-sim
+def _gprof_charges(raw, rid, nrid, icv, total):
+    """Vectorized equivalent of gprof-sim's sequential stack walk.
+
+    The event stream is prefix-balanced (underflowing returns already
+    dropped), so frames pair up combinatorially: events at the same
+    frame depth strictly alternate entry/return, making a stable sort
+    by depth the whole matching step.  Returns per-name-id arrays plus
+    the bookkeeping the caller needs to rebuild gprof-sim's exact
+    dict-insertion orders.
+    """
+    n = raw.size
+    n_names = nrid.size and int(nrid.max()) + 1
+    entry = rid >= 0
+    depth = np.cumsum(np.where(entry, 1, -1))
+    fd = depth + ~entry           # depth of the frame the event touches
+    order = stable_argsort(fd)
+    gstart = np.flatnonzero(
+        np.concatenate(([True], fd[order][1:] != fd[order][:-1])))
+    offs = np.arange(n) - np.repeat(gstart, np.diff(np.append(gstart, n)))
+    ret_pos = np.flatnonzero(offs & 1)    # odd offset in group == return
+    ret_ev = order[ret_pos]
+    ent_ev = order[ret_pos - 1]
+    match = np.full(n, n, np.int64)       # n == "frame never returns"
+    match[ent_ev] = ret_ev
+
+    # the frame charged by each event: returns charge the frame they
+    # pop; entries charge the parent frame one depth up (if any)
+    charge = np.full(n, -1, np.int64)
+    charge[ret_ev] = ent_ev
+    ent_all = np.flatnonzero(entry)
+    fd_ent = fd[ent_all]
+    for d in range(2, (int(fd_ent.max()) if ent_all.size else 0) + 1):
+        cur = ent_all[fd_ent == d]
+        if not cur.size:
+            continue
+        pool = ent_all[fd_ent == d - 1]
+        charge[cur] = pool[np.searchsorted(pool, cur) - 1]
+
+    # self time: each event charges the gap since the previous event
+    gaps = np.diff(icv, prepend=0)
+    charged = np.flatnonzero(charge >= 0)         # in event order
+    ch_nid = nrid[rid[charge[charged]]]
+    self_by = np.zeros(n_names, np.int64)
+    if charged.size:
+        self_by += np.bincount(ch_nid, weights=gaps[charged],
+                               minlength=n_names).astype(np.int64)
+    open_ev = ent_all[match[ent_all] == n]        # final stack, bottom up
+    if open_ev.size:                              # tail attribution
+        top_nid = int(nrid[rid[open_ev[-1]]])
+        self_by[top_nid] += total - int(icv[-1])
+    else:
+        top_nid = -1
+
+    # cumulative: a frame counts iff no enclosing frame has its name
+    # (gprof-sim's recursion rule).  Same-name frames nest or are
+    # disjoint, so "has ancestor" is an exclusive running max of return
+    # positions within each name group.
+    fi, fj = ent_all, match[ent_all]
+    fn = nrid[rid[fi]]
+    ordf = stable_argsort(fn)       # fi is already ascending: stable
+                                    # sort by name == lexsort((fi, fn))
+    gid = np.cumsum(np.concatenate(
+        ([True], fn[ordf][1:] != fn[ordf][:-1]))) - 1
+    keyed = gid * (n + 2) + fj[ordf]
+    excl_max = np.empty(fi.size, np.int64)
+    excl_max[0] = -1
+    excl_max[1:] = np.maximum.accumulate(keyed)[:-1] - gid[1:] * (n + 2)
+    outer = ordf[excl_max <= fi[ordf]]            # no same-name ancestor
+    cum_by = np.zeros(n_names, np.int64)
+    cum_seen = np.zeros(n_names, bool)
+    closed = outer[fj[outer] < n]
+    if closed.size:
+        cum_by += np.bincount(
+            fn[closed], weights=(icv[fj[closed]] - icv[fi[closed]]),
+            minlength=n_names).astype(np.int64)
+        cum_seen[fn[closed]] = True
+    if open_ev.size:                              # tail cumulative
+        open_nid = nrid[rid[open_ev]]
+        sole = open_ev[np.bincount(open_nid, minlength=n_names)
+                       [open_nid] == 1]
+        if sole.size:
+            cum_by += np.bincount(
+                nrid[rid[sole]], weights=(total - icv[sole]),
+                minlength=n_names).astype(np.int64)
+            cum_seen[nrid[rid[sole]]] = True
+
+    # reconstruct dict-insertion orders: self_instr inserts a name the
+    # first time it is charged; edges insert on first caller->callee hit
+    _, first = np.unique(ch_nid, return_index=True)
+    ins = ch_nid[np.sort(first)].tolist()
+    if top_nid >= 0 and top_nid not in set(ins):
+        ins.append(top_nid)
+    ent2 = ent_all[charge[ent_all] >= 0]
+    ekey = (nrid[rid[charge[ent2]]].astype(np.int64) * n_names
+            + nrid[rid[ent2]])
+    uk, first_e, counts = np.unique(ekey, return_index=True,
+                                    return_counts=True)
+    eorder = np.argsort(first_e, kind="stable")
+    edge_items = [(int(uk[j]) // n_names, int(uk[j]) % n_names,
+                   int(counts[j])) for j in eorder]
+    calls_by = np.bincount(nrid[rid[ent_all]], minlength=n_names)
+    return self_by, cum_by, cum_seen, calls_by, ins, edge_items
+
+
 def replay_gprof(reader: CaptureReader, *, main_image_only: bool = True,
                  telemetry=TELEMETRY) -> FlatProfile:
-    """Rebuild a :class:`FlatProfile` by driving gprof-sim's exact
-    charging algorithm over the captured call/return events."""
+    """Rebuild a :class:`FlatProfile` from the captured call/return
+    events — vectorized, byte-identical to gprof-sim's sequential
+    charging algorithm (including its insertion-order tie-breaking)."""
     manifest = reader.manifest
     require_tool(manifest, "gprof")
     routines = [r[0] for r in manifest["routines"]]
     images = manifest["images"]
     total = manifest["total_instructions"]
-    self_instr: dict[str, int] = {}
-    cumulative: dict[str, int] = {}
-    calls: dict[str, int] = {}
+    rows: list[FlatRow] = []
     edges: dict[tuple[str, str], int] = {}
-    stack: list[tuple[str, int]] = []            # (name, entry_icount)
-    on_stack: dict[str, int] = {}
-    last = 0
     with telemetry.span("replay", cat="capture", tool="gprof"):
-        events = (reader.column(STREAM_CALLS).tolist()
-                  if reader.has_stream(STREAM_CALLS) else [])
-        for raw_ic, rid in events:
-            if rid >= 0:                          # routine entry
-                name = routines[rid]
-                ic = raw_ic - 1
-                if stack:
-                    top = stack[-1][0]
-                    self_instr[top] = self_instr.get(top, 0) + ic - last
-                    key = (top, name)
-                    edges[key] = edges.get(key, 0) + 1
-                last = ic
-                stack.append((name, ic))
-                on_stack[name] = on_stack.get(name, 0) + 1
-                calls[name] = calls.get(name, 0) + 1
-            else:                                 # return
-                if not stack:
+        col = (reader.column(STREAM_CALLS)
+               if reader.has_stream(STREAM_CALLS)
+               else np.empty((0, 2), np.int64))
+        raw, rid = col[:, 0], col[:, 1]
+        # the live tool ignores a return with no open frame: exactly
+        # the events driving the running depth to a new strict low
+        entry = rid >= 0
+        depth = np.cumsum(np.where(entry, 1, -1))
+        low_prev = np.minimum.accumulate(
+            np.concatenate(([0], depth)))[:-1]
+        bad = (~entry) & (depth < low_prev)
+        if bad.any():
+            keep = ~bad
+            raw, rid, entry = raw[keep], rid[keep], entry[keep]
+        if raw.size:
+            # routines may alias names; charge by first name id, the
+            # way the sequential walk's name-keyed dicts collapse them
+            first_id: dict[str, int] = {}
+            nrid = np.array([first_id.setdefault(nm, i)
+                             for i, nm in enumerate(routines)], np.int64)
+            (self_by, cum_by, cum_seen, calls_by, ins,
+             edge_items) = _gprof_charges(raw, rid, nrid,
+                                          raw - entry, total)
+            for nid in ins:
+                name = routines[nid]
+                si = int(self_by[nid])
+                if main_image_only and images.get(name, "main") != "main":
                     continue
-                name, entry_ic = stack.pop()
-                self_instr[name] = self_instr.get(name, 0) + raw_ic - last
-                last = raw_ic
-                depth = on_stack[name] - 1
-                on_stack[name] = depth
-                if depth == 0:
-                    cumulative[name] = (cumulative.get(name, 0)
-                                        + raw_ic - entry_ic)
-        if stack:                                 # tail attribution (fini)
-            top = stack[-1][0]
-            self_instr[top] = self_instr.get(top, 0) + total - last
-            for name, entry_ic in stack:
-                if on_stack.get(name, 0) == 1:
-                    cumulative[name] = (cumulative.get(name, 0)
-                                        + total - entry_ic)
-    rows = []
-    for name, si in self_instr.items():
-        if main_image_only and images.get(name, "main") != "main":
-            continue
-        rows.append(FlatRow(name=name, self_instructions=si,
-                            cumulative_instructions=cumulative.get(name, si),
-                            calls=calls.get(name, 0)))
+                rows.append(FlatRow(
+                    name=name, self_instructions=si,
+                    cumulative_instructions=(int(cum_by[nid])
+                                             if cum_seen[nid] else si),
+                    calls=int(calls_by[nid])))
+            edges = {(routines[p], routines[c]): cnt
+                     for p, c, cnt in edge_items}
     rows.sort(key=lambda r: r.self_instructions, reverse=True)
     telemetry.count("capture/replays")
     return FlatProfile(rows=rows, total_instructions=total, edges=edges)
@@ -221,12 +327,24 @@ def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
                          track_bindings=track_bindings)
     with telemetry.span("replay", cat="capture", tool="quad"):
         if reader.has_stream(STREAM_QUAD):
+            # pages seal at the capture-time flush cadence, usually far
+            # below the drain cap; per-drain fixed costs dominate small
+            # drains, so batch pages up to the cap (the bound _drain's
+            # packed-weight accumulators rely on) before draining
+            tail = None
             for page in reader.pages(STREAM_QUAD):
                 vals = page.ravel()
-                # pages are sealed at the sink cap, but stay defensive:
-                # _drain's fast path is bounded per call
-                for lo in range(0, vals.size, DEFAULT_RAW_CAP):
+                if tail is not None:
+                    vals = np.concatenate([tail, vals])
+                    tail = None
+                lo = 0
+                while vals.size - lo >= DEFAULT_RAW_CAP:
                     sink._drain(vals[lo:lo + DEFAULT_RAW_CAP])
+                    lo += DEFAULT_RAW_CAP
+                if vals.size - lo:
+                    tail = vals[lo:]
+            if tail is not None:
+                sink._drain(tail)
         sink._ensure_kernels()
         counts = sink._counts
         kernels: dict[str, KernelIO] = {}
@@ -253,3 +371,85 @@ def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
                       images=dict(manifest["images"]),
                       total_instructions=manifest["total_instructions"],
                       shadow_stats=sink.stats())
+
+
+# ------------------------------------------------------- fused multi-tool
+#: Tools :func:`replay_many` can serve in one pass.
+REPLAY_TOOLS = ("tquad", "gprof", "quad")
+
+
+@dataclass
+class ReplayBundle:
+    """Every report produced by one :func:`replay_many` pass."""
+
+    tquad: TQuadReport | None = None
+    gprof: FlatProfile | None = None
+    quad: Any | None = None                      #: QuadReport
+    sweep: "SweepResult | None" = None
+
+
+def replay_many(reader: CaptureReader, *,
+                tools: tuple[str, ...] = REPLAY_TOOLS,
+                options: TQuadOptions | None = None,
+                grid: "SweepGrid | None" = None,
+                telemetry=TELEMETRY) -> ReplayBundle:
+    """Serve several tools (and optionally a sweep grid) from one pass.
+
+    The serial pattern — ``replay_tquad`` then ``sweep_tquad`` — decodes
+    every tQUAD page twice.  Here the tQUAD report rides *inside* the
+    sweep pass: the requested grid is widened with the cell the
+    ``options`` describe, the combined grid is filled in a single decode
+    pass, and the bundle's ``tquad``/``sweep`` are pulled out of it —
+    each remaining stream (``calls``, ``quad.raw``) has exactly one
+    consumer, so every page in the capture is served exactly once.  Per
+    tool the result is byte-identical to the standalone ``replay_*`` /
+    ``sweep_tquad`` call (the property suite and the corpus golden tree
+    pin this).
+
+    ``tools`` picks from ``tquad``/``gprof``/``quad``; ``grid`` (a
+    :class:`~repro.sweep.grid.SweepGrid`) additionally fills
+    ``bundle.sweep``.  Validation runs before any page is read.
+    """
+    from ..sweep.engine import restrict_sweep, sweep_tquad
+    from ..sweep.grid import SweepGrid
+
+    tools = tuple(tools)
+    unknown = [t for t in tools if t not in REPLAY_TOOLS]
+    if unknown:
+        raise ValueError(f"unknown replay tools: {unknown!r}")
+    if not tools and grid is None:
+        raise ValueError("replay_many needs at least one tool or a grid")
+    manifest = reader.manifest
+    bundle = ReplayBundle()
+    want_tquad = "tquad" in tools
+    opts = None
+    if want_tquad:
+        require_tool(manifest, "tquad")
+        opts = _resolve_tquad_options(manifest, options)
+    with telemetry.span("replay_many", cat="capture",
+                        tools=",".join(tools) or "sweep"):
+        if (grid is not None and opts is not None
+                and opts.kernels == grid.kernels):
+            combined = SweepGrid(
+                intervals=tuple(set(grid.intervals)
+                                | {opts.slice_interval}),
+                stacks=tuple(set(grid.stacks) | {opts.stack}),
+                library_modes=tuple(set(grid.library_modes)
+                                    | {opts.exclude_libraries}),
+                kernels=grid.kernels)
+            wide = sweep_tquad(reader, combined, telemetry=telemetry)
+            bundle.tquad = wide.report(opts.slice_interval, opts.stack,
+                                       opts.exclude_libraries)
+            bundle.sweep = restrict_sweep(wide, grid, manifest, reader)
+        else:
+            if grid is not None:
+                bundle.sweep = sweep_tquad(reader, grid,
+                                           telemetry=telemetry)
+            if want_tquad:
+                bundle.tquad = replay_tquad(reader, opts,
+                                            telemetry=telemetry)
+        if "gprof" in tools:
+            bundle.gprof = replay_gprof(reader, telemetry=telemetry)
+        if "quad" in tools:
+            bundle.quad = replay_quad(reader, telemetry=telemetry)
+    return bundle

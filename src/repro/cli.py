@@ -105,7 +105,8 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
     return None
 
 
-def _open_capture(path: str, program, label: str = ""):
+def _open_capture(path: str, program, label: str = "",
+                  page_cache: bool = True):
     """Open + validate a capture for replaying ``program``; raises
     :class:`repro.capture.CaptureError` with an operator-facing message.
 
@@ -115,7 +116,7 @@ def _open_capture(path: str, program, label: str = ""):
     """
     from .capture import CaptureReader, check_label, check_program
 
-    reader = CaptureReader(path)
+    reader = CaptureReader(path, page_cache=page_cache)
     check_program(reader.manifest, program)
     check_label(reader.manifest, label)
     return reader
@@ -175,11 +176,14 @@ def _captured_report(args: argparse.Namespace, program, options, *,
         source = args.capture_out
     else:
         source = args.from_capture
+    page_cache = not getattr(args, "no_page_cache", False)
     try:
         if getattr(args, "capture_out", None):
-            reader = CaptureReader(source)  # fresh file: digest matches
+            # fresh file: digest matches
+            reader = CaptureReader(source, page_cache=page_cache)
         else:
-            reader = _open_capture(source, program, label)
+            reader = _open_capture(source, program, label,
+                                   page_cache=page_cache)
         with reader:
             if tool == "tquad":
                 result = replay_tquad(reader, options)
@@ -456,10 +460,16 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     from .corpus import (CaptureStore, run_fleet, update_fleet,
                          verify_fleet)
 
+    if args.jobs < 1:
+        return _bad_usage("--jobs must be >= 1")
+    if args.deadline <= 0:
+        return _bad_usage("--deadline must be a positive number of seconds")
     try:
-        store = CaptureStore(args.store)
+        store = CaptureStore(args.store,
+                             page_cache=not args.no_page_cache)
         kwargs = dict(store=store, nightly=args.nightly or None,
-                      only=args.only)
+                      only=args.only, jobs=args.jobs,
+                      deadline=args.deadline)
         trace = _start_trace(args)
         try:
             if args.corpus_command == "run":
@@ -590,9 +600,11 @@ def _sweep_body(args: argparse.Namespace, program, grid) -> int:
     from .capture import CaptureError, CaptureReader, capture_run
     from .sweep import sweep_tquad
 
+    page_cache = not getattr(args, "no_page_cache", False)
     try:
         if args.from_capture:
-            reader = _open_capture(args.from_capture, program)
+            reader = _open_capture(args.from_capture, program,
+                                   page_cache=page_cache)
         else:
             # one instrumented run at the gcd grain, recorded both-sided
             # with library markers — serves the entire grid
@@ -603,7 +615,8 @@ def _sweep_body(args: argparse.Namespace, program, grid) -> int:
                         label=args.label, max_instructions=args.budget)
             if args.capture_out:
                 print(f"wrote {args.capture_out}", file=sys.stderr)
-                reader = CaptureReader(args.capture_out)
+                reader = CaptureReader(args.capture_out,
+                                       page_cache=page_cache)
             else:
                 target.seek(0)
                 reader = CaptureReader(target)
@@ -662,25 +675,33 @@ def _cmd_capture_run(args: argparse.Namespace) -> int:
 def _cmd_capture_info(args: argparse.Namespace) -> int:
     from .capture import CaptureError, CaptureReader
 
+    stats = getattr(args, "stats", False)
+    page_cache = stats and not getattr(args, "no_page_cache", False)
     try:
-        reader = CaptureReader(args.file)
+        reader = CaptureReader(args.file, page_cache=page_cache)
     except CaptureError as err:
         return _bad_usage(str(err))
     with reader:
         man = reader.manifest
-    opt = man["options"]
-    print(f"capture v{man['format']}  "
-          f"program {man['program_sha256'][:12]}")
-    if man.get("label"):
-        print(f"label: {man['label']}")
-    print(f"tools: {', '.join(man['tools']) or 'none'}")
-    print(f"options: grain={opt['grain']} stack={opt['stack']} "
-          f"exclude_libraries={opt['exclude_libraries']}")
-    print(f"run: {man['total_instructions']} instructions, "
-          f"exit {man['exit_code']}, {len(man['kernels'])} kernels, "
-          f"{len(man['routines'])} routines")
-    for name, s in sorted(man["streams"].items()):
-        print(f"stream {name}: {s['rows']} rows in {s['pages']} pages")
+        opt = man["options"]
+        print(f"capture v{man['format']}  "
+              f"program {man['program_sha256'][:12]}")
+        if man.get("label"):
+            print(f"label: {man['label']}")
+        print(f"tools: {', '.join(man['tools']) or 'none'}")
+        print(f"options: grain={opt['grain']} stack={opt['stack']} "
+              f"exclude_libraries={opt['exclude_libraries']}")
+        print(f"run: {man['total_instructions']} instructions, "
+              f"exit {man['exit_code']}, {len(man['kernels'])} kernels, "
+              f"{len(man['routines'])} routines")
+        for name, s in sorted(man["streams"].items()):
+            print(f"stream {name}: {s['rows']} rows in {s['pages']} pages")
+        if stats:
+            # touch every page so the counters reflect a full replay pass
+            for name, s in sorted(man["streams"].items()):
+                for index in range(s["pages"]):
+                    reader.page(name, index, s["stride"])
+            print(reader.format_stats())
     return 0
 
 
@@ -746,6 +767,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-capture", metavar="PATH",
                    help="replay the report from a capture file instead "
                         "of executing the program")
+    p.add_argument("--no-page-cache", action="store_true",
+                   help="skip the capture's decoded-page sidecar")
     common(p)
     observability(p)
     p.set_defaults(fn=_cmd_profile)
@@ -775,6 +798,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a replayable capture of the case study")
     p.add_argument("--from-capture", metavar="PATH",
                    help="replay the case study from a capture file")
+    p.add_argument("--no-page-cache", action="store_true",
+                   help="skip the capture's decoded-page sidecar")
     observability(p)
     p.set_defaults(fn=_cmd_wfs)
 
@@ -802,6 +827,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-capture", metavar="PATH",
                    help="replay the guest from a capture file (the "
                         "manifest label must match this app and preset)")
+    p.add_argument("--no-page-cache", action="store_true",
+                   help="skip the capture's decoded-page sidecar")
     observability(p)
     p.set_defaults(fn=_cmd_guest)
 
@@ -831,6 +858,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print capture-reader decode/cache counters to "
                         "stderr")
+    p.add_argument("--no-page-cache", action="store_true",
+                   help="skip the capture's decoded-page sidecar")
     common(p)
     observability(p)
     p.set_defaults(fn=_cmd_sweep)
@@ -859,6 +888,12 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(fn=_cmd_capture_run)
     cp = csub.add_parser("info", help="print a capture's manifest summary")
     cp.add_argument("file")
+    cp.add_argument("--stats", action="store_true",
+                    help="decode every page and print the reader's "
+                         "decode/cache counters (builds or reuses the "
+                         "page-cache sidecar)")
+    cp.add_argument("--no-page-cache", action="store_true",
+                    help="with --stats: skip the decoded-page sidecar")
     cp.set_defaults(fn=_cmd_capture_info)
 
     p = sub.add_parser("corpus",
@@ -879,6 +914,14 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--report", metavar="PATH", default=None,
                         help="write the machine-readable fleet report "
                              "JSON")
+        cp.add_argument("--jobs", type=int, default=1,
+                        help="fan roster entries onto N supervised worker "
+                             "processes (crash/hang recovery included); "
+                             "artifacts and the canonical report are "
+                             "byte-identical to --jobs 1")
+        cp.add_argument("--no-page-cache", action="store_true",
+                        help="skip the decoded-page sidecars (replays "
+                             "re-inflate every page)")
         observability(cp)
 
     cp = csub.add_parser("run", help="capture + replay the fleet, no "

@@ -168,8 +168,8 @@ def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
             reports[interval] = tool.report()
         return MultiPassResult(reports=reports)
 
-    from ..capture import CaptureReader, capture_run
-    from ..sweep import SweepGrid, sweep_tquad
+    from ..capture import CaptureReader, capture_run, replay_many
+    from ..sweep import SweepGrid
 
     grain = reduce(math.gcd, intervals)
     program, fs = build()
@@ -185,7 +185,7 @@ def profile_passes(build: Callable[[], tuple], intervals: list[int], *,
                      library_modes=(base.exclude_libraries,),
                      kernels=base.kernels)
     with CaptureReader(buf) as reader:
-        result = sweep_tquad(reader, grid)
+        result = replay_many(reader, tools=(), grid=grid).sweep
     reports = result.by_interval(stack=base.stack,
                                  exclude_libraries=base.exclude_libraries)
     return MultiPassResult(reports=reports)

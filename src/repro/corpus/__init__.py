@@ -12,13 +12,15 @@ Driven by ``tquad corpus run|verify|update`` and by
 from .entries import (CorpusEntry, FLEET_ENTRIES, fleet_entries,
                       nightly_enabled)
 from .fleet import (ARTIFACTS, DEFAULT_GOLDEN, EntryReport, FleetReport,
-                    entry_grid, render_artifacts, run_fleet, update_fleet,
-                    verify_fleet)
+                    FleetRunner, FleetRunnerFactory, FleetTask,
+                    FleetTaskResult, entry_grid, render_artifacts,
+                    run_fleet, update_fleet, verify_fleet)
 from .store import DEFAULT_STORE, CaptureStore
 
 __all__ = [
     "ARTIFACTS", "CaptureStore", "CorpusEntry", "DEFAULT_GOLDEN",
     "DEFAULT_STORE", "EntryReport", "FLEET_ENTRIES", "FleetReport",
+    "FleetRunner", "FleetRunnerFactory", "FleetTask", "FleetTaskResult",
     "entry_grid", "fleet_entries", "nightly_enabled", "render_artifacts",
     "run_fleet", "update_fleet", "verify_fleet",
 ]

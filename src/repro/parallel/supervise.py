@@ -52,7 +52,7 @@ from ..obs import Telemetry
 from ..testing.faults import FaultInjector, FaultPlan
 from ..vm.program import Program
 from .checkpoint import ShardSpec
-from .worker import ShardResult, ShardRunner, ToolSpec
+from .worker import ShardResult, ShardRunnerFactory, ToolSpec
 
 _LOG = logging.getLogger("repro.parallel")
 
@@ -92,24 +92,23 @@ class _Worker:
 def _heartbeat(hb, state, runner) -> None:  # pragma: no cover - worker side
     """Publish a fresh timestamp whenever the worker makes progress.
 
-    Progress is the pair (tasks started/finished, replayed ``icount``):
-    a stalled replay stops advancing ``icount`` and therefore stops
-    beating, even though the process and this thread stay alive.
+    Progress is the pair (tasks started/finished, the runner's own
+    ``progress()`` token — the replayed ``icount`` for shard runners): a
+    stalled replay stops advancing the token and therefore stops beating,
+    even though the process and this thread stay alive.
     """
     last = None
     while True:
-        engine = runner._engine
-        cur = (state[0],
-               engine.machine.icount if engine is not None else -1)
+        cur = (state[0], runner.progress())
         if cur != last:
             last = cur
             hb.value = time.monotonic()
         time.sleep(HEARTBEAT_INTERVAL)
 
 
-def _worker_main(wid, inbox, outbox, hb, program, tool_specs, jit, plan,
+def _worker_main(wid, inbox, outbox, hb, factory, plan,
                  tele_enabled) -> None:  # pragma: no cover - subprocess
-    """Worker loop: replay shards from the inbox until the sentinel."""
+    """Worker loop: run tasks from the inbox until the sentinel."""
     injector = FaultInjector(plan, role="worker")
     # record into this process's global singleton (reset — fork copied the
     # parent's tallies) so the engine/VM/sink counters that go through it
@@ -119,7 +118,7 @@ def _worker_main(wid, inbox, outbox, hb, program, tool_specs, jit, plan,
     obs.TELEMETRY.reset()
     obs.TELEMETRY.enabled = tele_enabled
     tele = obs.TELEMETRY
-    runner = ShardRunner(program, tool_specs, jit=jit, telemetry=tele)
+    runner = factory(tele)
     state = [0]
     threading.Thread(target=_heartbeat, args=(hb, state, runner),
                      daemon=True).start()
@@ -150,12 +149,13 @@ def _worker_main(wid, inbox, outbox, hb, program, tool_specs, jit, plan,
 class Supervisor:
     """Runs shards across a self-healing fleet of worker processes."""
 
-    def __init__(self, program: Program,
-                 tool_specs: tuple[ToolSpec, ...], *, jobs: int,
+    def __init__(self, program: Program | None = None,
+                 tool_specs: tuple[ToolSpec, ...] = (), *, jobs: int,
                  jit: bool = True, deadline: float = DEFAULT_DEADLINE,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  faults: FaultPlan | None = None,
-                 telemetry: Telemetry | None = None, ctx=None):
+                 telemetry: Telemetry | None = None, ctx=None,
+                 runner_factory=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if deadline <= 0:
@@ -171,6 +171,10 @@ class Supervisor:
         self.ctx = ctx
         self.program = program
         self.tool_specs = tuple(tool_specs)
+        if runner_factory is None:
+            runner_factory = ShardRunnerFactory(program, self.tool_specs,
+                                                jit=jit)
+        self.factory = runner_factory
         self.jobs = jobs
         self.jit = jit
         self.deadline = deadline
@@ -186,7 +190,7 @@ class Supervisor:
         self._next_wid = 1               # tid 0 is the parent timeline
         self._spawned = 0
         self._n_shards = 0
-        self._fallback: ShardRunner | None = None
+        self._fallback = None
         self.retries = 0
         self.degraded = 0
 
@@ -260,8 +264,7 @@ class Supervisor:
         hb = self.ctx.Value("d", time.monotonic(), lock=False)
         process = self.ctx.Process(
             target=_worker_main,
-            args=(wid, inbox, self.outbox, hb, self.program,
-                  self.tool_specs, self.jit, self.plan,
+            args=(wid, inbox, self.outbox, hb, self.factory, self.plan,
                   self.telemetry.enabled),
             daemon=True, name=f"repro-shard-worker-{wid}")
         process.start()
@@ -306,7 +309,7 @@ class Supervisor:
         if kind == "ok":
             try:
                 result, events, counters, gauges = pickle.loads(payload)
-                if not isinstance(result, ShardResult):
+                if not isinstance(result, self.factory.result_type):
                     raise TypeError(f"unexpected payload {type(result)}")
             except Exception as exc:
                 self.telemetry.count("parallel/bad_payloads")
@@ -382,9 +385,7 @@ class Supervisor:
         _LOG.warning("shard %d degraded to in-process serial replay",
                      task.spec.index)
         if self._fallback is None:
-            self._fallback = ShardRunner(self.program, self.tool_specs,
-                                         jit=self.jit,
-                                         telemetry=self.telemetry)
+            self._fallback = self.factory(self.telemetry)
         with self.telemetry.span("replay.degraded", cat="parallel",
                                  shard=task.spec.index):
             results[task.spec.index] = self._fallback.execute(task.spec)

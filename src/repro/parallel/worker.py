@@ -81,6 +81,28 @@ class GprofSpec:
 ToolSpec = TQuadSpec | QuadSpec | GprofSpec
 
 
+@dataclass(frozen=True)
+class ShardRunnerFactory:
+    """Picklable recipe for the supervisor's default runner.
+
+    The supervisor ships a *factory* to each worker instead of a live
+    runner so non-shard workloads (the corpus fleet) can ride the same
+    fault-tolerant scheduling: any picklable callable with a
+    ``result_type`` attribute that builds an object exposing
+    ``execute(task) -> result_type`` and ``progress()`` works.
+    """
+
+    program: Program
+    tool_specs: tuple[ToolSpec, ...]
+    jit: bool = True
+
+    result_type: ClassVar[type] = None  # type: ignore[assignment]
+
+    def __call__(self, telemetry: Telemetry) -> "ShardRunner":
+        return ShardRunner(self.program, self.tool_specs, jit=self.jit,
+                           telemetry=telemetry)
+
+
 # --------------------------------------------------------- shard payloads
 @dataclass
 class TQuadPayload:
@@ -368,6 +390,13 @@ class ShardRunner:
         self._engine: PinEngine | None = None
         self._tools: list[tuple[ToolSpec, object]] | None = None
 
+    def progress(self):
+        """Monotone progress token for the supervisor's heartbeat: the
+        replayed machine's ``icount`` stops advancing when a replay
+        stalls, so the beat stops too."""
+        engine = self._engine
+        return engine.machine.icount if engine is not None else -1
+
     def execute(self, spec: ShardSpec) -> ShardResult:
         """Replay one shard and return its analysis payloads."""
         tele = self.telemetry
@@ -427,3 +456,6 @@ def execute_shard(program: Program, spec: ShardSpec,
                   jit: bool = True) -> ShardResult:
     """Replay one shard in a one-off runner (convenience/test entry)."""
     return ShardRunner(program, tool_specs, jit=jit).execute(spec)
+
+
+ShardRunnerFactory.result_type = ShardResult

@@ -38,9 +38,9 @@ Exactness
 
 The drain is byte-identical to the legacy per-byte walk.  Aligned 8-byte
 accesses (the overwhelming majority) flow through a word-granular
-vectorized pipeline: events are sorted by ``(word, sequence)`` — the key is
-unique, so an unstable ``argsort`` preserves program order within each
-word — and a running-maximum scan finds the last write before each read.
+vectorized pipeline: events are sorted by word with a *stable* (radix)
+``argsort`` — ties keep program order within each word — and a
+running-maximum scan finds the last write before each read.
 Words ever touched by a sub-word or misaligned access in the same buffer
 are routed, together with every colliding word access, through an exact
 in-order per-byte walk; the two partitions touch disjoint words, so their
@@ -57,6 +57,7 @@ from array import array
 import numpy as np
 
 from ..core.callstack import CallStack
+from ..core.npsort import stable_argsort
 from ..obs import TELEMETRY as _TELEMETRY
 from ..vm.layout import DEFAULT_MEM_SIZE
 
@@ -71,10 +72,10 @@ KID_SHIFT = 43
 TAIL_SHIFT = 37
 ADDR_MASK = (1 << TAIL_SHIFT) - 1
 
-#: Soft buffer capacity in records.  The drain packs ``word * 2^18 + seq``
-#: sort keys, so the record count per drain must stay below 2^18; the cap
-#: leaves slack for the records one superblock can append past the
-#: entry-time check.
+#: Soft buffer capacity in records.  The drain packs per-buffer byte
+#: sums as ``excl << 21 | incl`` weights, so the records per drain must
+#: stay below 2^18 (each touches at most 8 bytes); the cap leaves slack
+#: for the records one superblock can append past the entry-time check.
 DEFAULT_RAW_CAP = (1 << 17) - 512
 
 _FULL_WORD = np.int64(0x0101010101010101)
@@ -559,7 +560,11 @@ class PagedQuadSink:
         pa, ps = a[~full], size[~full]
         slow_words = np.unique(np.concatenate([pa >> 3, (pa + ps - 1) >> 3]))
         word = a >> 3
-        collide = full & np.isin(word, slow_words)
+        # membership via binary search in the sorted unique slow set —
+        # np.isin would re-sort the (much larger) word array instead
+        at = np.searchsorted(slow_words, word)
+        at[at == slow_words.size] = 0
+        collide = full & (slow_words[at] == word)
         fast = full & ~collide
         self._drain_fast(word[fast], kid[fast], isw[fast], sp[fast])
         slow = ~fast
@@ -572,9 +577,11 @@ class PagedQuadSink:
         nf = word.size
         if not nf:
             return
-        assert nf < (1 << 18), "raw cap exceeded the sort-key seq field"
+        assert nf < (1 << 18), "raw cap exceeded the packed-weight bound"
         nb = np.clip(sp - (word << 3), 0, 8)
-        order = np.argsort((word << 18) | np.arange(nf))
+        # stable radix sort: ties keep program order, same ordering the
+        # packed (word << 18) | seq key produced, without the key build
+        order = stable_argsort(word)
         w = word[order]
         k = kid[order]
         iw = isw[order]
@@ -713,6 +720,17 @@ class PagedQuadSink:
         the plane id ``kid * 4 + view`` moves the per-kernel dispatch into
         the index arithmetic."""
         planes = (k << 2) + np.where(iw, _V_OUT_INCL, _V_IN_INCL)
+        if w.size > 1:
+            # marking is idempotent and ``w`` arrives sorted, so hot
+            # words repeat in adjacent runs: collapse duplicates before
+            # paying the scatters (nbo joins the key — the excl view
+            # depends on it)
+            keep = np.empty(w.size, bool)
+            keep[0] = True
+            keep[1:] = ((w[1:] != w[:-1]) | (planes[1:] != planes[:-1])
+                        | (nbo[1:] != nbo[:-1]))
+            if not keep.all():
+                w, planes, nbo = w[keep], planes[keep], nbo[keep]
         self._unma.mark_words(planes, w)
         ex = nbo == 8
         if ex.any():
@@ -742,7 +760,7 @@ class PagedQuadSink:
         kd = np.repeat(kid, size)
         iw = np.repeat(isw, size)
         bl = ad < np.repeat(sp, size)
-        order = np.argsort((ad << 18) | sq)   # unique: bytes of one record
+        order = stable_argsort(ad)              # ties: bytes in seq order
         ad, kd, iw, bl = ad[order], kd[order], iw[order], bl[order]
         ne = ad.size
         pos = np.arange(ne)

@@ -20,8 +20,8 @@ Typical use::
     report = result.report(1000, StackPolicy.EXCLUDE, exclude_libraries=True)
 """
 
-from .engine import SweepResult, sweep_tquad
+from .engine import SweepResult, grid_stats, restrict_sweep, sweep_tquad
 from .grid import SweepCell, SweepGrid, validate_intervals
 
-__all__ = ["SweepCell", "SweepGrid", "SweepResult", "sweep_tquad",
-           "validate_intervals"]
+__all__ = ["SweepCell", "SweepGrid", "SweepResult", "grid_stats",
+           "restrict_sweep", "sweep_tquad", "validate_intervals"]

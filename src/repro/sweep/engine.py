@@ -40,6 +40,7 @@ from ..capture.format import (STREAM_TQUAD_READ, STREAM_TQUAD_WRITE,
 from ..capture.reader import CaptureReader, PageCursor
 from ..capture.replay import _resolve_tquad_options
 from ..core.ledger import BandwidthLedger
+from ..core.npsort import stable_argsort
 from ..core.options import StackPolicy
 from ..core.report import TQuadReport
 from ..obs import TELEMETRY
@@ -48,6 +49,73 @@ from .grid import SweepCell, SweepGrid
 _STREAMS = ((STREAM_TQUAD_READ, False), (STREAM_TQUAD_WRITE, True))
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+class ColumnarLedger(BandwidthLedger):
+    """A sweep-cell ledger whose ``history`` materialises on first read.
+
+    The bucket/fold phases leave each cell's table as columnar arrays;
+    expanding those into the nested per-kernel slice dicts is pure
+    Python-object work that consumers which never read the cell (grid
+    restriction, cell selection, cache reuse) should not pay for.  The
+    first ``history`` access builds exactly the dict the eager path
+    built — same keys, same tuples, same kernel merge order — so
+    serialization and table rendering stay byte-identical.
+    """
+
+    __slots__ = ("_names", "_n_fine", "_keys", "_mat", "_hist")
+
+    def __init__(self, interval: int, names: list[str], n_fine: int,
+                 keys: np.ndarray, mat: np.ndarray):
+        super().__init__(interval)
+        self._names = names
+        self._n_fine = n_fine
+        self._keys = keys
+        self._mat = mat
+        self.flushed = True
+
+    @property
+    def history(self) -> dict[str, dict[int, tuple[int, int, int, int]]]:
+        if self._keys is not None:
+            self._hist = self._materialise()
+            self._keys = self._mat = None
+        return self._hist
+
+    @history.setter
+    def history(self, value) -> None:
+        # an explicit assignment (base ``__init__``/``reset``, json
+        # deserialization) replaces the columnar source outright
+        self._hist = value
+        self._keys = self._mat = None
+
+    def _materialise(self) -> dict:
+        names, n_fine = self._names, self._n_fine
+        keys, mat = self._keys, self._mat
+        history: dict[str, dict[int, tuple]] = {}
+        if keys.size:
+            # keys are sorted kernel-major, so each kernel is one
+            # contiguous segment: build every inner dict with one
+            # C-speed dict(zip(...)) instead of a per-row loop
+            kid_a = keys // n_fine
+            sl_l = (keys % n_fine).tolist()
+            rows = list(zip(*(col.tolist() for col in mat.T)))
+            seg = np.flatnonzero(
+                np.concatenate(([True], kid_a[1:] != kid_a[:-1])))
+            bounds = np.append(seg, keys.size).tolist()
+            for k_id, i, j in zip(kid_a[seg].tolist(),
+                                  bounds[:-1], bounds[1:]):
+                prev = history.get(names[k_id])
+                if prev is None:
+                    history[names[k_id]] = dict(zip(sl_l[i:j],
+                                                    rows[i:j]))
+                else:
+                    prev.update(zip(sl_l[i:j], rows[i:j]))
+        return history
+
+#: Largest (kernel, slice) key span the bucket phase groups by direct
+#: bincount; beyond this the dense accumulators would outweigh the
+#: sort they replace (three transient float64/int64 arrays of this size).
+_DENSE_SPAN = 1 << 23
 
 
 @dataclass
@@ -99,6 +167,36 @@ def _cell_combo(cell: SweepCell, captured: StackPolicy,
     return (drop_lib, excl_only)
 
 
+def grid_stats(grid: SweepGrid, manifest: dict, pages_walked: int,
+               reader_stats: dict) -> dict[str, int]:
+    """The ``SweepResult.stats`` block for ``grid`` — shared between
+    :func:`sweep_tquad` and the fused-replay restriction so a sweep
+    served out of a wider combined pass reports the same stats a
+    standalone sweep of the same grid would."""
+    mo = manifest["options"]
+    captured = StackPolicy(mo["stack"])
+    captured_excl_libs = bool(mo["exclude_libraries"])
+    cells = grid.cells()
+    combos = {_cell_combo(c, captured, captured_excl_libs) for c in cells}
+    return {"cells": len(cells), "pages_walked": pages_walked,
+            "grain": reduce(math.gcd, grid.intervals),
+            "combos": len(combos), **reader_stats}
+
+
+def restrict_sweep(result: SweepResult, grid: SweepGrid, manifest: dict,
+                   reader: CaptureReader) -> SweepResult:
+    """Project a wider sweep down to ``grid`` (every cell of ``grid``
+    must be in ``result``) — grain and stats are recomputed as if the
+    narrower grid had been swept directly."""
+    reports = {cell: result.reports[cell] for cell in grid.cells()}
+    return SweepResult(
+        grid=grid, reports=reports,
+        total_instructions=result.total_instructions,
+        grain=reduce(math.gcd, grid.intervals),
+        stats=grid_stats(grid, manifest, result.stats["pages_walked"],
+                         reader.stats))
+
+
 def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                 telemetry=TELEMETRY) -> SweepResult:
     """Fill ``grid`` from one decode pass over ``reader``'s tQUAD streams.
@@ -139,20 +237,26 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                 for page in PageCursor(reader, stream):
                     pages_walked += 1
                     kid_raw = page[:, 3]
-                    lib = kid_raw < -1
-                    valid = kid_raw != -1
-                    kid = np.where(lib, -2 - kid_raw, kid_raw)
+                    if kid_raw.size and int(kid_raw.min()) >= 0:
+                        # fast path: no library rows, no dropped rows —
+                        # the common page needs no masks at all
+                        lib = valid = None
+                        has_lib = False
+                        kid = kid_raw
+                    else:
+                        lib = kid_raw < -1
+                        valid = kid_raw != -1
+                        has_lib = bool(lib.any())
+                        kid = np.where(lib, -2 - kid_raw, kid_raw)
                     sl = (page[:, 0] - 1) // fine
                     key = kid * n_fine + sl
                     incl, excl = page[:, 1], page[:, 2]
-                    # one sort per page serves every combo: the per-combo
-                    # row filters become weight masks over the shared
-                    # group inverse (absent groups filtered by presence);
-                    # combos whose filters coincide on this page (no library
-                    # rows, no exclusive-free rows) share one summation
-                    uniq, inv = np.unique(key, return_inverse=True)
-                    nb = uniq.size
-                    has_lib = bool(lib.any())
+                    # rows are already per-(slice, kernel) aggregates, so
+                    # no per-page grouping happens here: each combo's row
+                    # filter just selects rows, and one global sort in the
+                    # bucket phase groups everything at once.  Combos whose
+                    # filters coincide on this page (no library rows, no
+                    # exclusive-free rows) share one selection
                     excl_pos = None
                     done: dict[tuple[bool, bool], tuple] = {}
                     for combo in combos:
@@ -171,49 +275,56 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                         if eff[0]:
                             mask = mask & ~lib
                         if eff[1]:
-                            mask = mask & excl_pos
-                        if mask.all():
-                            chunk = (
-                                uniq,
-                                np.bincount(inv, weights=incl,
-                                            minlength=nb)
-                                .astype(np.int64),
-                                np.bincount(inv, weights=excl,
-                                            minlength=nb)
-                                .astype(np.int64))
+                            mask = excl_pos if mask is None \
+                                else mask & excl_pos
+                        if mask is None or mask.all():
+                            chunk = (key, incl.copy(), excl.copy())
+                        elif mask.any():
+                            chunk = (key[mask], incl[mask], excl[mask])
                         else:
-                            minv = inv[mask]
-                            if minv.size == 0:
-                                done[eff] = ()
-                                continue
-                            present = np.bincount(minv, minlength=nb) > 0
-                            chunk = (
-                                uniq[present],
-                                np.bincount(minv, weights=incl[mask],
-                                            minlength=nb)[present]
-                                .astype(np.int64),
-                                np.bincount(minv, weights=excl[mask],
-                                            minlength=nb)[present]
-                                .astype(np.int64))
+                            done[eff] = ()
+                            continue
                         done[eff] = chunk
                         parts[stream, combo].append(chunk)
         # ------------------------------- bucket (merge partials, fine grain)
         fine_tables: dict[tuple[str, tuple[bool, bool]],
                           tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        key_span = len(names) * n_fine
         with telemetry.span("sweep.bucket", cat="sweep"):
             for loc, chunks in parts.items():
                 if not chunks:
                     fine_tables[loc] = (_EMPTY, _EMPTY, _EMPTY)
                     continue
                 keys = np.concatenate([c[0] for c in chunks])
-                uniq, inv = np.unique(keys, return_inverse=True)
-                incl_s = np.bincount(
-                    inv, weights=np.concatenate([c[1] for c in chunks]),
-                    minlength=uniq.size).astype(np.int64)
-                excl_s = np.bincount(
-                    inv, weights=np.concatenate([c[2] for c in chunks]),
-                    minlength=uniq.size).astype(np.int64)
-                fine_tables[loc] = (uniq, incl_s, excl_s)
+                if key_span <= _DENSE_SPAN:
+                    # the (kernel, slice) key space is dense enough to
+                    # group by direct bincount — no sort, no gathers; a
+                    # presence count keeps zero-byte rows in the table.
+                    # float64 weight sums stay exact (byte totals are
+                    # far below 2**53)
+                    pres = np.bincount(keys, minlength=key_span)
+                    sup = np.flatnonzero(pres)
+                    fine_tables[loc] = tuple([sup] + [
+                        np.bincount(
+                            keys,
+                            weights=np.concatenate(
+                                [c[j] for c in chunks]),
+                            minlength=key_span)[sup].astype(np.int64)
+                        for j in (1, 2)])
+                    continue
+                # one stable radix sort groups every row; the integer
+                # segment sums stay exact (no float bincount accumulator)
+                order = stable_argsort(keys)
+                sk = keys[order]
+                gs = np.empty(sk.size, bool)
+                gs[0] = True
+                gs[1:] = sk[1:] != sk[:-1]
+                starts = np.flatnonzero(gs)
+                incl_s = np.add.reduceat(
+                    np.concatenate([c[1] for c in chunks])[order], starts)
+                excl_s = np.add.reduceat(
+                    np.concatenate([c[2] for c in chunks])[order], starts)
+                fine_tables[loc] = (sk[starts], incl_s, excl_s)
         # -------------------------------- fold (exact coarse segment sums)
         folded: dict[tuple[str, tuple[bool, bool], int],
                      tuple[np.ndarray, ...]] = {}
@@ -253,13 +364,21 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                 zero_excl = (captured is StackPolicy.BOTH
                              and cell.stack is StackPolicy.INCLUDE)
                 # merge the read/write tables into one (group × 4-counter)
-                # matrix, then materialise the ledger dict in a single
-                # tolist pass — no per-group accumulate calls
+                # matrix; the ledger dict itself materialises lazily on
+                # first read (:class:`ColumnarLedger`)
                 stream_keys = []
                 for stream, _ in _STREAMS:
                     kid_a, sl_a, _, _ = folded[stream, combo, cell.interval]
                     stream_keys.append(kid_a * n_fine + sl_a)
-                keys = np.unique(np.concatenate(stream_keys))
+                # both per-stream key arrays are sorted, so timsort's
+                # galloping merge + adjacent dedup beats hash unique
+                keys = np.concatenate(stream_keys)
+                if keys.size:
+                    keys.sort(kind="stable")
+                    keep = np.empty(keys.size, bool)
+                    keep[0] = True
+                    keep[1:] = keys[1:] != keys[:-1]
+                    keys = keys[keep]
                 mat = np.zeros((keys.size, 4), dtype=np.int64)
                 for (stream, write), skeys in zip(_STREAMS, stream_keys):
                     _, _, incl_a, excl_a = folded[
@@ -272,21 +391,14 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                         mat[idx, col] = incl_a
                     if not zero_excl:
                         mat[idx, col + 1] = excl_a
-                ledger = BandwidthLedger(cell.interval)
-                history: dict[str, dict[int, tuple]] = {}
-                kid_l = (keys // n_fine).tolist()
-                sl_l = (keys % n_fine).tolist()
-                for k_id, s, row in zip(kid_l, sl_l, mat.tolist()):
-                    history.setdefault(names[k_id], {})[s] = tuple(row)
-                ledger.history = history
-                ledger.flushed = True
                 reports[cell] = TQuadReport(
-                    ledger=ledger, options=cell.options(),
+                    ledger=ColumnarLedger(cell.interval, names, n_fine,
+                                          keys, mat),
+                    options=cell.options(),
                     total_instructions=total, images=dict(images),
                     complete=True)
     telemetry.count("sweep/runs")
     telemetry.gauge("sweep/cells", len(cells))
-    stats = {"cells": len(cells), "pages_walked": pages_walked,
-             "grain": fine, "combos": len(combos), **reader.stats}
+    stats = grid_stats(grid, manifest, pages_walked, reader.stats)
     return SweepResult(grid=grid, reports=reports,
                        total_instructions=total, grain=fine, stats=stats)

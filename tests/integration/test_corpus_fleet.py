@@ -98,11 +98,87 @@ class TestFleetEngine:
 
     def test_corrupt_store_entry_recaptured(self, tmp_path, store):
         run_fleet(store=store, only=ENTRY)
-        (capture_file,) = store.root.iterdir()
+        (capture_file,) = (p for p in store.root.iterdir()
+                           if p.suffix == ".capture")
         capture_file.write_bytes(b"truncated garbage")
         report = run_fleet(store=store, only=ENTRY)
         assert report.ok
         assert store.misses == 2
+
+    def test_corrupt_sidecar_rebuilt(self, tmp_path, store):
+        """A corrupt decoded-page sidecar is evicted and rebuilt like a
+        corrupt capture — and the fleet report counts the rebuild."""
+        run_fleet(store=store, only=ENTRY)
+        (sidecar,) = (p for p in store.root.iterdir()
+                      if p.name.endswith(".capture.pages"))
+        sidecar.write_bytes(b"truncated garbage")
+        report = run_fleet(store=store, only=ENTRY)
+        assert report.ok
+        assert store.misses == 1           # the capture itself survived
+        assert report.sidecars_rebuilt == 1
+        # the rebuilt sidecar serves the next pass warm again
+        report = run_fleet(store=store, only=ENTRY)
+        assert report.ok and report.sidecars_reused == 1
+
+    def test_no_page_cache_store_writes_no_sidecars(self, tmp_path):
+        store = CaptureStore(tmp_path / "store", page_cache=False)
+        report = run_fleet(store=store, only=ENTRY)
+        assert report.ok
+        assert not [p for p in store.root.iterdir()
+                    if p.name.endswith(".pages")]
+        assert report.sidecars_built == 0
+        (entry,) = report.entries
+        assert entry.replay["page_cache"] == "off"
+        assert entry.replay["decoded_pages"] > 0
+
+    def test_artifacts_identical_with_and_without_page_cache(self,
+                                                             tmp_path):
+        """The golden artifacts are a pure function of the guest: the
+        warm-sidecar route and ``--no-page-cache`` must render the
+        same bytes (cache counters live in the fleet report only)."""
+        from repro.corpus.fleet import render_artifacts
+        from repro.corpus.entries import fleet_entries as _entries
+
+        (entry,) = _entries(only=ENTRY)
+        warm_store = CaptureStore(tmp_path / "warm")
+        cold_store = CaptureStore(tmp_path / "cold", page_cache=False)
+        warm, warm_stats = render_artifacts(entry, warm_store)
+        warm2, _ = render_artifacts(entry, warm_store)   # sidecar warm now
+        cold, cold_stats = render_artifacts(entry, cold_store)
+        assert warm == warm2 == cold
+        assert warm_stats["page_cache"] in ("built", "warm")
+        assert cold_stats["page_cache"] == "off"
+        meta = json.loads(warm["meta.json"])
+        assert meta["replay"] == {"pages_served":
+                                  json.loads(cold["meta.json"])
+                                  ["replay"]["pages_served"]}
+        assert meta["replay"]["pages_served"] > 0
+
+    def test_parallel_jobs_report_matches_serial(self, tmp_path):
+        """--jobs N must be byte-identical to serial: same artifacts,
+        same canonical fleet report, against equivalent store states."""
+        out1, out2 = tmp_path / "o1", tmp_path / "o2"
+        serial = run_fleet(store=CaptureStore(tmp_path / "s1"),
+                           only=ENTRY, out_dir=out1)
+        fanned = run_fleet(store=CaptureStore(tmp_path / "s2"),
+                           only=ENTRY, out_dir=out2, jobs=2)
+        assert serial.ok and fanned.ok
+        assert serial.canonical_json() == fanned.canonical_json()
+        for name in ARTIFACTS:
+            assert ((out1 / ENTRY / name).read_bytes()
+                    == (out2 / ENTRY / name).read_bytes())
+
+    def test_update_with_only_never_prunes(self, tmp_path, store):
+        """Regression: a focused ``update --only`` must not sweep other
+        fixture directories as stale."""
+        golden = tmp_path / "golden"
+        bystander = golden / "some-other-entry"
+        bystander.mkdir(parents=True)
+        (bystander / "meta.json").write_text("{}")
+        report = update_fleet(golden_root=golden, store=store, only=ENTRY)
+        assert report.ok
+        assert bystander.exists()
+        assert (bystander / "meta.json").read_text() == "{}"
 
     def test_run_writes_artifact_tree(self, tmp_path, store):
         out = tmp_path / "artifacts"
@@ -165,6 +241,32 @@ class TestCorpusCli:
                    "--only", "no-such-entry"])
         assert rc == 2
         assert "unknown corpus entry" in capsys.readouterr().err
+
+    def test_cli_bad_jobs_exits_two(self, tmp_path, capsys):
+        rc = main(["corpus", "run", "--store", str(tmp_path / "s"),
+                   "--only", ENTRY, "--jobs", "0"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cli_parallel_run_with_page_cache_counters(self, tmp_path,
+                                                       capsys):
+        report_path = tmp_path / "fleet.json"
+        rc = main(["corpus", "run", "--store", str(tmp_path / "s"),
+                   "--only", ENTRY, "--jobs", "2",
+                   "--report", str(report_path)])
+        assert rc == 0
+        data = json.loads(report_path.read_text())
+        assert data["ok"] is True
+        assert data["page_cache"]["sidecars_built"] == 1
+        assert data["entries"][0]["replay"]["page_cache"] == "warm"
+        assert "sidecars: 1 built" in capsys.readouterr().out
+
+    def test_cli_no_page_cache(self, tmp_path, capsys):
+        rc = main(["corpus", "run", "--store", str(tmp_path / "s"),
+                   "--only", ENTRY, "--no-page-cache"])
+        assert rc == 0
+        assert not [p for p in (tmp_path / "s").iterdir()
+                    if p.name.endswith(".pages")]
 
     def test_cli_run_with_trace(self, tmp_path, capsys):
         trace = tmp_path / "trace.json"

@@ -1,0 +1,53 @@
+"""Radix argsort helper (:mod:`repro.core.npsort`).
+
+``stable_argsort`` must return *exactly* ``np.argsort(keys,
+kind="stable")`` — the replay engines lean on tie order for
+byte-identical reports — across every route: the small-array
+passthrough, the one- and two-pass radix paths, and the fallbacks for
+keys the 32-bit decomposition cannot carry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.npsort import _SMALL, stable_argsort
+
+
+def _assert_matches_numpy(keys):
+    expect = np.argsort(keys, kind="stable")
+    got = stable_argsort(keys)
+    assert got.tolist() == expect.tolist()
+
+
+class TestStableArgsort:
+    def test_small_array_passthrough(self):
+        keys = np.array([5, 1, 5, 0, 1], dtype=np.int64)
+        assert keys.size < _SMALL
+        _assert_matches_numpy(keys)
+
+    def test_single_pass_route_16bit_keys(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 1 << 16, size=_SMALL + 100).astype(np.int64)
+        _assert_matches_numpy(keys)
+
+    def test_two_pass_route_32bit_keys(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 1 << 32, size=_SMALL + 100).astype(np.int64)
+        _assert_matches_numpy(keys)
+
+    def test_ties_keep_input_order(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 50, size=_SMALL * 2).astype(np.int64)
+        order = stable_argsort(keys)
+        sk = keys[order]
+        assert (sk[1:] >= sk[:-1]).all()
+        # within every equal-key run the original indices ascend
+        ties = sk[1:] == sk[:-1]
+        assert (order[1:][ties] > order[:-1][ties]).all()
+
+    @pytest.mark.parametrize("bad", [-1, 1 << 32])
+    def test_out_of_range_keys_fall_back(self, bad):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 1 << 20, size=_SMALL + 10).astype(np.int64)
+        keys[123] = bad
+        _assert_matches_numpy(keys)

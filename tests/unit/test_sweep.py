@@ -169,6 +169,67 @@ class TestSweepEngine:
         assert cells == sorted(cells, key=lambda c: c.key)
 
 
+class TestColumnarLedger:
+    """The sweep cells' lazily-materialising ledger."""
+
+    def _make(self):
+        import numpy as np
+
+        from repro.sweep.engine import ColumnarLedger
+
+        names = ["alpha", "beta"]
+        n_fine = 10
+        # kernel-major sorted keys: alpha slices 0, 2; beta slice 1
+        keys = np.array([0, 2, 11], dtype=np.int64)
+        mat = np.array([[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]],
+                       dtype=np.int64)
+        return ColumnarLedger(50, names, n_fine, keys, mat)
+
+    EXPECT = {"alpha": {0: (1, 2, 3, 4), 2: (5, 6, 7, 8)},
+              "beta": {1: (9, 10, 11, 12)}}
+
+    def test_history_materialises_once_and_caches(self):
+        ledger = self._make()
+        assert ledger._keys is not None
+        assert ledger.history == self.EXPECT
+        assert ledger._keys is None          # columnar source released
+        assert ledger.history is ledger.history
+
+    def test_queries_see_the_materialised_dict(self):
+        ledger = self._make()
+        assert ledger.kernels() == ["alpha", "beta"]
+        assert ledger.slices_of("beta") == {1: (9, 10, 11, 12)}
+        series = ledger.series("alpha")
+        assert series.slices.tolist() == [0, 2]
+        assert series.total(write=False, include_stack=True) == 6
+
+    def test_explicit_assignment_replaces_columnar_source(self):
+        ledger = self._make()
+        ledger.history = {"gamma": {3: (1, 1, 1, 1)}}
+        assert ledger.kernels() == ["gamma"]
+
+    def test_reset_discards_pending_columns(self):
+        ledger = self._make()
+        ledger.reset()
+        assert ledger.history == {}
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        ledger = self._make()
+        clone = pickle.loads(pickle.dumps(ledger))
+        assert clone.history == self.EXPECT
+
+    def test_empty_cell(self):
+        import numpy as np
+
+        from repro.sweep.engine import ColumnarLedger
+
+        ledger = ColumnarLedger(50, [], 1, np.empty(0, np.int64),
+                                np.zeros((0, 4), np.int64))
+        assert ledger.history == {}
+
+
 class TestSweepSerialization:
     def test_round_trip_preserves_every_cell(self):
         _, buf = _capture()
