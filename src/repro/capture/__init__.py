@@ -18,6 +18,15 @@ Typical use::
                               TQuadOptions(slice_interval=4000))
 """
 
+#: The one chunk-size tunable for every batched replay path: the QUAD
+#: drain re-batches captured record pages to this many packed records,
+#: and the streaming sweep/bucket passes compact their pending page
+#: chunks at the same row count.  Sourced from the paged shadow's drain
+#: cap because that is the binding constraint — ``_drain``'s packed
+#: ``excl << 21 | incl`` weight accumulators overflow past 2**18 records
+#: per drain — so no consumer may batch beyond it.
+from ..quad.shadow import DEFAULT_RAW_CAP as PAGE_BATCH_ROWS
+
 from .format import (CAPTURE_VERSION, CaptureError, CaptureFormatError,
                      CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
                      STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, check_label,
@@ -25,22 +34,29 @@ from .format import (CAPTURE_VERSION, CaptureError, CaptureFormatError,
                      program_digest)
 from .pagecache import (MappedPages, PageCacheError, build_sidecar,
                         capture_digest, load_sidecar, sidecar_path)
-from .reader import CaptureReader, PageCursor
+from .reader import CaptureReader, PageCursor, PageLRU, StreamingCursor
 from .record import CallEventRecorder, capture_run
 from .replay import (REPLAY_TOOLS, ReplayBundle, replay_gprof, replay_many,
                      replay_quad, replay_tquad)
 from .segments import merge_capture_segments
+from .streaming import (MemBudget, SpillPool, cleanup_spill_dirs,
+                        merge_sorted_runs, parse_mem_limit, sample_mask)
+from .approx import (ApproxTQuadReplay, CountMinSketch,
+                     approx_replay_tquad)
 from .writer import CaptureCollector, CaptureWriter
 
 __all__ = [
     "CAPTURE_VERSION", "CaptureError", "CaptureFormatError",
     "CaptureMismatchError", "MappedPages", "PageCacheError",
-    "REPLAY_TOOLS", "ReplayBundle", "STREAM_CALLS", "STREAM_QUAD",
-    "STREAM_TQUAD_READ", "STREAM_TQUAD_WRITE",
-    "CaptureCollector", "CaptureReader", "CaptureWriter",
-    "CallEventRecorder", "PageCursor", "build_sidecar", "capture_digest",
-    "capture_run", "check_label", "check_program",
+    "PAGE_BATCH_ROWS", "REPLAY_TOOLS", "ReplayBundle", "STREAM_CALLS",
+    "STREAM_QUAD", "STREAM_TQUAD_READ", "STREAM_TQUAD_WRITE",
+    "ApproxTQuadReplay", "CaptureCollector", "CaptureReader",
+    "CaptureWriter", "CallEventRecorder", "CountMinSketch", "MemBudget",
+    "PageCursor", "PageLRU", "SpillPool", "StreamingCursor",
+    "approx_replay_tquad", "build_sidecar", "capture_digest",
+    "capture_run", "check_label", "check_program", "cleanup_spill_dirs",
     "library_rows_of", "load_sidecar", "make_manifest",
-    "merge_capture_segments", "program_digest", "replay_gprof",
-    "replay_many", "replay_quad", "replay_tquad", "sidecar_path",
+    "merge_capture_segments", "merge_sorted_runs", "parse_mem_limit",
+    "program_digest", "replay_gprof", "replay_many", "replay_quad",
+    "replay_tquad", "sample_mask", "sidecar_path",
 ]

@@ -37,7 +37,8 @@ from ..obs import TELEMETRY
 from .format import (CaptureMismatchError, STREAM_CALLS, STREAM_QUAD,
                      STREAM_TQUAD_READ, STREAM_TQUAD_WRITE, library_rows_of,
                      require_tool)
-from .reader import CaptureReader
+from .reader import CaptureReader, PageLRU, StreamingCursor
+from .streaming import MemBudget
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle, type hints only
     from ..sweep.engine import SweepResult
@@ -78,12 +79,20 @@ def _resolve_tquad_options(manifest: dict,
 
 def replay_tquad(reader: CaptureReader,
                  options: TQuadOptions | None = None,
-                 telemetry=TELEMETRY) -> TQuadReport:
+                 telemetry=TELEMETRY, *,
+                 mem_limit: int | None = None) -> TQuadReport:
     """Rebuild a :class:`TQuadReport` from a capture.
 
     ``options`` may re-slice (any multiple of the capture grain) and, for
     captures recorded under ``StackPolicy.BOTH``, derive either
     single-sided view; defaults to the capture's own recording options.
+
+    ``mem_limit`` routes page iteration through a
+    :class:`~repro.capture.reader.StreamingCursor` with an LRU decode
+    window charged against that byte ceiling — the report is
+    byte-identical to the unbounded path (this replay was already
+    page-at-a-time; the ceiling bounds the decode window and surfaces
+    ``stream/*`` gauges).
     """
     manifest = reader.manifest
     require_tool(manifest, "tquad")
@@ -100,13 +109,18 @@ def replay_tquad(reader: CaptureReader,
     # marked rows, exactly what a direct exclude-libs run records as -1.
     drop_lib = (options.exclude_libraries
                 and not manifest["options"]["exclude_libraries"])
+    budget = MemBudget(mem_limit) if mem_limit else None
+    lru = PageLRU(budget, reader.stats) if budget else None
     with telemetry.span("replay", cat="capture", tool="tquad",
                         interval=interval):
         for stream, write in ((STREAM_TQUAD_READ, False),
                               (STREAM_TQUAD_WRITE, True)):
             if not reader.has_stream(stream):
                 continue
-            for page in reader.pages(stream):
+            pages = (StreamingCursor(reader, stream, budget=budget,
+                                     lru=lru)
+                     if budget else reader.pages(stream))
+            for page in pages:
                 kid = page[:, 3]
                 lib = kid < -1
                 mask = kid != -1
@@ -142,6 +156,9 @@ def replay_tquad(reader: CaptureReader,
                         accumulate(names[k_id], s, int(incl_t[j]),
                                    int(excl_t[j]), 0, 0)
     ledger.flushed = True
+    if budget:
+        lru.clear()
+        budget.publish(telemetry)
     telemetry.count("capture/replays")
     return TQuadReport(ledger=ledger, options=options,
                        total_instructions=manifest["total_instructions"],
@@ -254,10 +271,19 @@ def _gprof_charges(raw, rid, nrid, icv, total):
 
 
 def replay_gprof(reader: CaptureReader, *, main_image_only: bool = True,
-                 telemetry=TELEMETRY) -> FlatProfile:
+                 telemetry=TELEMETRY,
+                 mem_limit: int | None = None) -> FlatProfile:
     """Rebuild a :class:`FlatProfile` from the captured call/return
     events — vectorized, byte-identical to gprof-sim's sequential
-    charging algorithm (including its insertion-order tie-breaking)."""
+    charging algorithm (including its insertion-order tie-breaking).
+
+    The balanced-parenthesis pairing is a whole-stream computation, so
+    ``mem_limit`` bounds the decode path (streaming page reads, sidecar
+    mmap views when warm) and accounts the assembled column against the
+    budget gauges — call-event streams are orders of magnitude smaller
+    than the tQUAD record streams, so this is the one replay whose
+    result array may legitimately exceed a tight ceiling.
+    """
     manifest = reader.manifest
     require_tool(manifest, "gprof")
     routines = [r[0] for r in manifest["routines"]]
@@ -265,10 +291,18 @@ def replay_gprof(reader: CaptureReader, *, main_image_only: bool = True,
     total = manifest["total_instructions"]
     rows: list[FlatRow] = []
     edges: dict[tuple[str, str], int] = {}
+    budget = MemBudget(mem_limit) if mem_limit else None
     with telemetry.span("replay", cat="capture", tool="gprof"):
-        col = (reader.column(STREAM_CALLS)
-               if reader.has_stream(STREAM_CALLS)
-               else np.empty((0, 2), np.int64))
+        if not reader.has_stream(STREAM_CALLS):
+            col = np.empty((0, 2), np.int64)
+        elif budget:
+            parts = list(StreamingCursor(reader, STREAM_CALLS,
+                                         budget=budget))
+            col = (np.concatenate(parts, axis=0) if parts
+                   else np.empty((0, 2), np.int64))
+            budget.touch(col.nbytes)
+        else:
+            col = reader.column(STREAM_CALLS)
         raw, rid = col[:, 0], col[:, 1]
         # the live tool ignores a return with no open frame: exactly
         # the events driving the running depth to a new strict low
@@ -302,20 +336,29 @@ def replay_gprof(reader: CaptureReader, *, main_image_only: bool = True,
             edges = {(routines[p], routines[c]): cnt
                      for p, c, cnt in edge_items}
     rows.sort(key=lambda r: r.self_instructions, reverse=True)
+    if budget:
+        budget.publish(telemetry)
     telemetry.count("capture/replays")
     return FlatProfile(rows=rows, total_instructions=total, edges=edges)
 
 
 # ------------------------------------------------------------------- QUAD
 def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
-                telemetry=TELEMETRY):
+                telemetry=TELEMETRY, mem_limit: int | None = None):
     """Rebuild a :class:`~repro.quad.report.QuadReport` by draining the
-    captured packed-record pages through a fresh paged shadow."""
-    from ..quad.shadow import (DEFAULT_RAW_CAP, PagedQuadSink, _IN_EXCL,
-                               _IN_INCL, _OUT_EXCL, _OUT_INCL, _READS,
-                               _READS_NS, _V_IN_INCL, _WRITES, _WRITES_NS)
+    captured packed-record pages through a fresh paged shadow.
+
+    ``mem_limit`` streams the record pages (bounded decode window) and
+    shrinks the drain batch so the transient packed-record buffers fit
+    the ceiling; the shadow state itself is the report being built, not
+    working memory, and its footprint shows in ``shadow_stats``.
+    """
+    from ..quad.shadow import (PagedQuadSink, _IN_EXCL, _IN_INCL,
+                               _OUT_EXCL, _OUT_INCL, _READS, _READS_NS,
+                               _V_IN_INCL, _WRITES, _WRITES_NS)
     from ..quad.report import QuadReport
     from ..quad.tracker import KernelIO
+    from . import PAGE_BATCH_ROWS
 
     manifest = reader.manifest
     require_tool(manifest, "quad")
@@ -325,26 +368,23 @@ def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
         callstack.intern(name)
     sink = PagedQuadSink(callstack, mem_size=manifest["mem_size"],
                          track_bindings=track_bindings)
+    budget = MemBudget(mem_limit) if mem_limit else None
     with telemetry.span("replay", cat="capture", tool="quad"):
         if reader.has_stream(STREAM_QUAD):
             # pages seal at the capture-time flush cadence, usually far
             # below the drain cap; per-drain fixed costs dominate small
-            # drains, so batch pages up to the cap (the bound _drain's
-            # packed-weight accumulators rely on) before draining
-            tail = None
-            for page in reader.pages(STREAM_QUAD):
-                vals = page.ravel()
-                if tail is not None:
-                    vals = np.concatenate([tail, vals])
-                    tail = None
-                lo = 0
-                while vals.size - lo >= DEFAULT_RAW_CAP:
-                    sink._drain(vals[lo:lo + DEFAULT_RAW_CAP])
-                    lo += DEFAULT_RAW_CAP
-                if vals.size - lo:
-                    tail = vals[lo:]
-            if tail is not None:
-                sink._drain(tail)
+            # drains, so batch pages up to the shared replay tunable
+            # (bounded by the cap _drain's packed-weight accumulators
+            # rely on) before draining
+            batch = PAGE_BATCH_ROWS
+            if budget:
+                pages = StreamingCursor(reader, STREAM_QUAD,
+                                        budget=budget)
+                batch = min(batch, max(mem_limit // 64, 4096))
+            else:
+                pages = reader.pages(STREAM_QUAD)
+            sink.drain_stream((page.ravel() for page in pages),
+                              batch_rows=batch)
         sink._ensure_kernels()
         counts = sink._counts
         kernels: dict[str, KernelIO] = {}
@@ -366,6 +406,8 @@ def replay_quad(reader: CaptureReader, *, track_bindings: bool = True,
                 writes_nonstack=int(c[_WRITES_NS]))
         bindings = {(names[p], names[c]): list(v)
                     for (p, c), v in sink.kid_bindings.items()}
+    if budget:
+        budget.publish(telemetry)
     telemetry.count("capture/replays")
     return QuadReport(kernels=kernels, bindings=bindings,
                       images=dict(manifest["images"]),
@@ -392,7 +434,8 @@ def replay_many(reader: CaptureReader, *,
                 tools: tuple[str, ...] = REPLAY_TOOLS,
                 options: TQuadOptions | None = None,
                 grid: "SweepGrid | None" = None,
-                telemetry=TELEMETRY) -> ReplayBundle:
+                telemetry=TELEMETRY,
+                mem_limit: int | None = None) -> ReplayBundle:
     """Serve several tools (and optionally a sweep grid) from one pass.
 
     The serial pattern — ``replay_tquad`` then ``sweep_tquad`` — decodes
@@ -409,6 +452,9 @@ def replay_many(reader: CaptureReader, *,
     ``tools`` picks from ``tquad``/``gprof``/``quad``; ``grid`` (a
     :class:`~repro.sweep.grid.SweepGrid`) additionally fills
     ``bundle.sweep``.  Validation runs before any page is read.
+    ``mem_limit`` threads the streaming byte ceiling into every
+    constituent replay — each report stays byte-identical to its
+    unbounded counterpart.
     """
     from ..sweep.engine import restrict_sweep, sweep_tquad
     from ..sweep.grid import SweepGrid
@@ -437,19 +483,24 @@ def replay_many(reader: CaptureReader, *,
                 library_modes=tuple(set(grid.library_modes)
                                     | {opts.exclude_libraries}),
                 kernels=grid.kernels)
-            wide = sweep_tquad(reader, combined, telemetry=telemetry)
+            wide = sweep_tquad(reader, combined, telemetry=telemetry,
+                               mem_limit=mem_limit)
             bundle.tquad = wide.report(opts.slice_interval, opts.stack,
                                        opts.exclude_libraries)
             bundle.sweep = restrict_sweep(wide, grid, manifest, reader)
         else:
             if grid is not None:
                 bundle.sweep = sweep_tquad(reader, grid,
-                                           telemetry=telemetry)
+                                           telemetry=telemetry,
+                                           mem_limit=mem_limit)
             if want_tquad:
                 bundle.tquad = replay_tquad(reader, opts,
-                                            telemetry=telemetry)
+                                            telemetry=telemetry,
+                                            mem_limit=mem_limit)
         if "gprof" in tools:
-            bundle.gprof = replay_gprof(reader, telemetry=telemetry)
+            bundle.gprof = replay_gprof(reader, telemetry=telemetry,
+                                        mem_limit=mem_limit)
         if "quad" in tools:
-            bundle.quad = replay_quad(reader, telemetry=telemetry)
+            bundle.quad = replay_quad(reader, telemetry=telemetry,
+                                      mem_limit=mem_limit)
     return bundle

@@ -102,6 +102,40 @@ def _validate_profile_args(args: argparse.Namespace) -> int | None:
         if getattr(args, "report", None):
             return _bad_usage("--report cannot be combined with "
                               "--capture-out")
+    err = _parse_mem_limit_arg(args)
+    if err is not None:
+        return err
+    if args.mem_limit_bytes is not None and not (from_capture
+                                                 or capture_out):
+        return _bad_usage("--mem-limit bounds capture replay; combine it "
+                          "with --from-capture or --capture-out")
+    approx = getattr(args, "approx", None)
+    if approx is not None:
+        if not (0.0 < approx < 1.0):
+            return _bad_usage("--approx takes a sampling rate strictly "
+                              "between 0 and 1 (e.g. 0.05)")
+        if getattr(args, "tool", "tquad") != "tquad":
+            return _bad_usage("--approx is a sampled tQUAD replay; it "
+                              "requires --tool tquad")
+        if not (from_capture or capture_out):
+            return _bad_usage("--approx replays from a capture; combine "
+                              "it with --from-capture or --capture-out")
+    return None
+
+
+def _parse_mem_limit_arg(args: argparse.Namespace) -> int | None:
+    """Resolve ``--mem-limit`` into ``args.mem_limit_bytes`` (exit-2 on a
+    malformed value); a no-op for commands without the flag."""
+    text = getattr(args, "mem_limit", None)
+    if text is None:
+        args.mem_limit_bytes = None
+        return None
+    from .capture.streaming import parse_mem_limit
+
+    try:
+        args.mem_limit_bytes = parse_mem_limit(text)
+    except ValueError as exc:
+        return _bad_usage(f"--mem-limit: {exc}")
     return None
 
 
@@ -184,13 +218,23 @@ def _captured_report(args: argparse.Namespace, program, options, *,
         else:
             reader = _open_capture(source, program, label,
                                    page_cache=page_cache)
+        mem_limit = getattr(args, "mem_limit_bytes", None)
+        approx = getattr(args, "approx", None)
         with reader:
-            if tool == "tquad":
-                result = replay_tquad(reader, options)
+            if tool == "tquad" and approx is not None:
+                from .capture import approx_replay_tquad
+
+                result = approx_replay_tquad(
+                    reader, options, rate=approx,
+                    seed=getattr(args, "approx_seed", 0),
+                    mem_limit=mem_limit)
+            elif tool == "tquad":
+                result = replay_tquad(reader, options,
+                                      mem_limit=mem_limit)
             elif tool == "quad":
-                result = replay_quad(reader)
+                result = replay_quad(reader, mem_limit=mem_limit)
             else:
-                result = replay_gprof(reader)
+                result = replay_gprof(reader, mem_limit=mem_limit)
             if getattr(args, "stats", False) and getattr(
                     args, "from_capture", None):
                 print(reader.format_stats(), file=sys.stderr)
@@ -262,13 +306,29 @@ def _profile_body(args: argparse.Namespace, program) -> int:
                   run.reports["tquad"] if args.jobs > 1 else
                   run_tquad(program, options=options,
                             max_instructions=args.budget))
-        if args.json:
-            from .serialize import tquad_to_json
+        approx_result = None
+        if captured is not None:
+            from .capture.approx import ApproxTQuadReplay
 
+            if isinstance(captured, ApproxTQuadReplay):
+                approx_result = captured
+                report = captured.report
+        if args.json:
+            if approx_result is not None:
+                from .serialize import approx_to_json as _to_json
+
+                payload = _to_json(approx_result)
+            else:
+                from .serialize import tquad_to_json
+
+                payload = tquad_to_json(report)
             with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(tquad_to_json(report))
+                fh.write(payload)
             print(f"wrote {args.json}", file=sys.stderr)
         print(report.format_table(top=args.top))
+        if approx_result is not None:
+            print()
+            print("\n".join(approx_result.summary_lines()))
         if args.figure:
             kernels = report.top_kernels(args.top or 10)
             names, mat = report.bandwidth_matrix(
@@ -464,16 +524,27 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         return _bad_usage("--jobs must be >= 1")
     if args.deadline <= 0:
         return _bad_usage("--deadline must be a positive number of seconds")
+    err = _parse_mem_limit_arg(args)
+    if err is not None:
+        return err
+    approx = getattr(args, "approx", None)
+    if approx is not None and not (0.0 < approx < 1.0):
+        return _bad_usage("--approx takes a sampling rate strictly "
+                          "between 0 and 1 (e.g. 0.05)")
     try:
         store = CaptureStore(args.store,
                              page_cache=not args.no_page_cache)
         kwargs = dict(store=store, nightly=args.nightly or None,
                       only=args.only, jobs=args.jobs,
-                      deadline=args.deadline)
+                      deadline=args.deadline,
+                      mem_limit=args.mem_limit_bytes)
         trace = _start_trace(args)
         try:
             if args.corpus_command == "run":
-                report = run_fleet(out_dir=args.out_dir, **kwargs)
+                sample = ((approx, args.approx_seed)
+                          if approx is not None else None)
+                report = run_fleet(out_dir=args.out_dir, approx=sample,
+                                   **kwargs)
             elif args.corpus_command == "verify":
                 report = verify_fleet(golden_root=args.golden, **kwargs)
             else:
@@ -584,6 +655,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                          library_modes=tuple(m == "exclude" for m in libs))
     except ValueError as err:
         return _bad_usage(str(err))
+    err = _parse_mem_limit_arg(args)
+    if err is not None:
+        return err
+    if args.approx is not None and not (0.0 < args.approx < 1.0):
+        return _bad_usage("--approx takes a sampling rate strictly "
+                          "between 0 and 1 (e.g. 0.05)")
     program = _load_program(args.file)
     trace = _start_trace(args)
     try:
@@ -620,8 +697,12 @@ def _sweep_body(args: argparse.Namespace, program, grid) -> int:
             else:
                 target.seek(0)
                 reader = CaptureReader(target)
+        sample = ((args.approx, getattr(args, "approx_seed", 0))
+                  if args.approx is not None else None)
         with reader:
-            result = sweep_tquad(reader, grid)
+            result = sweep_tquad(reader, grid,
+                                 mem_limit=args.mem_limit_bytes,
+                                 sample=sample)
             if args.stats:
                 print(reader.format_stats(), file=sys.stderr)
     except CaptureError as err:
@@ -635,6 +716,19 @@ def _sweep_body(args: argparse.Namespace, program, grid) -> int:
     print(f"sweep: {len(result)} cells from one capture pass "
           f"(grain {result.grain}, "
           f"{result.stats['pages_walked']} pages walked)")
+    if args.mem_limit_bytes is not None:
+        print(f"  streaming: peak resident "
+              f"{result.stats['peak_resident_bytes']:,} B under "
+              f"{args.mem_limit_bytes:,} B ceiling, spilled "
+              f"{result.stats['spilled_bytes']:,} B in "
+              f"{result.stats['spill_runs']} runs")
+    if sample is not None:
+        print(f"  sampled: rate={result.stats['sample_rate']:g} "
+              f"seed={result.stats['sample_seed']} kept "
+              f"{result.stats['sampled_rows']:,} of "
+              f"{result.stats['rows_walked']:,} rows "
+              f"(±{100 * result.stats['rel_err_95']:.2f}% @95% on "
+              f"sampled bytes)")
     for cell, report in result:
         lib_mode = "exclude" if cell.exclude_libraries else "include"
         print(f"  interval={cell.interval} stack={cell.stack.value} "
@@ -696,6 +790,8 @@ def _cmd_capture_info(args: argparse.Namespace) -> int:
               f"{len(man['routines'])} routines")
         for name, s in sorted(man["streams"].items()):
             print(f"stream {name}: {s['rows']} rows in {s['pages']} pages")
+        if getattr(args, "estimate", False):
+            print(_estimate_lines(man))
         if stats:
             # touch every page so the counters reflect a full replay pass
             for name, s in sorted(man["streams"].items()):
@@ -703,6 +799,46 @@ def _cmd_capture_info(args: argparse.Namespace) -> int:
                     reader.page(name, index, s["stride"])
             print(reader.format_stats())
     return 0
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, scale in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
+        if n >= scale:
+            return f"{n / scale:.1f}{unit}"
+    return f"{n}B"
+
+
+def _estimate_lines(man: dict) -> str:
+    """The ``capture info --estimate`` block: decoded footprint and the
+    projected peak replay memory of both replay tiers.
+
+    Pages decode to int64 columns, so a stream's uncompressed size is
+    ``rows * stride * 8``; the in-memory replay peak is the sum over all
+    streams (the unbounded page cache retains every decoded page), while
+    the streaming tier only ever holds a handful of pages plus carry
+    state, so its floor is a small multiple of the largest single page.
+    """
+    total = 0
+    largest_page = 0
+    lines = []
+    for name, s in sorted(man["streams"].items()):
+        rows, pages, stride = s["rows"], s["pages"], s["stride"]
+        nbytes = rows * stride * 8
+        total += nbytes
+        if pages:
+            largest_page = max(largest_page,
+                               -(-rows // pages) * stride * 8)
+        lines.append(f"  stream {name}: {nbytes:,} B decoded")
+    floor = 4 * largest_page
+    suggested = max(floor, 1 << 20)
+    lines.insert(0, "estimate:")
+    lines.append(f"  uncompressed pages: {total:,} B total, largest "
+                 f"page ≈ {largest_page:,} B")
+    lines.append(f"  projected peak replay memory: in-memory ≈ "
+                 f"{total:,} B ({_fmt_bytes(total)}); streaming ≥ "
+                 f"{floor:,} B ({_fmt_bytes(floor)})")
+    lines.append(f"  suggested: --mem-limit {_fmt_bytes(suggested)}")
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -769,6 +905,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "of executing the program")
     p.add_argument("--no-page-cache", action="store_true",
                    help="skip the capture's decoded-page sidecar")
+    p.add_argument("--mem-limit", metavar="BYTES", default=None,
+                   help="hard ceiling on replay working memory (accepts "
+                        "K/M/G suffixes); carry state spills to disk — "
+                        "requires --from-capture or --capture-out")
+    p.add_argument("--approx", type=float, default=None, metavar="RATE",
+                   help="sampled approximate tQUAD replay keeping RATE of "
+                        "records (0 < RATE < 1), with reported 95%% error "
+                        "bounds and a count-min heavy-hitter table")
+    p.add_argument("--approx-seed", type=int, default=0, metavar="N",
+                   help="deterministic sampling seed for --approx "
+                        "(default: 0)")
     common(p)
     observability(p)
     p.set_defaults(fn=_cmd_profile)
@@ -860,6 +1007,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "stderr")
     p.add_argument("--no-page-cache", action="store_true",
                    help="skip the capture's decoded-page sidecar")
+    p.add_argument("--mem-limit", metavar="BYTES", default=None,
+                   help="hard ceiling on sweep working memory (accepts "
+                        "K/M/G suffixes); carry tables spill to disk and "
+                        "merge back exactly")
+    p.add_argument("--approx", type=float, default=None, metavar="RATE",
+                   help="Bernoulli-sample the record streams at RATE "
+                        "(0 < RATE < 1); every cell's counters are "
+                        "1/RATE-scaled estimates with a reported bound")
+    p.add_argument("--approx-seed", type=int, default=0, metavar="N",
+                   help="deterministic sampling seed for --approx "
+                        "(default: 0)")
     common(p)
     observability(p)
     p.set_defaults(fn=_cmd_sweep)
@@ -888,6 +1046,10 @@ def build_parser() -> argparse.ArgumentParser:
     cp.set_defaults(fn=_cmd_capture_run)
     cp = csub.add_parser("info", help="print a capture's manifest summary")
     cp.add_argument("file")
+    cp.add_argument("--estimate", action="store_true",
+                    help="also print uncompressed page bytes and the "
+                         "projected peak replay memory of the in-memory "
+                         "and streaming (--mem-limit) tiers")
     cp.add_argument("--stats", action="store_true",
                     help="decode every page and print the reader's "
                          "decode/cache counters (builds or reuses the "
@@ -922,12 +1084,21 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--no-page-cache", action="store_true",
                         help="skip the decoded-page sidecars (replays "
                              "re-inflate every page)")
+        cp.add_argument("--mem-limit", metavar="BYTES", default=None,
+                        help="replay every entry under a hard working-"
+                             "memory ceiling (K/M/G suffixes); artifacts "
+                             "stay byte-identical")
         observability(cp)
 
     cp = csub.add_parser("run", help="capture + replay the fleet, no "
                                      "golden comparison")
     cp.add_argument("--out-dir", metavar="DIR", default=None,
                     help="also write each entry's artifact tree here")
+    cp.add_argument("--approx", type=float, default=None, metavar="RATE",
+                    help="also render sampled tquad_approx.* artifacts "
+                         "at RATE (run mode only; never golden-diffed)")
+    cp.add_argument("--approx-seed", type=int, default=0, metavar="N",
+                    help="deterministic sampling seed for --approx")
     corpus_common(cp)
     cp.set_defaults(fn=_cmd_corpus)
     cp = csub.add_parser("verify", help="byte-diff fleet artifacts "

@@ -74,13 +74,29 @@ def entry_grid(entry: CorpusEntry) -> SweepGrid:
 #: is route-invariant and stays in ``meta.json``.
 _VOLATILE_STATS = ("decoded_pages", "page_cache_hits", "disk_cache_hits")
 
+#: Streaming-tier counters: a function of ``--mem-limit``, not of the
+#: guest, so the golden sweep artifact must not carry them.  (They are
+#: also kept out of ``pages_served``, which only sums the route
+#: counters above — decode + mem hit + disk hit per page request is
+#: route-invariant even when the LRU evicts and re-decodes.)
+_STREAMING_STATS = ("peak_resident_bytes", "spilled_bytes", "spill_runs",
+                    "evicted_pages")
 
-def render_artifacts(entry: CorpusEntry, store: CaptureStore
+
+def render_artifacts(entry: CorpusEntry, store: CaptureStore, *,
+                     mem_limit: int | None = None,
+                     approx: tuple[float, int] | None = None
                      ) -> tuple[dict[str, str], dict]:
     """Capture (or reuse) ``entry`` and render its full artifact set.
 
     Returns ``(artifacts, replay_stats)``: the byte-diffable artifact
     set plus the reader's cache counters for the fleet report.
+
+    ``mem_limit`` replays under the bounded-memory streaming tier — the
+    exact artifacts stay byte-identical, only the replay counters move.
+    ``approx`` (a ``(rate, seed)`` pair; ``run`` mode only) adds a
+    ``tquad_approx.json`` / ``tquad_approx.txt`` pair *on top of* the
+    exact set; golden trees never contain them.
     """
     from ..capture import program_digest
 
@@ -93,14 +109,27 @@ def render_artifacts(entry: CorpusEntry, store: CaptureStore
             bundle = replay_many(
                 reader, tools=("tquad", "gprof", "quad"),
                 options=TQuadOptions(slice_interval=entry.interval),
-                grid=entry_grid(entry))
+                grid=entry_grid(entry), mem_limit=mem_limit)
+            extra: dict[str, str] = {}
+            if approx is not None:
+                from ..capture import approx_replay_tquad
+                from ..serialize import approx_to_json
+
+                rate, seed = approx
+                est = approx_replay_tquad(
+                    reader, TQuadOptions(slice_interval=entry.interval),
+                    rate=rate, seed=seed, mem_limit=mem_limit)
+                extra["tquad_approx.json"] = approx_to_json(est)
+                extra["tquad_approx.txt"] = (
+                    est.report.format_table() + "\n\n"
+                    + "\n".join(est.summary_lines()) + "\n")
             man = reader.manifest
             replay_stats = {**reader.stats,
                             "page_cache": reader.page_cache_state}
     tq, flat, quad, sweep = (bundle.tquad, bundle.gprof, bundle.quad,
                              bundle.sweep)
     sweep.stats = {k: v for k, v in sweep.stats.items()
-                   if k not in _VOLATILE_STATS}
+                   if k not in _VOLATILE_STATS + _STREAMING_STATS}
     meta = {
         "entry": entry.name,
         "kind": entry.kind,
@@ -125,6 +154,7 @@ def render_artifacts(entry: CorpusEntry, store: CaptureStore
         "quad.txt": quad.format_table() + "\n",
         "sweep.json": sweep_to_json(sweep),
         "meta.json": json.dumps(meta, indent=2, sort_keys=True) + "\n",
+        **extra,
     }, replay_stats
 
 
@@ -228,11 +258,15 @@ class FleetReport:
                 f"reused, {self.sidecars_rebuilt} rebuilt")
 
 
-def _run_one(entry: CorpusEntry, store: CaptureStore,
+def _run_one(entry: CorpusEntry, store: CaptureStore, *,
+             mem_limit: int | None = None,
+             approx: tuple[float, int] | None = None,
              ) -> tuple[EntryReport, dict[str, str] | None]:
     start = time.perf_counter()
     try:
-        artifacts, replay = render_artifacts(entry, store)
+        artifacts, replay = render_artifacts(entry, store,
+                                             mem_limit=mem_limit,
+                                             approx=approx)
     except Exception as err:  # a broken guest must not sink the fleet
         return EntryReport(name=entry.name, label=entry.label,
                            status="error", error=f"{type(err).__name__}: "
@@ -277,9 +311,13 @@ class FleetRunner:
     """
 
     def __init__(self, root, *, page_cache: bool = True,
+                 mem_limit: int | None = None,
+                 approx: tuple[float, int] | None = None,
                  telemetry=None) -> None:
         self.store = CaptureStore(root, page_cache=page_cache)
         self.store.on_engine = self._adopt_engine
+        self.mem_limit = mem_limit
+        self.approx = approx
         self._engine = None
         self._ticks = 0
 
@@ -296,7 +334,9 @@ class FleetRunner:
         s = self.store
         before = (s.hits, s.misses, s.sidecars_built, s.sidecars_reused,
                   s.sidecars_rebuilt)
-        report, artifacts = _run_one(task.entry, s)
+        report, artifacts = _run_one(task.entry, s,
+                                     mem_limit=self.mem_limit,
+                                     approx=self.approx)
         after = (s.hits, s.misses, s.sidecars_built, s.sidecars_reused,
                  s.sidecars_rebuilt)
         deltas = [b - a for b, a in zip(after, before)]
@@ -314,26 +354,33 @@ class FleetRunnerFactory:
 
     root: str
     page_cache: bool = True
+    mem_limit: int | None = None
+    approx: tuple[float, int] | None = None
 
     result_type: ClassVar[type] = FleetTaskResult
 
     def __call__(self, telemetry) -> FleetRunner:
         return FleetRunner(self.root, page_cache=self.page_cache,
+                           mem_limit=self.mem_limit, approx=self.approx,
                            telemetry=telemetry)
 
 
 def _map_entries(entries, store: CaptureStore, *, jobs: int = 1,
-                 deadline: float | None = None):
+                 deadline: float | None = None,
+                 mem_limit: int | None = None,
+                 approx: tuple[float, int] | None = None):
     """Yield ``(EntryReport, artifacts | None)`` per roster entry, in
     roster order — serially, or across a supervised worker fleet."""
     if jobs <= 1:
         for entry in entries:
-            yield _run_one(entry, store)
+            yield _run_one(entry, store, mem_limit=mem_limit,
+                           approx=approx)
         return
     from ..parallel.supervise import DEFAULT_DEADLINE, Supervisor
 
     factory = FleetRunnerFactory(str(store.root),
-                                 page_cache=store.page_cache)
+                                 page_cache=store.page_cache,
+                                 mem_limit=mem_limit, approx=approx)
     supervisor = Supervisor(
         jobs=jobs, runner_factory=factory,
         deadline=deadline if deadline is not None else DEFAULT_DEADLINE)
@@ -365,18 +412,25 @@ def _settle(report: FleetReport, store: CaptureStore,
 def run_fleet(*, store: CaptureStore | None = None,
               nightly: bool | None = None, only: str | None = None,
               out_dir: str | Path | None = None, jobs: int = 1,
-              deadline: float | None = None) -> FleetReport:
+              deadline: float | None = None,
+              mem_limit: int | None = None,
+              approx: tuple[float, int] | None = None) -> FleetReport:
     """Capture + replay every active entry; optionally write artifacts.
 
     ``out_dir`` (when given) receives the same tree ``update`` would
     write under the golden root — useful for inspecting a drift.
+    ``mem_limit`` replays every entry under the bounded-memory tier;
+    ``approx`` adds the sampled ``tquad_approx.*`` artifacts (run mode
+    only — they never enter the golden tree).
     """
     store = store or CaptureStore()
     before = _snapshot(store)
     report = FleetReport(mode="run")
     entries = fleet_entries(nightly=nightly, only=only)
     for entry_report, artifacts in _map_entries(entries, store, jobs=jobs,
-                                                deadline=deadline):
+                                                deadline=deadline,
+                                                mem_limit=mem_limit,
+                                                approx=approx):
         if artifacts is not None and out_dir is not None:
             _write_tree(Path(out_dir) / entry_report.name, artifacts)
         report.entries.append(entry_report)
@@ -408,16 +462,20 @@ def verify_fleet(*, golden_root: str | Path = DEFAULT_GOLDEN,
                  store: CaptureStore | None = None,
                  nightly: bool | None = None,
                  only: str | None = None, jobs: int = 1,
-                 deadline: float | None = None) -> FleetReport:
+                 deadline: float | None = None,
+                 mem_limit: int | None = None) -> FleetReport:
     """Re-render every active entry and byte-diff it against the golden
-    tree; stale fixture directories fail the pass too."""
+    tree; stale fixture directories fail the pass too.  ``mem_limit``
+    verifies through the streaming tier — the artifacts must still match
+    the golden bytes exactly."""
     golden_root = Path(golden_root)
     store = store or CaptureStore()
     before = _snapshot(store)
     report = FleetReport(mode="verify")
     entries = fleet_entries(nightly=nightly, only=only)
     for entry_report, artifacts in _map_entries(entries, store, jobs=jobs,
-                                                deadline=deadline):
+                                                deadline=deadline,
+                                                mem_limit=mem_limit):
         if artifacts is not None:
             base = golden_root / entry_report.name
             for name, text in artifacts.items():
@@ -444,7 +502,8 @@ def update_fleet(*, golden_root: str | Path = DEFAULT_GOLDEN,
                  store: CaptureStore | None = None,
                  nightly: bool | None = None,
                  only: str | None = None, jobs: int = 1,
-                 deadline: float | None = None) -> FleetReport:
+                 deadline: float | None = None,
+                 mem_limit: int | None = None) -> FleetReport:
     """Rewrite the golden tree from fresh renders and prune stale
     fixture directories (full-roster passes only)."""
     import shutil
@@ -455,7 +514,8 @@ def update_fleet(*, golden_root: str | Path = DEFAULT_GOLDEN,
     report = FleetReport(mode="update")
     entries = fleet_entries(nightly=nightly, only=only)
     for entry_report, artifacts in _map_entries(entries, store, jobs=jobs,
-                                                deadline=deadline):
+                                                deadline=deadline,
+                                                mem_limit=mem_limit):
         if artifacts is not None:
             _write_tree(golden_root / entry_report.name, artifacts)
         report.entries.append(entry_report)

@@ -191,6 +191,7 @@ class Supervisor:
         self._spawned = 0
         self._n_shards = 0
         self._fallback = None
+        self._pids: set[int] = set()
         self.retries = 0
         self.degraded = 0
 
@@ -268,6 +269,8 @@ class Supervisor:
                   self.telemetry.enabled),
             daemon=True, name=f"repro-shard-worker-{wid}")
         process.start()
+        if process.pid:
+            self._pids.add(process.pid)
         self.workers[wid] = _Worker(process=process, inbox=inbox, hb=hb)
         self._idle.add(wid)
         self._spawned += 1
@@ -358,6 +361,20 @@ class Supervisor:
         self._idle.discard(wid)
         worker.inbox.close()
         worker.inbox.cancel_join_thread()
+        # a killed worker's atexit hooks never ran: sweep any spill
+        # scratch it left behind (no-op for clean exits)
+        self._sweep_spills([worker.process.pid])
+
+    def _sweep_spills(self, pids) -> None:
+        try:
+            from ..capture.streaming import cleanup_spill_dirs
+
+            removed = cleanup_spill_dirs(p for p in pids if p)
+        except Exception:  # cleanup must never sink a run
+            return
+        if removed:
+            self.telemetry.count("parallel/spill_dirs_swept",
+                                 len(removed))
 
     def _failure(self, task: _Task, wid: int, reason: str,
                  pending: list[_Task],
@@ -415,3 +432,5 @@ class Supervisor:
         self._idle.clear()
         self.outbox.close()
         self.outbox.cancel_join_thread()
+        self._sweep_spills(self._pids)
+        self._pids.clear()

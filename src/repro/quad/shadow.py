@@ -502,6 +502,32 @@ class PagedQuadSink:
             del self.buf[:]
             self._drain(vals)
 
+    def drain_stream(self, chunks, batch_rows: int | None = None) -> None:
+        """Drain raw packed-record arrays in bounded batches.
+
+        The chunk-friendly face of :meth:`_drain` for streaming replays:
+        ``chunks`` yields 1-D packed-record arrays of any length, which
+        are re-cut to ``batch_rows`` (clamped to the drain cap — the
+        packed weight accumulators overflow past 2**18 records per
+        drain) with tail carry between chunks, so callers never
+        concatenate the full stream.
+        """
+        cap = (self.cap if batch_rows is None
+               else max(min(int(batch_rows), self.cap), 1))
+        tail = None
+        for vals in chunks:
+            if tail is not None:
+                vals = np.concatenate([tail, vals])
+                tail = None
+            lo = 0
+            while vals.size - lo >= cap:
+                self._drain(vals[lo:lo + cap])
+                lo += cap
+            if vals.size - lo:
+                tail = vals[lo:]
+        if tail is not None:
+            self._drain(tail)
+
     def _drain(self, vals: np.ndarray) -> None:
         neg = vals < 0
         if neg.any():

@@ -147,6 +147,57 @@ def sweep_from_json(text: str):
     return sweep_from_dict(json.loads(text))
 
 
+# --------------------------------------------------------- approx tQUAD
+def approx_to_dict(result) -> dict[str, Any]:
+    """Serialise an :class:`~repro.capture.approx.ApproxTQuadReplay`:
+    the ``1/rate``-scaled report plus every estimate *with its bound* —
+    an approximate artifact must never be mistaken for an exact one, so
+    the sampling parameters, confidence intervals and sketch error
+    budget travel with the data."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "tquad_approx",
+        "rate": result.rate,
+        "seed": result.seed,
+        "rows_walked": result.rows_walked,
+        "sampled_rows": result.sampled_rows,
+        "totals": dict(result.totals),
+        "rel_err_95": {k: round(v, 6)
+                       for k, v in result.rel_err_95.items()},
+        "heavy_hitters": [[name, est]
+                          for name, est in result.heavy_hitters],
+        "sketch": dict(result.sketch),
+        "mem": dict(result.mem),
+        "report": tquad_to_dict(result.report),
+    }
+
+
+def approx_from_dict(data: dict[str, Any]):
+    """Rebuild an :class:`~repro.capture.approx.ApproxTQuadReplay` —
+    the report comes back fully queryable, the bounds verbatim."""
+    if data.get("kind") != "tquad_approx":
+        raise ValueError("not a serialised approximate tQUAD replay")
+    from .capture.approx import ApproxTQuadReplay
+
+    return ApproxTQuadReplay(
+        report=tquad_from_dict(data["report"]),
+        rate=data["rate"], seed=data["seed"],
+        rows_walked=data["rows_walked"],
+        sampled_rows=data["sampled_rows"],
+        totals=dict(data["totals"]),
+        rel_err_95=dict(data["rel_err_95"]),
+        heavy_hitters=[(n, e) for n, e in data["heavy_hitters"]],
+        sketch=dict(data["sketch"]), mem=dict(data.get("mem", {})))
+
+
+def approx_to_json(result, **json_kwargs) -> str:
+    return json.dumps(approx_to_dict(result), **json_kwargs)
+
+
+def approx_from_json(text: str):
+    return approx_from_dict(json.loads(text))
+
+
 # ---------------------------------------------------------------- gprof
 def flat_to_dict(profile: FlatProfile) -> dict[str, Any]:
     return {

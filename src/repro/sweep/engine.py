@@ -37,8 +37,10 @@ import numpy as np
 
 from ..capture.format import (STREAM_TQUAD_READ, STREAM_TQUAD_WRITE,
                               require_tool)
-from ..capture.reader import CaptureReader, PageCursor
+from ..capture.reader import CaptureReader, PageCursor, StreamingCursor
 from ..capture.replay import _resolve_tquad_options
+from ..capture.streaming import (MemBudget, SortedTableAcc, SpillPool,
+                                 sample_mask)
 from ..core.ledger import BandwidthLedger
 from ..core.npsort import stable_argsort
 from ..core.options import StackPolicy
@@ -183,29 +185,63 @@ def grid_stats(grid: SweepGrid, manifest: dict, pages_walked: int,
             "combos": len(combos), **reader_stats}
 
 
+#: Stats keys the streaming/sampled paths add — present only when the
+#: corresponding mode ran, so default sweeps serialise unchanged (the
+#: corpus golden tree byte-diffs ``stats`` verbatim).
+_STREAM_STATS = ("peak_resident_bytes", "spilled_bytes", "spill_runs",
+                 "sample_rate", "sample_seed", "rows_walked",
+                 "sampled_rows", "rel_err_95")
+
+
 def restrict_sweep(result: SweepResult, grid: SweepGrid, manifest: dict,
                    reader: CaptureReader) -> SweepResult:
     """Project a wider sweep down to ``grid`` (every cell of ``grid``
     must be in ``result``) — grain and stats are recomputed as if the
     narrower grid had been swept directly."""
     reports = {cell: result.reports[cell] for cell in grid.cells()}
+    stats = grid_stats(grid, manifest, result.stats["pages_walked"],
+                       reader.stats)
+    stats.update({k: result.stats[k] for k in _STREAM_STATS
+                  if k in result.stats})
     return SweepResult(
         grid=grid, reports=reports,
         total_instructions=result.total_instructions,
         grain=reduce(math.gcd, grid.intervals),
-        stats=grid_stats(grid, manifest, result.stats["pages_walked"],
-                         reader.stats))
+        stats=stats)
 
 
 def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
-                telemetry=TELEMETRY) -> SweepResult:
+                telemetry=TELEMETRY, *,
+                mem_limit: int | None = None,
+                sample: tuple[float, int] | None = None) -> SweepResult:
     """Fill ``grid`` from one decode pass over ``reader``'s tQUAD streams.
 
     Raises :class:`~repro.capture.format.CaptureMismatchError` if any
     grid cell is not derivable from the capture (non-multiple interval,
     underivable stack policy or library mode) — validation runs for the
     whole grid before any page is read.
+
+    ``mem_limit`` switches the bucket pass to bounded accumulation:
+    pages stream (mmap views when the sidecar is warm, bounded decode
+    otherwise), per-combo partials compact incrementally at the shared
+    :data:`~repro.capture.PAGE_BATCH_ROWS` cadence, and carry tables
+    that push past the ceiling spill to disk as sorted runs merged back
+    blockwise — integer segment sums are associative, so every cell is
+    byte-identical to the unbounded sweep (the streaming property suite
+    pins this).  ``sample=(rate, seed)`` Bernoulli-samples rows before
+    bucketing and Horvitz-Thompson rescales each cell's counters by
+    ``1/rate``; the stats block then reports the sampled row counts and
+    a 95%-confidence relative error bound on the total inclusive bytes.
+    Both add their stats keys only when active, keeping default sweeps
+    serialisation-identical.
     """
+    if sample is not None:
+        rate, sample_seed = float(sample[0]), int(sample[1])
+        if not (0.0 < rate < 1.0):
+            raise ValueError(
+                f"sampling rate must be in (0, 1), got {rate!r}")
+    else:
+        rate = sample_seed = None
     manifest = reader.manifest
     require_tool(manifest, "tquad")
     mo = manifest["options"]
@@ -224,18 +260,53 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
 
     reports: dict[SweepCell, TQuadReport] = {}
     pages_walked = 0
+    budget = MemBudget(mem_limit) if mem_limit else None
+    samp = ({"rows_walked": 0, "sampled_rows": 0, "sum": 0.0,
+             "sumsq": 0.0} if rate is not None else None)
     with telemetry.span("sweep", cat="sweep", tool="tquad",
                         cells=len(cells), grain=fine,
-                        intervals=",".join(map(str, grid.intervals))):
+                        intervals=",".join(map(str, grid.intervals))), \
+            SpillPool(budget) as pool:
         # ------------------------------------------------ decode (one pass)
-        # per (stream, combo): lists of per-page (keys, incl, excl) partials
+        # per (stream, combo): lists of per-page (keys, incl, excl)
+        # partials — or, under a memory ceiling, bounded accumulators
+        # that compact and spill instead of buffering every page
+        locs = [(stream, combo) for stream, _ in _STREAMS
+                for combo in combos]
         parts: dict[tuple[str, tuple[bool, bool]], list] = {
-            (stream, combo): [] for stream, _ in _STREAMS
-            for combo in combos}
+            loc: [] for loc in locs}
+        accs = None
+        if budget is not None:
+            from ..capture import PAGE_BATCH_ROWS
+            accs = {loc: SortedTableAcc(budget, PAGE_BATCH_ROWS)
+                    for loc in locs}
+
+        def emit(loc, chunk):
+            if accs is not None:
+                accs[loc].add(*chunk)
+            else:
+                parts[loc].append(chunk)
+
         with telemetry.span("sweep.decode", cat="sweep"):
-            for stream, _ in _STREAMS:
-                for page in PageCursor(reader, stream):
+            for si, (stream, _) in enumerate(_STREAMS):
+                src = (StreamingCursor(reader, stream, budget=budget)
+                       if budget is not None
+                       else PageCursor(reader, stream))
+                for pi, page in enumerate(src):
                     pages_walked += 1
+                    if rate is not None:
+                        n = page.shape[0]
+                        samp["rows_walked"] += n
+                        keep = sample_mask(sample_seed, si, pi, n, rate)
+                        kept = int(keep.sum())
+                        samp["sampled_rows"] += kept
+                        if kept == 0:
+                            continue
+                        if kept < n:
+                            page = page[keep]
+                        vals = page[:, 1].astype(float)
+                        samp["sum"] += float(vals.sum())
+                        samp["sumsq"] += float((vals * vals).sum())
                     kid_raw = page[:, 3]
                     if kid_raw.size and int(kid_raw.min()) >= 0:
                         # fast path: no library rows, no dropped rows —
@@ -269,7 +340,7 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                         chunk = done.get(eff)
                         if chunk is not None:
                             if chunk:
-                                parts[stream, combo].append(chunk)
+                                emit((stream, combo), chunk)
                             continue
                         mask = valid
                         if eff[0]:
@@ -285,12 +356,31 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                             done[eff] = ()
                             continue
                         done[eff] = chunk
-                        parts[stream, combo].append(chunk)
+                        emit((stream, combo), chunk)
+                    if budget is not None and budget.over:
+                        # fold pending chunks first — usually enough;
+                        # carry that still busts the ceiling goes to disk
+                        for acc in accs.values():
+                            acc.compact()
+                        if budget.over:
+                            for acc in accs.values():
+                                acc.spill(pool)
         # ------------------------------- bucket (merge partials, fine grain)
         fine_tables: dict[tuple[str, tuple[bool, bool]],
                           tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
         key_span = len(names) * n_fine
         with telemetry.span("sweep.bucket", cat="sweep"):
+            if accs is not None:
+                # streaming: each accumulator already carries its sorted
+                # unique-key table (merged back from spill runs if any);
+                # identical to the unbounded grouping below because
+                # integer segment sums are associative
+                for loc in locs:
+                    keys_f, incl_f, excl_f = accs[loc].finalize()
+                    fine_tables[loc] = ((_EMPTY, _EMPTY, _EMPTY)
+                                        if keys_f.size == 0
+                                        else (keys_f, incl_f, excl_f))
+                parts = {}
             for loc, chunks in parts.items():
                 if not chunks:
                     fine_tables[loc] = (_EMPTY, _EMPTY, _EMPTY)
@@ -391,6 +481,11 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
                         mat[idx, col] = incl_a
                     if not zero_excl:
                         mat[idx, col + 1] = excl_a
+                if rate is not None:
+                    # Horvitz-Thompson: one 1/rate rescale at the very
+                    # end keeps every cell consistent with the same
+                    # sampled row set
+                    mat = np.rint(mat / rate).astype(np.int64)
                 reports[cell] = TQuadReport(
                     ledger=ColumnarLedger(cell.interval, names, n_fine,
                                           keys, mat),
@@ -400,5 +495,18 @@ def sweep_tquad(reader: CaptureReader, grid: SweepGrid,
     telemetry.count("sweep/runs")
     telemetry.gauge("sweep/cells", len(cells))
     stats = grid_stats(grid, manifest, pages_walked, reader.stats)
+    if budget is not None:
+        budget.publish(telemetry)
+        stats.update(peak_resident_bytes=budget.peak,
+                     spilled_bytes=budget.spilled_bytes,
+                     spill_runs=budget.spill_runs)
+    if rate is not None:
+        s = samp["sum"]
+        rel = (1.96 * math.sqrt(samp["sumsq"] * (1.0 - rate)) / s
+               if s > 0 else 0.0)
+        stats.update(sample_rate=rate, sample_seed=sample_seed,
+                     rows_walked=samp["rows_walked"],
+                     sampled_rows=samp["sampled_rows"],
+                     rel_err_95=round(rel, 6))
     return SweepResult(grid=grid, reports=reports,
                        total_instructions=total, grain=fine, stats=stats)

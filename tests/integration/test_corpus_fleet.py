@@ -193,7 +193,7 @@ class TestFleetEngine:
                                                   monkeypatch):
         import repro.corpus.fleet as fleet_mod
 
-        def boom(entry, store):
+        def boom(entry, store, **kwargs):
             raise RuntimeError("guest exploded")
 
         monkeypatch.setattr(fleet_mod, "render_artifacts", boom)

@@ -181,3 +181,108 @@ class TestSupervisorHousekeeping:
                      "parallel/bad_payloads", "parallel/shard_retries",
                      "parallel/shards_degraded"):
             assert name not in tele.counters
+
+
+class TestSpillCleanup:
+    """Spill scratch from the bounded-memory streaming tier
+    (:mod:`repro.capture.streaming`) must never outlive its owner —
+    killed workers, interrupted runs, hard crashes included."""
+
+    @pytest.fixture()
+    def private_tmp(self, tmp_path, monkeypatch):
+        # point tempfile at a directory this test owns so spill dirs
+        # (and the sweeps that reclaim them) are observable in isolation
+        import tempfile
+
+        monkeypatch.setenv("TMPDIR", str(tmp_path))
+        monkeypatch.setattr(tempfile, "tempdir", None)
+        return tmp_path
+
+    def test_interrupt_sweeps_spill_dirs_of_killed_workers(
+            self, private_tmp):
+        # regression: a KeyboardInterrupt mid-run terminates workers
+        # before their own atexit sweep can run; the parent's shutdown
+        # path must reclaim their spill directories
+        from repro.capture.streaming import SPILL_PREFIX
+        from repro.parallel import iter_shards
+
+        program = build_program(SRC)
+        supervisor = Supervisor(program, SPECS, jobs=2)
+        left_behind = []
+
+        def interrupted_shards():
+            for spec in iter_shards(program, jobs=2, quantum=QUANTUM,
+                                    interval=64):
+                yield spec
+                if spec.index == 1:
+                    for pid in sorted(supervisor._pids):
+                        d = private_tmp / f"{SPILL_PREFIX}{pid}-t"
+                        d.mkdir()
+                        (d / "run00000.npy").write_bytes(b"x")
+                        left_behind.append(d)
+                    raise KeyboardInterrupt
+        with pytest.raises(KeyboardInterrupt):
+            supervisor.run(interrupted_shards())
+        assert left_behind, "workers should have spawned before interrupt"
+        for d in left_behind:
+            assert not d.exists(), f"spill dir {d} leaked past shutdown"
+
+    def test_crashed_worker_spill_dirs_are_swept(self, private_tmp,
+                                                 monkeypatch):
+        # a worker that dies mid-replay never runs its own teardown; the
+        # scratch it left (modelled here at the moment the supervisor
+        # notices the crash) is reclaimed by the end of the run
+        import repro.parallel.supervise as sup
+        from repro.capture.streaming import SPILL_PREFIX
+
+        spilled = []
+        original = sup.Supervisor._failure
+
+        def failure_with_scratch(self, task, wid, reason, pending,
+                                 results):
+            for pid in sorted(self._pids):
+                d = private_tmp / f"{SPILL_PREFIX}{pid}-x"
+                if not d.exists():
+                    d.mkdir()
+                    spilled.append(d)
+            return original(self, task, wid, reason, pending, results)
+
+        monkeypatch.setattr(sup.Supervisor, "_failure",
+                            failure_with_scratch)
+        run, tele = run_with("exit@replay:shard=1", jobs=2)
+        assert run.retries == 1
+        assert spilled
+        for d in spilled:
+            assert not d.exists(), f"spill dir {d} leaked"
+
+    def test_hard_killed_process_is_reclaimed_by_cleanup(
+            self, private_tmp):
+        # the primitive itself: a process that spilled and then died
+        # without any teardown is reclaimed by pid-targeted cleanup
+        import multiprocessing
+        import os as _os
+        import time as _time
+
+        from repro.capture.streaming import (SPILL_PREFIX, SpillPool,
+                                             cleanup_spill_dirs)
+
+        def victim(ready):
+            import numpy as np
+
+            pool = SpillPool()
+            pool.write(np.zeros((4, 3), np.int64))
+            ready.set()
+            _time.sleep(60)
+
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Event()
+        proc = ctx.Process(target=victim, args=(ready,))
+        proc.start()
+        assert ready.wait(timeout=30)
+        leaked = list(private_tmp.glob(f"{SPILL_PREFIX}{proc.pid}-*"))
+        assert leaked, "victim should have spilled before dying"
+        proc.kill()
+        proc.join()
+        removed = cleanup_spill_dirs([proc.pid])
+        assert removed
+        assert not list(private_tmp.glob(f"{SPILL_PREFIX}{proc.pid}-*"))
